@@ -1,0 +1,20 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench report examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.experiments.report --out EXPERIMENTS.md
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+all: test bench report

@@ -1,0 +1,12 @@
+"""Bench ablation: popularity-aware vs uniform hosting (Figure 3 gap)."""
+
+from conftest import run_once
+
+
+def test_ablation_cdn(benchmark):
+    result = run_once(benchmark, "ablation_cdn", seed=0, scale=1.0)
+    m = result.metrics
+    assert m["aware_gap_ms"] > 30.0
+    assert m["aware_gap_ms"] > 2 * abs(m["uniform_gap_ms"])
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench ablation: emergent cell contention vs the capacity plan."""
+
+from conftest import run_once
+
+
+def test_ablation_cell(benchmark):
+    result = run_once(benchmark, "ablation_cell", seed=0, scale=1.0)
+    from repro.analysis.validation import validate_or_raise
+
+    validate_or_raise(result)
+    print()
+    print(result.render())

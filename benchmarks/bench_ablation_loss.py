@@ -1,0 +1,12 @@
+"""Bench ablation: handover burst loss vs i.i.d. loss of equal mean."""
+
+from conftest import run_once
+
+
+def test_ablation_loss(benchmark):
+    result = run_once(benchmark, "ablation_loss", seed=0)
+    m = result.metrics
+    assert m["burst_clumpiness"] > 2 * m["iid_clumpiness"]
+    assert m["iid_seconds_over_5pct"] != m["burst_seconds_over_5pct"]
+    print()
+    print(result.render())

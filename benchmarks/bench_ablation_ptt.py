@@ -1,0 +1,12 @@
+"""Bench ablation: PTT vs PLT under device heterogeneity (§3.1)."""
+
+from conftest import run_once
+
+
+def test_ablation_ptt(benchmark):
+    result = run_once(benchmark, "ablation_ptt", seed=0, scale=1.0)
+    m = result.metrics
+    assert m["ptt_ranks_networks_correctly"] == 1.0
+    assert m["plt_inverts_ranking"] == 1.0
+    print()
+    print(result.render())

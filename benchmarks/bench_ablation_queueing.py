@@ -1,0 +1,12 @@
+"""Bench ablation: queueing placement (bent pipe vs transit)."""
+
+from conftest import run_once
+
+
+def test_ablation_queueing(benchmark):
+    result = run_once(benchmark, "ablation_queueing", seed=0, scale=1.0)
+    m = result.metrics
+    assert m["bentpipe_model_wireless_fraction"] > 0.3
+    assert m["transit_model_wireless_fraction"] < 0.1
+    print()
+    print(result.render())

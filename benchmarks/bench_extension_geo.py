@@ -1,0 +1,12 @@
+"""Bench extension: GEO vs Starlink vs broadband (intro claim)."""
+
+from conftest import run_once
+
+
+def test_extension_geo(benchmark):
+    result = run_once(benchmark, "extension_geo", seed=0, scale=1.0)
+    m = result.metrics
+    assert m["broadband_rtt_ms"] < m["starlink_rtt_ms"] < m["geo_rtt_ms"]
+    assert m["geo_over_starlink"] > 3.0
+    print()
+    print(result.render())

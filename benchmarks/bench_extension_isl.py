@@ -1,0 +1,13 @@
+"""Bench extension: ISL routing vs fibre vs bent pipe (§4 takeaway)."""
+
+from conftest import run_once
+
+
+def test_extension_isl(benchmark):
+    result = run_once(benchmark, "extension_isl", seed=0, scale=1.0)
+    m = result.metrics
+    assert m["isl_beats_fibre_london_sydney"] == 1.0
+    assert m["fibre_beats_isl_short_path"] == 1.0
+    assert m["london_to_n_virginia_isl_ms"] < m["london_to_n_virginia_bentpipe_ms"]
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench extension: HTTP/3 (QUIC) vs HTTP/2 page loads on Starlink."""
+
+from conftest import run_once
+
+
+def test_extension_quic(benchmark):
+    result = run_once(benchmark, "extension_quic", seed=0, scale=1.0)
+    m = result.metrics
+    assert m["quic_speedup"] > 1.1
+    assert m["http3_quic_p90_ptt_ms"] < m["http2_tcp_tls_p90_ptt_ms"]
+    print()
+    print(result.render())

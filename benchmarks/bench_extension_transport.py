@@ -1,0 +1,11 @@
+"""Bench extension: BBR-LEO vs stock BBR (§5 takeaway)."""
+
+from conftest import run_once
+
+
+def test_extension_transport(benchmark):
+    result = run_once(benchmark, "extension_transport", seed=0, scale=0.4)
+    m = result.metrics
+    assert m["bbr_leo_norm"] >= 0.98 * m["bbr_norm"]
+    print()
+    print(result.render())

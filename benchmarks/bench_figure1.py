@@ -1,0 +1,11 @@
+"""Bench: Figure 1 — extension-user location map data."""
+
+from conftest import run_once
+
+
+def test_figure1(benchmark):
+    result = run_once(benchmark, "figure1")
+    assert result.metrics["total_users"] == 28
+    assert result.metrics["cities"] == 10
+    print()
+    print(result.render())

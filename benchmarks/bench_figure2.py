@@ -1,0 +1,12 @@
+"""Bench: Figure 2 — the measurement-node setup, instantiated."""
+
+from conftest import run_once
+
+
+def test_figure2(benchmark):
+    result = run_once(benchmark, "figure2", seed=0)
+    from repro.analysis.validation import validate_or_raise
+
+    validate_or_raise(result)
+    print()
+    print(result.render())

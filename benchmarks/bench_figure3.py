@@ -1,0 +1,20 @@
+"""Bench: Figure 3 — PTT CDFs around the Google->SpaceX AS switch."""
+
+from conftest import run_once
+
+
+def test_figure3(benchmark):
+    result = run_once(benchmark, "figure3", seed=0, scale=0.5)
+    m = result.metrics
+    # The switch is detected near its true date in both cities.
+    assert abs(m["london_detected_switch_day"] - m["london_expected_switch_day"]) < 12
+    assert abs(m["sydney_detected_switch_day"] - m["sydney_expected_switch_day"]) < 12
+    # Popular sites are faster than unpopular before and after.
+    assert (
+        m["london_popular_google_median_ptt_ms"]
+        < m["london_unpopular_google_median_ptt_ms"]
+    )
+    # PTT rises after moving off Google's AS.
+    assert m["london_popular_spacex_over_google"] > 1.0
+    print()
+    print(result.render())

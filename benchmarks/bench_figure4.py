@@ -1,0 +1,13 @@
+"""Bench: Figure 4 — weather vs Page Transit Time."""
+
+from conftest import run_once
+
+
+def test_figure4(benchmark):
+    result = run_once(benchmark, "figure4", seed=0, scale=1.0)
+    m = result.metrics
+    assert m["moderate_rain_over_clear"] > 1.4
+    assert m["moderate_rain_median_ptt_ms"] > m["light_rain_median_ptt_ms"]
+    assert m["light_rain_median_ptt_ms"] > m["clear_sky_median_ptt_ms"]
+    print()
+    print(result.render())

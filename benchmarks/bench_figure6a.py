@@ -1,0 +1,18 @@
+"""Bench: Figure 6(a) — download-throughput CDFs at the three nodes."""
+
+from conftest import run_once
+
+
+def test_figure6a(benchmark):
+    result = run_once(benchmark, "figure6a", seed=0, scale=1.0)
+    m = result.metrics
+    assert (
+        m["barcelona_median_mbps"]
+        > m["wiltshire_median_mbps"]
+        > m["north_carolina_median_mbps"]
+    )
+    # Paper: Barcelona 147 vs NC 34.3 (~4.3x); allow a generous band.
+    assert 2.5 < m["barcelona_over_nc"] < 7.0
+    assert m["north_carolina_max_mbps"] < 230.0
+    print()
+    print(result.render())

@@ -1,0 +1,13 @@
+"""Bench: Figure 6(b) — diurnal DL/UL throughput at the UK node."""
+
+from conftest import run_once
+
+
+def test_figure6b(benchmark):
+    result = run_once(benchmark, "figure6b", seed=0, scale=1.0)
+    m = result.metrics
+    assert m["night_over_evening"] > 1.6  # paper: over 2x
+    assert m["dl_max_mbps"] > 200.0       # paper: close to 300
+    assert 3.0 < m["ul_median_mbps"] < 16.0
+    print()
+    print(result.render())

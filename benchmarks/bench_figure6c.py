@@ -1,0 +1,15 @@
+"""Bench: Figure 6(c) — packet-loss CCDF."""
+
+from conftest import run_once
+
+
+def test_figure6c(benchmark):
+    result = run_once(benchmark, "figure6c", seed=0, scale=1.0)
+    m = result.metrics
+    # Paper anchors: P[loss>=5%]~0.12, P[loss>=10%]~0.06, max ~50%.
+    assert 0.05 < m["p_loss_ge_5pct"] < 0.25
+    assert 0.02 < m["p_loss_ge_10pct"] < 0.15
+    assert m["p_loss_ge_10pct"] < m["p_loss_ge_5pct"]
+    assert m["max_loss_pct"] > 20.0
+    print()
+    print(result.render())

@@ -1,0 +1,13 @@
+"""Bench: Figure 7 — loss clumps vs satellite line of sight."""
+
+from conftest import run_once
+
+
+def test_figure7(benchmark):
+    result = run_once(benchmark, "figure7", seed=0, scale=1.0)
+    m = result.metrics
+    assert m["n_handovers"] >= 3
+    assert m["clump_handover_association"] > 0.8
+    assert m["serving_satellites"] >= 2
+    print()
+    print(result.render())

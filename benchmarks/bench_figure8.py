@@ -1,0 +1,22 @@
+"""Bench: Figure 8 — congestion control on Starlink vs campus Wi-Fi."""
+
+from conftest import run_once
+
+
+def test_figure8(benchmark):
+    result = run_once(benchmark, "figure8", seed=0, scale=0.4)
+    m = result.metrics
+    ccas = ("bbr", "cubic", "reno", "veno", "vegas")
+    # BBR wins on Starlink but is far from the UDP-achievable rate.
+    best_other = max(m[f"{cc}_starlink_norm"] for cc in ccas if cc != "bbr")
+    assert m["bbr_starlink_norm"] > 2 * best_other
+    assert m["bbr_starlink_norm"] < 0.9
+    # Clean Wi-Fi: BBR above 0.9, loss-based algorithms near capacity.
+    assert m["bbr_wifi_norm"] > 0.85
+    for cc in ("cubic", "reno", "veno"):
+        assert m[f"{cc}_wifi_norm"] > 0.9
+    # Every CCA does much better on Wi-Fi than on Starlink.
+    for cc in ccas:
+        assert m[f"{cc}_wifi_norm"] > m[f"{cc}_starlink_norm"]
+    print()
+    print(result.render())

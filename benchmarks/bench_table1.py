@@ -1,0 +1,12 @@
+"""Bench: Table 1 — city-wise #req/#domain/median PTT."""
+
+from conftest import run_once
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, "table1", seed=0, scale=0.15)
+    m = result.metrics
+    assert m["london_starlink_median_ptt_ms"] < m["london_non_starlink_median_ptt_ms"]
+    assert m["sydney_over_london_starlink"] > 1.3
+    print()
+    print(result.render())

@@ -1,0 +1,17 @@
+"""Bench: Table 2 — max-min queueing delay per node."""
+
+from conftest import run_once
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, "table2", seed=0, scale=1.0)
+    m = result.metrics
+    assert (
+        m["north_carolina_wireless_median_ms"]
+        > m["wiltshire_wireless_median_ms"]
+        > m["barcelona_wireless_median_ms"]
+    )
+    for node in ("north_carolina", "wiltshire", "barcelona"):
+        assert m[f"{node}_wireless_fraction"] > 0.35
+    print()
+    print(result.render())

@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one paper artefact via the experiment
+harness and asserts its headline shape findings, so ``pytest
+benchmarks/ --benchmark-only`` both times the reproduction and verifies
+it.  Experiments run once per benchmark (rounds=1): they are seeded
+end-to-end, so repetition would only re-measure identical work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def run_once(benchmark, experiment_id: str, seed: int = 0, scale: float = 1.0):
+    """Benchmark one experiment execution and return its result."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"seed": seed, "scale": scale},
+        rounds=1,
+        iterations=1,
+    )
+    return result

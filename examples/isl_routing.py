@@ -1,0 +1,70 @@
+"""Routing over inter-satellite links (the paper's §4 outlook).
+
+Builds a +grid laser topology over Starlink shell 1 and races three
+ways of moving a packet from London to Sydney: terrestrial fibre, the
+measured bent-pipe-then-fibre architecture, and a latency-optimal path
+entirely through space.  Shows the crossover the paper anticipates:
+space wins on long routes because light in vacuum beats light in fibre
+by half again.
+
+Run:
+    python examples/isl_routing.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.geo.cities import city
+from repro.orbits.constellation import starlink_shell1
+from repro.orbits.isl import IslNetwork
+from repro.starlink.access import terrestrial_delay_s
+from repro.starlink.bentpipe import BentPipeModel
+from repro.starlink.pop import pop_for_city
+
+PAIRS = [
+    ("london", "gcp_london"),
+    ("london", "n_virginia"),
+    ("seattle", "n_virginia"),
+    ("london", "sydney"),
+]
+
+
+def main() -> None:
+    shell = starlink_shell1(n_planes=36, sats_per_plane=18)
+    isl = IslNetwork(shell)
+    print(f"+grid ISL topology: {len(shell)} satellites, {isl.n_isls} laser links\n")
+
+    rows = []
+    for src_name, dst_name in PAIRS:
+        src, dst = city(src_name).location, city(dst_name).location
+        fibre_ms = terrestrial_delay_s(src, dst) * 1000.0
+        paths = [isl.route(src, dst, float(t)) for t in np.linspace(0, 600, 5)]
+        isl_ms = float(np.median([p.latency_s for p in paths])) * 1000.0
+        bp_city = src_name if src_name != "gcp_london" else "london"
+        bentpipe = BentPipeModel(shell, src, pop_for_city(bp_city).gateway, bp_city)
+        bent_ms = (
+            bentpipe.base_one_way_delay_s(0.0) + terrestrial_delay_s(bentpipe.gateway, dst)
+        ) * 1000.0
+        winner = min(
+            (("fibre", fibre_ms), ("ISL", isl_ms), ("bent pipe", bent_ms)),
+            key=lambda kv: kv[1],
+        )[0]
+        rows.append([f"{src_name}->{dst_name}", fibre_ms, isl_ms, bent_ms, winner])
+
+    print(
+        format_table(
+            ["pair", "fibre (ms)", "ISL (ms)", "bent pipe+fibre (ms)", "winner"],
+            rows,
+            title="One-way latency by transport medium",
+        )
+    )
+
+    london, sydney = city("london").location, city("sydney").location
+    path = isl.route(london, sydney, 0.0)
+    print(f"\nLondon -> Sydney space path: {path.n_isl_hops} ISL hops, "
+          f"{path.distance_m / 1000:.0f} km, {path.latency_s * 1000:.1f} ms")
+    print("Via: " + " -> ".join(path.hops[:6]) + (" -> ..." if len(path.hops) > 6 else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""A day in the life of a volunteer measurement node (§3.2 scenario).
+
+Reproduces the RPi's cron-driven routine for the Barcelona node: a
+speedtest every 30 minutes, an mtr run and a dishy-API poll every few
+hours, and a packet-level iperf3 download — everything the paper's
+Figure 6 and Table 2 are distilled from.
+
+Run:
+    python examples/measurement_node_day.py
+"""
+
+import numpy as np
+
+from repro.analysis.queueing import max_min_queueing
+from repro.analysis.tables import format_table
+from repro.nodes.cron import cron_times
+from repro.nodes.rpi import MeasurementNode
+from repro.orbits.constellation import starlink_shell1
+from repro.timeline import t_to_isoformat
+from repro.weather.history import WeatherHistory
+
+
+def main() -> None:
+    shell = starlink_shell1(n_planes=36, sats_per_plane=18)
+    weather = WeatherHistory(seed=9, duration_s=3 * 86_400.0)
+    node = MeasurementNode("barcelona", shell=shell, weather=weather, seed=9)
+    print(f"Node: {node.city.display_name} -> server {node.server_city.display_name}\n")
+
+    # Half-hourly speedtests over one day.
+    tests = [(t, node.speedtest(t)) for t in cron_times(0.0, 86_400.0, 1800.0)]
+    downloads = [s.download_mbps for _, s in tests]
+    print(f"48 cron speedtests: median {np.median(downloads):.0f} Mbps, "
+          f"min {min(downloads):.0f}, max {max(downloads):.0f} "
+          f"(paper: Barcelona median 147 Mbps)\n")
+
+    # Every 4 hours: dishy snapshot.
+    rows = []
+    for t in cron_times(0.0, 86_400.0, 4 * 3600.0):
+        status = node.dishy_status(t)
+        rows.append(
+            [
+                t_to_isoformat(t),
+                status.serving_satellite or "-",
+                float(status.pop_ping_latency_ms),
+                float(status.downlink_throughput_mbps),
+                status.weather,
+            ]
+        )
+    print(
+        format_table(
+            ["time", "serving satellite", "pop ping (ms)", "DL (Mbps)", "weather"],
+            rows,
+            title="Dishy API polls",
+        )
+    )
+
+    # One mtr run with the Table 2 estimator.
+    report = node.mtr(10 * 3600.0, cycles=30)
+    pop_hop = report.hop_by_responder("starlink-pop")
+    last_hop = report.hops[-1]
+    wireless = max_min_queueing([r / 1000.0 for r in (pop_hop.min_ms, pop_hop.median_ms, pop_hop.max_ms)])
+    print("\nmtr (30 cycles):")
+    for hop in report.hops:
+        print(f"  {hop.ttl:2d} {hop.responder or '???':22s} "
+              f"min {hop.min_ms:6.1f}  med {hop.median_ms:6.1f}  max {hop.max_ms:6.1f} ms")
+    print(f"\nMax-min queueing estimate on the bent-pipe hop: "
+          f"median {pop_hop.median_ms - pop_hop.min_ms:.1f} ms, "
+          f"max {pop_hop.max_ms - pop_hop.min_ms:.1f} ms "
+          f"(paper Barcelona: 16.5 / 20.0 ms)")
+
+    # A packet-level iperf3 download.
+    result = node.iperf(2 * 3600.0, cc="bbr", duration_s=5.0)
+    print(f"\niperf3 (BBR, 5 s): {result.goodput_mbps:.0f} Mbps, "
+          f"{result.retransmits} retransmits, min RTT {result.min_rtt_ms:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

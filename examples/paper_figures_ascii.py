@@ -1,0 +1,40 @@
+"""Draw the paper's figures in the terminal.
+
+Regenerates Figures 6(a), 6(b) and 6(c) with the experiment harness and
+renders them as ASCII plots — CDF curves, a diurnal time series and a
+loss CCDF — so the shapes can be eyeballed against the paper without a
+plotting stack.
+
+Run (takes ~1 minute):
+    python examples/paper_figures_ascii.py
+"""
+
+from repro.analysis.plotting import ascii_cdf, sparkline, timeseries_plot
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    print("Figure 6(a): download-throughput CDFs at the three nodes")
+    print("(paper: Barcelona median 147 Mbps, North Carolina 34.3 Mbps)\n")
+    fig6a = run_experiment("figure6a", seed=0, scale=0.6)
+    print(ascii_cdf(fig6a.series, width=64, height=14, label="Mbps"))
+
+    print("\n\nFigure 6(b): UK DL throughput, 11-13 Apr 2022 (half-hourly)")
+    print("(paper: night maxima over 2x the evening minima, peaks near 300)\n")
+    fig6b = run_experiment("figure6b", seed=0)
+    times = [t for t, _, _ in fig6b.samples]
+    downloads = [dl for _, dl, _ in fig6b.samples]
+    print(timeseries_plot(times, downloads, width=72, height=12, label="campaign s"))
+    print("\nDL sparkline: " + sparkline(downloads, width=72))
+
+    print("\n\nFigure 6(c): packet-loss CCDF at the UK receiver")
+    print("(paper: P[loss>=5%]~0.12, P[loss>=10%]~0.06, max ~50%)\n")
+    fig6c = run_experiment("figure6c", seed=0, scale=0.5)
+    print(ascii_cdf(fig6c.series, width=64, height=14, label="loss %"))
+    print(f"\nmeasured: P[>=5%]={fig6c.metrics['p_loss_ge_5pct']:.2f}, "
+          f"P[>=10%]={fig6c.metrics['p_loss_ge_10pct']:.2f}, "
+          f"max={fig6c.metrics['max_loss_pct']:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: a miniature browser-extension campaign.
+
+Builds the Starlink substrate (constellation, weather, bent pipes),
+runs a one-week measurement campaign with the paper's 28-user
+population restricted to the three deep-dive cities, and prints the
+Table-1-style summary plus one dishy-API snapshot.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.extension import CampaignConfig, ExtensionCampaign
+from repro.starlink.dish import Dish
+
+
+def main() -> None:
+    config = CampaignConfig(
+        seed=7,
+        duration_s=7 * 86_400.0,  # one simulated week
+        request_fraction=0.3,
+        cities=("london", "seattle", "sydney"),
+    )
+    campaign = ExtensionCampaign(config)
+    print("Running a one-week extension campaign (3 cities, 17 users)...")
+    dataset = campaign.run()
+    print(f"Collected {len(dataset.page_loads)} page loads, "
+          f"{len(dataset.speedtests)} speedtests.\n")
+
+    rows = []
+    for city_name in ("london", "seattle", "sydney"):
+        rows.append(
+            [
+                city_name,
+                dataset.request_count(city=city_name, is_starlink=True),
+                dataset.median_ptt_ms(city=city_name, is_starlink=True),
+                dataset.request_count(city=city_name, is_starlink=False),
+                dataset.median_ptt_ms(city=city_name, is_starlink=False),
+            ]
+        )
+    print(
+        format_table(
+            ["city", "SL #req", "SL med PTT (ms)", "non #req", "non med PTT (ms)"],
+            rows,
+            title="Table-1-style summary (paper: London 327/443, "
+            "Seattle 395/566, Sydney 622/675 ms)",
+        )
+    )
+
+    dish = Dish(campaign.bentpipe_for_city("london"))
+    status = dish.status(3 * 86_400.0)
+    print("\nDishy API snapshot (London, day 3):")
+    print(f"  state:       {status.state.value}")
+    print(f"  serving:     {status.serving_satellite}")
+    print(f"  az/el:       {status.azimuth_deg:.1f} / {status.elevation_deg:.1f} deg")
+    print(f"  pop ping:    {status.pop_ping_latency_ms:.1f} ms")
+    print(f"  throughput:  {status.downlink_throughput_mbps:.0f} / "
+          f"{status.uplink_throughput_mbps:.1f} Mbps")
+    print(f"  weather:     {status.weather}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+environments whose setuptools lacks the ``wheel`` package (PEP 660
+editable installs need it; the legacy ``setup.py develop`` path does
+not).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

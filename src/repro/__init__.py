@@ -1,0 +1,27 @@
+"""repro — reproduction of "A Browser-side View of Starlink Connectivity".
+
+A full synthetic reimplementation of the paper's measurement pipeline
+(IMC 2022): a Walker-delta LEO constellation with J2 propagation and
+TLE I/O, a packet-level network simulator with TCP (BBR / CUBIC / Reno
+/ Veno / Vegas), weather-driven rain fade, the Starlink bent-pipe
+service model, the browser-extension campaign and the volunteer
+measurement nodes — plus the analysis and experiment harness that
+regenerates every table and figure.
+
+Quick start::
+
+    from repro.extension import ExtensionCampaign, CampaignConfig
+
+    dataset = ExtensionCampaign(
+        CampaignConfig(seed=1, duration_s=7 * 86400, request_fraction=0.2)
+    ).run()
+    print(dataset.median_ptt_ms(city="london", is_starlink=True))
+
+See the ``examples/`` directory and DESIGN.md for the full map.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,48 @@
+"""Detecting the exit-AS migration in the dataset (Figure 3).
+
+The paper discovered the Google->SpaceX exit migration *from the data*:
+Starlink users' requests were initially classified under AS36492
+(Google) and later under AS14593 (SpaceX).  These helpers find the
+switch time in a record stream and split distributions around it.
+"""
+
+from __future__ import annotations
+
+from repro.constants import AS_GOOGLE, AS_SPACEX
+from repro.errors import DatasetError
+from repro.extension.records import PageLoadRecord
+
+
+def detect_as_switch_time(records: list[PageLoadRecord]) -> float | None:
+    """First timestamp at which a Starlink record shows AS14593.
+
+    Returns None if no record on the SpaceX AS exists (no switch
+    observable), and raises if the stream contains no Starlink records
+    at all.
+
+    Raises:
+        DatasetError: if no Starlink records are present.
+    """
+    starlink = sorted(
+        (r for r in records if r.is_starlink), key=lambda r: r.t_s
+    )
+    if not starlink:
+        raise DatasetError("no Starlink records to detect an AS switch in")
+    spacex_times = [r.t_s for r in starlink if r.exit_asn == AS_SPACEX]
+    if not spacex_times:
+        return None
+    first_spacex = min(spacex_times)
+    # A city on SpaceX's AS throughout (like Seattle) has no *change*.
+    google_before = any(
+        r.exit_asn == AS_GOOGLE and r.t_s < first_spacex for r in starlink
+    )
+    return first_spacex if google_before else None
+
+
+def split_around(
+    records: list[PageLoadRecord], switch_t_s: float
+) -> tuple[list[PageLoadRecord], list[PageLoadRecord]]:
+    """(before, after) partitions of a record stream around a time."""
+    before = [r for r in records if r.t_s < switch_t_s]
+    after = [r for r in records if r.t_s >= switch_t_s]
+    return before, after

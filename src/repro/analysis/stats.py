@@ -1,0 +1,88 @@
+"""Empirical distribution helpers (CDF, CCDF, percentiles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def median(values) -> float:
+    """Median of a non-empty sequence.
+
+    Raises:
+        DatasetError: on an empty input.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise DatasetError("median of empty data")
+    return float(np.median(array))
+
+
+def percentile(values, q: float) -> float:
+    """q-th percentile (0-100) of a non-empty sequence."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise DatasetError("percentile of empty data")
+    return float(np.percentile(array, q))
+
+
+def ecdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, P[X <= x]).
+
+    Raises:
+        DatasetError: on empty input.
+    """
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        raise DatasetError("ecdf of empty data")
+    probabilities = np.arange(1, array.size + 1) / array.size
+    return array, probabilities
+
+
+def ccdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF: returns (sorted values, P[X >= x])."""
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        raise DatasetError("ccdf of empty data")
+    probabilities = 1.0 - np.arange(array.size) / array.size
+    return array, probabilities
+
+
+def ccdf_at(values, threshold: float) -> float:
+    """P[X >= threshold] from the empirical distribution."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise DatasetError("ccdf_at of empty data")
+    return float(np.mean(array >= threshold))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    min: float
+    p25: float
+    median: float
+    p75: float
+    max: float
+    mean: float
+
+
+def summarize(values) -> Summary:
+    """Summary statistics of a non-empty sequence."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise DatasetError("summary of empty data")
+    return Summary(
+        n=int(array.size),
+        min=float(array.min()),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.median(array)),
+        p75=float(np.percentile(array, 75)),
+        max=float(array.max()),
+        mean=float(array.mean()),
+    )

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    title: str | None = None,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are formatted with ``float_format``; everything else via
+    ``str``.  Raises on ragged rows.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}: {row!r}"
+            )
+        rendered_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

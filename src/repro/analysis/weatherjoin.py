@@ -1,0 +1,39 @@
+"""Joining PTT records with weather history (Figure 4).
+
+For each PTT record from a Starlink user in a city, retrieve the
+weather condition at its timestamp (the paper queries the
+OpenWeatherMap history API) and bucket the PTT distribution per
+condition, ordered by increasing cloud cover.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import Summary, summarize
+from repro.extension.records import PageLoadRecord
+from repro.weather.conditions import WEATHER_CONDITIONS, WeatherCondition
+from repro.weather.history import WeatherHistory
+
+
+def ptt_by_condition(
+    records: list[PageLoadRecord],
+    weather: WeatherHistory,
+    city_name: str,
+    min_samples: int = 3,
+) -> dict[WeatherCondition, Summary]:
+    """PTT (ms) summaries per weather condition for one city's records.
+
+    Conditions with fewer than ``min_samples`` records are omitted
+    (they would make medians meaningless).  Keys iterate in
+    increasing-severity order.
+    """
+    buckets: dict[WeatherCondition, list[float]] = {c: [] for c in WEATHER_CONDITIONS}
+    for record in records:
+        if record.city != city_name:
+            continue
+        condition = weather.condition_at(city_name, record.t_s)
+        buckets[condition].append(record.ptt_ms)
+    return {
+        condition: summarize(values)
+        for condition, values in buckets.items()
+        if len(values) >= min_samples
+    }

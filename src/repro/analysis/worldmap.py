@@ -1,0 +1,98 @@
+"""ASCII world map for Figure 1's user-location scatter.
+
+An equirectangular grid with a coarse embedded landmass sketch (enough
+to orient the eye: the Americas, Europe/Africa, Asia, Australia),
+overlaid with markers at city coordinates.  Deterministic output, so
+tests can assert marker placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+
+#: Very coarse land boxes (lat_min, lat_max, lon_min, lon_max) — a
+#: cartographer would weep, but it orients the scatter.
+_LAND_BOXES = [
+    (25, 70, -165, -55),   # North America
+    (-55, 10, -80, -35),   # South America
+    (36, 70, -10, 60),     # Europe
+    (-35, 35, -18, 50),    # Africa
+    (5, 75, 60, 180),      # Asia
+    (-43, -11, 113, 154),  # Australia
+]
+
+
+@dataclass(frozen=True)
+class MapMarker:
+    """One labelled point on the map."""
+
+    label: str  # single character drawn at the location
+    latitude_deg: float
+    longitude_deg: float
+    legend: str = ""
+
+
+def _to_cell(lat: float, lon: float, width: int, height: int) -> tuple[int, int]:
+    col = int((lon + 180.0) / 360.0 * (width - 1))
+    row = int((90.0 - lat) / 180.0 * (height - 1))
+    return max(0, min(height - 1, row)), max(0, min(width - 1, col))
+
+
+def render_world_map(
+    markers: list[MapMarker], width: int = 76, height: int = 22
+) -> str:
+    """Render markers over the landmass sketch.
+
+    Raises:
+        DatasetError: if no markers are given.
+    """
+    if not markers:
+        raise DatasetError("no markers to draw")
+    grid = [[" "] * width for _ in range(height)]
+    for lat_min, lat_max, lon_min, lon_max in _LAND_BOXES:
+        for lat in range(int(lat_min), int(lat_max), 4):
+            for lon in range(int(lon_min), int(lon_max), 3):
+                row, col = _to_cell(lat + 2.0, lon + 1.5, width, height)
+                grid[row][col] = "."
+    for marker in markers:
+        row, col = _to_cell(marker.latitude_deg, marker.longitude_deg, width, height)
+        grid[row][col] = marker.label[0]
+    lines = ["+" + "-" * width + "+"]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    legends = [f"{m.label[0]} {m.legend}" for m in markers if m.legend]
+    if legends:
+        lines.append("  " + "   ".join(legends))
+    return "\n".join(lines)
+
+
+def user_population_map(population=None, seed: int = 0) -> str:
+    """Figure 1: the extension userbase on a world map.
+
+    Starlink-only cities get ``S``, mixed cities ``M``, non-Starlink-only
+    cities ``o``.
+    """
+    from repro.extension.users import UserPopulation
+    from repro.geo.cities import city
+
+    if population is None:
+        population = UserPopulation(seed=seed)
+    markers = []
+    for city_name in population.cities:
+        users = population.in_city(city_name)
+        has_starlink = any(u.isp.is_starlink for u in users)
+        has_other = any(not u.isp.is_starlink for u in users)
+        label = "M" if has_starlink and has_other else ("S" if has_starlink else "o")
+        location = city(city_name)
+        markers.append(
+            MapMarker(
+                label=label,
+                latitude_deg=location.location.latitude_deg,
+                longitude_deg=location.location.longitude_deg,
+            )
+        )
+    rendered = render_world_map(markers)
+    return rendered + "\n  S Starlink-only city   M mixed city   o non-Starlink city"

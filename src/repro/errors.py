@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystem-specific subclasses allow
+finer-grained handling (for example, distinguishing a malformed TLE from a
+simulation misconfiguration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class TLEError(ReproError):
+    """A Two-Line Element set could not be parsed or validated."""
+
+
+class PropagationError(ReproError):
+    """Orbit propagation failed (e.g. non-convergent Kepler solve)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class RoutingError(SimulationError):
+    """A packet could not be forwarded (no route / no such node)."""
+
+
+class FlowError(ReproError):
+    """A transport flow was driven through an invalid state transition."""
+
+
+class DatasetError(ReproError):
+    """A measurement dataset is missing required fields or records."""
+
+
+class VisibilityError(ReproError):
+    """No satellite is visible when one is required (coverage gap)."""

@@ -1,0 +1,101 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments table1 [--seed N] [--scale F]
+    python -m repro.experiments all --scale 0.3
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (e.g. table1, figure6a) or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--dump-series",
+        metavar="DIR",
+        help="write any figure series (CDFs, time series) as CSV files",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="evaluate the paper's shape checks and exit non-zero on failure",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    any_failed = False
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, seed=args.seed, scale=args.scale)
+        print(result.render())
+        if args.validate:
+            from repro.analysis.validation import validate
+
+            for outcome in validate(result):
+                marker = "PASS" if outcome.passed else "FAIL"
+                print(f"  [{marker}] {outcome.description}")
+                if not outcome.passed:
+                    any_failed = True
+        if args.dump_series:
+            written = dump_series(result, args.dump_series)
+            for path in written:
+                print(f"series -> {path}")
+        print(f"[{experiment_id} in {time.time() - started:.1f}s]")
+        print()
+    return 1 if any_failed else 0
+
+
+def dump_series(result, directory: str) -> list[str]:
+    """Write a result's plottable series as CSV files; returns paths."""
+    import csv
+    import os
+    import re
+
+    series = getattr(result, "series", None)
+    samples = getattr(result, "samples", None)
+    os.makedirs(directory, exist_ok=True)
+    written: list[str] = []
+    if series:
+        for name, (xs, ys) in series.items():
+            slug = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+            path = os.path.join(directory, f"{result.experiment_id}_{slug}.csv")
+            with open(path, "w", newline="", encoding="utf-8") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["x", "y"])
+                writer.writerows(zip(xs, ys))
+            written.append(path)
+    if samples:
+        path = os.path.join(directory, f"{result.experiment_id}_samples.csv")
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerows(samples)
+        written.append(path)
+    return written
+
+
+if __name__ == "__main__":
+    sys.exit(main())

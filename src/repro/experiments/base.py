@@ -1,0 +1,61 @@
+"""Experiment framework: one runnable unit per paper table/figure.
+
+Each experiment module exposes ``run(seed=0, scale=1.0) ->
+ExperimentResult``.  ``scale`` shrinks sample counts for quick runs
+(benchmarks use ~0.3, tests less); the *shape* targets hold at any
+reasonable scale.  Results carry both the measured rows and the paper's
+reference values so the harness prints them side by side, and a
+``metrics`` dict that tests and EXPERIMENTS.md key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes:
+        experiment_id: e.g. ``table1`` / ``figure6a``.
+        title: Human-readable description.
+        headers: Column names of the result table.
+        rows: Result rows (mixed str/float cells).
+        metrics: Named scalar results for assertions and EXPERIMENTS.md.
+        paper_reference: The corresponding values reported in the paper.
+        notes: Substitutions/caveats worth surfacing with the result.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+    paper_reference: dict[str, float | str] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Printable report: table, metrics, and paper reference."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        if self.metrics:
+            parts.append("metrics:")
+            for key, value in self.metrics.items():
+                parts.append(f"  {key} = {value:.4g}" if isinstance(value, float) else f"  {key} = {value}")
+        if self.paper_reference:
+            parts.append("paper reference:")
+            for key, value in self.paper_reference.items():
+                parts.append(f"  {key} = {value}")
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+
+def scaled(value: float, scale: float, minimum: float = 1) -> int:
+    """Scale a sample count, clamped below at ``minimum``."""
+    return max(int(minimum), int(round(value * scale)))

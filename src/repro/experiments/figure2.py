@@ -1,0 +1,74 @@
+"""Figure 2: the volunteer measurement-node setup.
+
+The paper's Figure 2 is a schematic: home router -> dish ("dishy") ->
+satellite -> Google-cloud ground location, with an RPi wired to the
+receiver running speedtest/iperf3/mtr on cron and reachable over a
+reverse ssh tunnel.  The reproduction's equivalent artefact is the
+*instantiated* setup: for each node, the dish geometry, serving PoP and
+gateway, the hand-coded nearest Google Cloud measurement server, the
+cron jobs, and a live dishy snapshot — verifying every element of the
+schematic exists and is wired together.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.geo.cities import NEAREST_GCP, city
+from repro.geo.coordinates import great_circle_distance_m
+from repro.nodes.rpi import NODE_CITIES, MeasurementNode
+from repro.orbits.constellation import starlink_shell1
+from repro.starlink.pop import pop_for_city
+from repro.weather.history import WeatherHistory
+
+CRON_JOBS = (("speedtest", 300.0), ("iperf3", 1800.0), ("mtr", 21_600.0))
+"""The RPi's measurement cron table (name, period seconds); the paper
+states the speedtest utility runs every 5 minutes."""
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    """Instantiate all three nodes and tabulate the Figure 2 wiring."""
+    shell = starlink_shell1(n_planes=36, sats_per_plane=18)
+    weather = WeatherHistory(seed=seed, duration_s=86_400.0)
+    headers = [
+        "node",
+        "serving PoP",
+        "gateway dist (km)",
+        "GCP server",
+        "serving satellite (t=1h)",
+        "pop ping (ms)",
+    ]
+    rows = []
+    metrics: dict[str, float] = {}
+    for city_name in NODE_CITIES:
+        node = MeasurementNode(city_name, shell=shell, weather=weather, seed=seed)
+        pop = pop_for_city(city_name)
+        gateway_km = great_circle_distance_m(city(city_name).location, pop.gateway) / 1000.0
+        status = node.dishy_status(3600.0)
+        rows.append(
+            [
+                city_name,
+                pop.name,
+                gateway_km,
+                NEAREST_GCP[city_name],
+                status.serving_satellite or "searching",
+                float(status.pop_ping_latency_ms),
+            ]
+        )
+        metrics[f"{city_name}_gateway_km"] = gateway_km
+        metrics[f"{city_name}_pop_ping_ms"] = float(status.pop_ping_latency_ms)
+        metrics[f"{city_name}_connected"] = float(status.serving_satellite is not None)
+    metrics["n_nodes"] = float(len(NODE_CITIES))
+    metrics["cron_jobs"] = float(len(CRON_JOBS))
+
+    return ExperimentResult(
+        experiment_id="figure2",
+        title="Volunteer measurement-node setup (dish -> satellite -> PoP -> GCP)",
+        headers=headers,
+        rows=rows,
+        metrics=metrics,
+        paper_reference={
+            "nodes": "3 volunteers: North Carolina (US), Wiltshire (UK), Barcelona (ES)",
+            "path": "home router -> dishy -> satellite -> Google cloud location",
+            "cron": "speedtest every 5 minutes; iperf3/mtr/traceroute via remote access",
+        },
+    )

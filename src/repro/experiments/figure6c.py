@@ -1,0 +1,57 @@
+"""Figure 6(c): packet-loss CCDF at the London/Wiltshire receiver.
+
+Loss measured during the node's UDP tests.  Paper anchors: loss rates
+up to ~50%; P[loss >= 5%] ~= 0.12; P[loss >= 10%] ~= 0.06 — "highly
+unusual for modern networks", and attributed (Figure 7) to satellite
+handovers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import ccdf, ccdf_at
+from repro.experiments.base import ExperimentResult, scaled
+from repro.nodes.rpi import MeasurementNode
+from repro.orbits.constellation import starlink_shell1
+from repro.rng import stream
+from repro.weather.history import WeatherHistory
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    """Run many UDP loss tests and compute the loss CCDF."""
+    n_tests = scaled(400, scale, minimum=80)
+    shell = starlink_shell1(n_planes=36, sats_per_plane=18)
+    weather = WeatherHistory(seed=seed, duration_s=10 * 86_400.0)
+    node = MeasurementNode("wiltshire", shell=shell, weather=weather, seed=seed)
+    rng = stream(seed, "figure6c")
+    times = np.sort(rng.uniform(0.0, 9 * 86_400.0, n_tests))
+    losses = np.array([node.udp_loss_test(float(t)) * 100.0 for t in times])
+
+    metrics = {
+        "p_loss_ge_5pct": ccdf_at(losses, 5.0),
+        "p_loss_ge_10pct": ccdf_at(losses, 10.0),
+        "max_loss_pct": float(losses.max()),
+        "median_loss_pct": float(np.median(losses)),
+        "n_tests": float(n_tests),
+    }
+    values, probabilities = ccdf(losses)
+    headers = ["loss >= (%)", "CCDF"]
+    rows = [
+        [float(threshold), float(ccdf_at(losses, threshold))]
+        for threshold in (0.5, 1, 2, 5, 10, 20, 30, 40, 50)
+    ]
+    result = ExperimentResult(
+        experiment_id="figure6c",
+        title="Packet-loss CCDF (UK node UDP tests)",
+        headers=headers,
+        rows=rows,
+        metrics=metrics,
+        paper_reference={
+            "p_loss_ge_5pct": 0.12,
+            "p_loss_ge_10pct": 0.06,
+            "max_loss_pct": "~50",
+        },
+    )
+    result.series = {"ccdf": (values, probabilities)}
+    return result

@@ -1,0 +1,102 @@
+"""Figure 7: loss bursts coincide with the serving satellite leaving LoS.
+
+A 12-minute window at the UK receiver: per-second UDP loss alongside
+the slant ranges of the satellites serving during the window (distance
+zeroed when out of sight, as in the paper's plot, which tracks
+STARLINK-2356/1636/2365/2370 from CelesTrak TLEs).  Paper finding: each
+clump of packet loss is associated with a satellite going out of line
+of sight — i.e. handovers cause the loss bursts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.nodes.rpi import MeasurementNode
+from repro.orbits.constellation import starlink_shell1
+from repro.orbits.visibility import distance_series
+from repro.rng import stream
+from repro.weather.history import WeatherHistory
+
+WINDOW_S = 720.0
+PROBE_RATE_PPS = 1000.0
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    """Produce the per-second loss series and satellite-range tracks."""
+    shell = starlink_shell1(n_planes=36, sats_per_plane=18)
+    weather = WeatherHistory(seed=seed, duration_s=2 * 86_400.0)
+    node = MeasurementNode("wiltshire", shell=shell, weather=weather, seed=seed)
+    start = 8 * 3600.0  # a random mid-morning window
+
+    loss_model, events, samples = node.bentpipe.handover_loss_model(
+        start, start + WINDOW_S, seed=seed, time_offset_s=start
+    )
+    # Keep only the displayed window (the model tracks from a warm-up).
+    events = [e for e in events if e.t_s >= start]
+    samples = [s for s in samples if s.t_s >= start]
+    rng = stream(seed, "figure7")
+    seconds = np.arange(0.0, WINDOW_S, 1.0)
+    loss_pct = np.array(
+        [
+            100.0
+            * rng.binomial(
+                int(PROBE_RATE_PPS), min(1.0, loss_model.loss_probability_at(float(t)))
+            )
+            / PROBE_RATE_PPS
+            for t in seconds
+        ]
+    )
+
+    serving_names = sorted({s.serving for s in samples if s.serving is not None})
+    ranges = distance_series(
+        shell, node.city.location, serving_names, start, start + WINDOW_S, 1.0
+    )
+
+    # Correlation check: how many loss clumps sit near a handover event?
+    event_times = np.array([e.t_s - start for e in events])
+    clump_seconds = seconds[loss_pct >= 5.0]
+    near_handover = 0
+    for t in clump_seconds:
+        if event_times.size and np.min(np.abs(event_times - t)) <= 6.0:
+            near_handover += 1
+    association = near_handover / len(clump_seconds) if len(clump_seconds) else 1.0
+
+    metrics = {
+        "n_handovers": float(len(events)),
+        "n_loss_clump_seconds": float(len(clump_seconds)),
+        "clump_handover_association": float(association),
+        "max_loss_pct": float(loss_pct.max()),
+        "serving_satellites": float(len(serving_names)),
+    }
+    headers = ["t (s)", "handover", "loss (%)"]
+    rows = []
+    for event in events:
+        t_rel = event.t_s - start
+        rows.append(
+            [
+                float(t_rel),
+                f"{event.from_satellite} -> {event.to_satellite} ({event.reason.value})",
+                float(loss_pct[min(int(t_rel), len(loss_pct) - 1)]),
+            ]
+        )
+
+    result = ExperimentResult(
+        experiment_id="figure7",
+        title="Per-second loss vs serving-satellite line of sight (12 min)",
+        headers=headers,
+        rows=rows,
+        metrics=metrics,
+        paper_reference={
+            "finding": "each loss clump coincides with a satellite leaving LoS",
+            "satellites_in_window": "4 (STARLINK-2356/1636/2365/2370)",
+            "loss_peaks_pct": "up to ~10 in the shown window",
+        },
+        notes="Range tracks (distance zeroed out of sight) in result.series.",
+    )
+    result.series = {
+        "loss_pct": (seconds, loss_pct),
+        **{name: (seconds, ranges[name]) for name in serving_names},
+    }
+    return result

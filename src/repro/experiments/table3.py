@@ -1,0 +1,74 @@
+"""Table 3: browser-speedtest median throughput of Starlink users.
+
+In-browser Librespeed runs to the Iowa server.  Paper medians:
+
+=========  ==========  ==========
+City       DL (Mbps)   UL (Mbps)
+=========  ==========  ==========
+London     123.2       11.3
+Seattle    90.3        6.6
+Toronto    65.8        6.9
+Warsaw     44.9        7.7
+=========  ==========  ==========
+
+Shape targets: London > Seattle > Toronto > Warsaw on DL despite Iowa
+being farthest from London (DL ratios ~1.4x Seattle, ~1.9x Toronto);
+London UL roughly twice Seattle/Toronto.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatasetError
+from repro.experiments.base import ExperimentResult
+from repro.extension.campaign import CampaignConfig, ExtensionCampaign
+
+CITIES = ("london", "seattle", "toronto", "warsaw")
+
+PAPER = {
+    "london": (123.2, 11.3),
+    "seattle": (90.3, 6.6),
+    "toronto": (65.8, 6.9),
+    "warsaw": (44.9, 7.7),
+}
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    """Collect in-browser speedtests in the four cities."""
+    config = CampaignConfig(
+        seed=seed,
+        duration_s=90 * 86_400.0,
+        request_fraction=0.02,  # page loads are irrelevant here
+        cities=CITIES,
+        speedtest_boost=60.0 * max(scale, 0.1),
+    )
+    dataset = ExtensionCampaign(config).run()
+
+    headers = ["city", "n tests", "DL median (Mbps)", "UL median (Mbps)"]
+    rows = []
+    metrics: dict[str, float] = {}
+    for city_name in CITIES:
+        tests = dataset.select_speedtests(city=city_name, is_starlink=True)
+        if not tests:
+            raise DatasetError(f"campaign produced no speedtests for {city_name}")
+        dl, ul = dataset.median_speedtest_mbps(city_name, is_starlink=True)
+        rows.append([city_name, len(tests), dl, ul])
+        metrics[f"{city_name}_dl_mbps"] = dl
+        metrics[f"{city_name}_ul_mbps"] = ul
+    metrics["london_over_seattle_dl"] = (
+        metrics["london_dl_mbps"] / metrics["seattle_dl_mbps"]
+    )
+    metrics["london_over_toronto_dl"] = (
+        metrics["london_dl_mbps"] / metrics["toronto_dl_mbps"]
+    )
+
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Browser speedtest medians (Starlink users, to Iowa)",
+        headers=headers,
+        rows=rows,
+        metrics=metrics,
+        paper_reference={
+            f"{c}": f"DL={v[0]} UL={v[1]} Mbps" for c, v in PAPER.items()
+        }
+        | {"ratios": "London/Seattle ~1.4x DL, London/Toronto ~1.9x DL"},
+    )

@@ -1,0 +1,47 @@
+"""The browser-extension measurement pipeline.
+
+Reproduces the paper's §3.1 data source: a Chrome/Firefox extension
+recording Page Transit/Load Times from 28 users in 10 cities (18 of
+them on Starlink), plus occasional in-browser speedtests.
+
+* :mod:`repro.extension.users` — the user population (cities, ISPs,
+  device speeds, activity rates).
+* :mod:`repro.extension.sessions` — diurnal browsing-session timestamp
+  generation, details-tab probes and speedtest events.
+* :mod:`repro.extension.connection` — per-ISP access-network models
+  (the Starlink one rides the bent pipe).
+* :mod:`repro.extension.ipinfo` — the IPinfo-style ISP classification
+  used to label users, with the IP discarded after lookup.
+* :mod:`repro.extension.privacy` — anonymous identifiers and record
+  redaction, matching the paper's ethics constraints.
+* :mod:`repro.extension.records` / :mod:`repro.extension.storage` —
+  the measurement records and the queryable dataset.
+* :mod:`repro.extension.campaign` — the end-to-end campaign driver.
+"""
+
+from repro.extension.campaign import CampaignConfig, ExtensionCampaign
+from repro.extension.connection import StarlinkConnectionModel, connection_for_user
+from repro.extension.ipinfo import IpInfo, lookup_isp
+from repro.extension.privacy import anonymous_user_id, redact_record
+from repro.extension.records import PageLoadRecord, SpeedtestRecord
+from repro.extension.sessions import SessionGenerator
+from repro.extension.storage import Dataset
+from repro.extension.users import IspKind, User, UserPopulation
+
+__all__ = [
+    "CampaignConfig",
+    "Dataset",
+    "ExtensionCampaign",
+    "IpInfo",
+    "IspKind",
+    "PageLoadRecord",
+    "SessionGenerator",
+    "SpeedtestRecord",
+    "StarlinkConnectionModel",
+    "User",
+    "UserPopulation",
+    "anonymous_user_id",
+    "connection_for_user",
+    "lookup_isp",
+    "redact_record",
+]

@@ -1,0 +1,193 @@
+"""The end-to-end extension measurement campaign.
+
+Wires the whole §3.1 pipeline together: a user population browsing with
+diurnal sessions, per-ISP connection models (Starlink users ride their
+city's bent pipe under generated weather), the Tranco list and hosting
+model, the page-load simulator, IPinfo classification, speedtests to
+the Iowa server, and the privacy-preserving dataset.
+
+A full six-month campaign reproduces the scale of the paper's ~50k
+readings in about a minute; tests and quick examples shrink
+``duration_s`` and ``request_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.extension.connection import connection_for_user
+from repro.extension.ipinfo import lookup_isp
+from repro.extension.records import PageLoadRecord, SpeedtestRecord
+from repro.extension.sessions import EventKind, SessionGenerator
+from repro.extension.storage import Dataset
+from repro.extension.users import UserPopulation
+from repro.geo.cities import city
+from repro.orbits.constellation import WalkerShell, starlink_shell1
+from repro.rng import stream
+from repro.starlink.access import terrestrial_delay_s
+from repro.starlink.asn import AsPlan
+from repro.starlink.bentpipe import BentPipeModel
+from repro.starlink.pop import pop_for_city
+from repro.timeline import CAMPAIGN_DURATION_S
+from repro.weather.history import WeatherHistory
+from repro.web.browser import PageLoadSimulator
+from repro.web.hosting import HostingModel
+from repro.web.page import PageProfileGenerator
+from repro.web.speedtest import run_browser_speedtest
+from repro.web.tranco import TrancoList
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of a campaign run.
+
+    Attributes:
+        seed: Root seed; everything derives deterministically from it.
+        duration_s: Campaign length (default: the full six months).
+        request_fraction: Scales every user's activity — 1.0 targets
+            Table 1's request counts; tests use small fractions.
+        shell_planes / shell_sats_per_plane: Constellation resolution.
+            The default 36x18 subsample keeps six-month campaigns fast;
+            geometry (altitude/inclination/mask) is unchanged.
+        cities: Restrict the population to these cities (None = all).
+        speedtest_boost: Multiplier on the (rare) speedtest rate, used
+            by speedtest-focused experiments to gather enough samples
+            without inflating page-load volume.
+    """
+
+    seed: int = 0
+    duration_s: float = CAMPAIGN_DURATION_S
+    request_fraction: float = 1.0
+    shell_planes: int = 36
+    shell_sats_per_plane: int = 18
+    cities: tuple[str, ...] | None = None
+    speedtest_boost: float = 1.0
+
+
+class ExtensionCampaign:
+    """Builds and runs one campaign, producing a :class:`Dataset`."""
+
+    def __init__(self, config: CampaignConfig | None = None) -> None:
+        self.config = config if config is not None else CampaignConfig()
+        cfg = self.config
+        self.shell: WalkerShell = starlink_shell1(
+            n_planes=cfg.shell_planes, sats_per_plane=cfg.shell_sats_per_plane
+        )
+        self.weather = WeatherHistory(seed=cfg.seed, duration_s=cfg.duration_s)
+        self.as_plan = AsPlan()
+        self.tranco = TrancoList()
+        self.hosting = HostingModel(seed=cfg.seed)
+        self.pages = PageProfileGenerator()
+        self.population = UserPopulation(seed=cfg.seed, duration_s=cfg.duration_s)
+        if cfg.cities is not None:
+            self.population.users = [
+                u for u in self.population.users if u.city_name in cfg.cities
+            ]
+        self._bentpipes: dict[str, BentPipeModel] = {}
+
+    def bentpipe_for_city(self, city_name: str) -> BentPipeModel:
+        """The (shared) bent-pipe model of a city's Starlink users."""
+        if city_name not in self._bentpipes:
+            pop = pop_for_city(city_name)
+            self._bentpipes[city_name] = BentPipeModel(
+                self.shell,
+                city(city_name).location,
+                pop.gateway,
+                city_name,
+                weather=self.weather,
+                seed=self.config.seed,
+            )
+        return self._bentpipes[city_name]
+
+    def run(self) -> Dataset:
+        """Execute the campaign and return the collected dataset."""
+        cfg = self.config
+        dataset = Dataset()
+        iowa = city("iowa")
+        for user in self.population.users:
+            if not user.shares_data:
+                continue
+            user_city = city(user.city_name)
+            bentpipe = (
+                self.bentpipe_for_city(user.city_name) if user.isp.is_starlink else None
+            )
+            connection = connection_for_user(user, bentpipe, self.as_plan, cfg.seed)
+            simulator = PageLoadSimulator(connection)
+            rng = stream(cfg.seed, "campaign", user.user_id)
+            # Scale activity without changing the population definition.
+            scaled_user = replace(
+                user, pages_per_day=user.pages_per_day * cfg.request_fraction
+            )
+            events = SessionGenerator(
+                scaled_user,
+                seed=cfg.seed,
+                details_tab_daily_rate=0.08 * cfg.request_fraction,
+                speedtest_daily_rate=0.05
+                * max(cfg.request_fraction, 0.2)
+                * cfg.speedtest_boost,
+            ).events(0.0, cfg.duration_s)
+            iowa_extra_s = terrestrial_delay_s(user_city.location, iowa.location)
+            for event in events:
+                if event.kind is EventKind.SPEEDTEST:
+                    self._record_speedtest(
+                        dataset, user, connection, event.t_s, iowa_extra_s, rng
+                    )
+                    continue
+                sites = (
+                    self.tranco.details_tab_sample(rng)
+                    if event.kind is EventKind.DETAILS_TAB
+                    else [self.tranco.organic_site(rng)]
+                )
+                for site in sites:
+                    self._record_page_load(dataset, user, connection, simulator, site, event.t_s, rng)
+        return dataset
+
+    def _record_page_load(
+        self, dataset, user, connection, simulator, site, t_s, rng
+    ) -> None:
+        user_city = city(user.city_name)
+        hosting = self.hosting.resolve(site.domain, site.rank, user_city.region)
+        profile = self.pages.draw(site, rng)
+        timing = simulator.load(
+            profile, hosting, t_s, rng, device_multiplier=user.device_multiplier
+        )
+        info = lookup_isp(user, t_s, self.as_plan)
+        dataset.add_page_load(
+            PageLoadRecord(
+                user_id=user.user_id,
+                city=info.city_name,
+                region=info.region,
+                isp=user.isp.value,
+                is_starlink=info.is_starlink,
+                exit_asn=info.asn,
+                t_s=t_s,
+                domain=site.domain,
+                rank=site.rank,
+                is_popular=site.is_popular,
+                timing=timing,
+            )
+        )
+
+    def _record_speedtest(
+        self, dataset, user, connection, t_s, iowa_extra_s, rng
+    ) -> None:
+        rtt = connection.rtt_sample_s(t_s) + 2.0 * iowa_extra_s
+        result = run_browser_speedtest(
+            t_s,
+            dl_capacity_bps=connection.bandwidth_bps(t_s),
+            ul_capacity_bps=connection.uplink_bps(t_s),
+            rtt_s=rtt,
+            rng=rng,
+        )
+        dataset.add_speedtest(
+            SpeedtestRecord(
+                user_id=user.user_id,
+                city=user.city_name,
+                isp=user.isp.value,
+                is_starlink=user.isp.is_starlink,
+                t_s=t_s,
+                download_mbps=result.download_mbps,
+                upload_mbps=result.upload_mbps,
+                ping_ms=result.ping_ms,
+            )
+        )

@@ -1,0 +1,82 @@
+"""IPinfo-style ISP classification.
+
+The paper queries the IPinfo API per web request to classify each user
+as Starlink or non-Starlink from the ISP/AS of their address, stores
+only the ISP and geography, and discards the IP.  This module is the
+offline stand-in: it resolves a user's ISP, organisation and exit AS at
+a given campaign time (Starlink users' exit AS follows the Google ->
+SpaceX migration plan) without any address ever being materialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extension.users import IspKind, User
+from repro.geo.cities import city
+from repro.starlink.asn import AsPlan
+from repro.constants import AS_GOOGLE
+
+#: Representative non-Starlink ISP per (region, kind).
+_ISP_NAMES: dict[tuple[str, str], tuple[str, int]] = {
+    ("UK", "broadband"): ("BT Group", 2856),
+    ("UK", "cellular"): ("EE Mobile", 12576),
+    ("USA", "broadband"): ("Comcast Cable", 7922),
+    ("USA", "cellular"): ("T-Mobile US", 21928),
+    ("EU", "broadband"): ("Deutsche Telekom", 3320),
+    ("EU", "cellular"): ("Orange", 5511),
+    ("AU", "broadband"): ("Telstra", 1221),
+    ("AU", "cellular"): ("Optus Mobile", 4804),
+    ("NA", "broadband"): ("Rogers Cable", 812),
+    ("NA", "cellular"): ("Bell Mobility", 577),
+}
+
+
+@dataclass(frozen=True)
+class IpInfo:
+    """What the IPinfo lookup yields (and all that is retained).
+
+    Attributes:
+        org: Organisation string, e.g. ``AS14593 Space Exploration
+            Technologies``.
+        asn: Autonomous-system number.
+        is_starlink: The classification the pipeline keys on.
+        city_name: Coarse geography retained with the record.
+        region: Coarse region label.
+    """
+
+    org: str
+    asn: int
+    is_starlink: bool
+    city_name: str
+    region: str
+
+
+def lookup_isp(user: User, t_s: float, as_plan: AsPlan | None = None) -> IpInfo:
+    """Classify a user's connection at campaign time ``t_s``."""
+    user_city = city(user.city_name)
+    if user.isp is IspKind.STARLINK:
+        plan = as_plan if as_plan is not None else AsPlan()
+        asn = plan.exit_as(user.city_name, t_s)
+        org = (
+            f"AS{asn} Google LLC"
+            if asn == AS_GOOGLE
+            else f"AS{asn} Space Exploration Technologies"
+        )
+        return IpInfo(
+            org=org,
+            asn=asn,
+            is_starlink=True,
+            city_name=user.city_name,
+            region=user_city.region,
+        )
+    name, asn = _ISP_NAMES.get(
+        (user_city.region, user.isp.value), ("Generic ISP", 64512)
+    )
+    return IpInfo(
+        org=f"AS{asn} {name}",
+        asn=asn,
+        is_starlink=False,
+        city_name=user.city_name,
+        region=user_city.region,
+    )

@@ -1,0 +1,54 @@
+"""Privacy handling: anonymous identifiers and record redaction.
+
+The paper's ethics approval requires: no datapoints that can identify a
+user, random user identifiers unlinked to offline identity, the IP
+discarded right after ISP/geo classification, and user-initiated data
+removal.  These helpers enforce the same constraints on the synthetic
+pipeline — chiefly so the test suite can assert the pipeline never
+leaks disallowed fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Any
+
+import numpy as np
+
+_ID_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+#: Fields that must never appear in a stored record.
+FORBIDDEN_FIELDS = frozenset(
+    {"ip", "ip_address", "name", "email", "mac", "address", "latitude", "longitude"}
+)
+
+
+def anonymous_user_id(rng: np.random.Generator, length: int = 12) -> str:
+    """A random opaque identifier, e.g. ``u-4k2m9x81qwe7``."""
+    chars = rng.choice(list(_ID_ALPHABET), size=length)
+    return "u-" + "".join(chars)
+
+
+def redact_record(record: Any) -> dict[str, Any]:
+    """Dataclass/dict -> storable dict with forbidden fields stripped.
+
+    Raises:
+        TypeError: for non-dataclass, non-dict inputs.
+    """
+    if is_dataclass(record) and not isinstance(record, type):
+        data = asdict(record)
+    elif isinstance(record, dict):
+        data = dict(record)
+    else:
+        raise TypeError(f"cannot redact {type(record).__name__}")
+    return {k: v for k, v in data.items() if k.lower() not in FORBIDDEN_FIELDS}
+
+
+def contains_forbidden_fields(data: dict[str, Any]) -> bool:
+    """Whether a (possibly nested) dict carries a forbidden field."""
+    for key, value in data.items():
+        if key.lower() in FORBIDDEN_FIELDS:
+            return True
+        if isinstance(value, dict) and contains_forbidden_fields(value):
+            return True
+    return False

@@ -1,0 +1,67 @@
+"""Measurement records produced by the extension."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.timing import NavigationTiming
+
+
+@dataclass(frozen=True)
+class PageLoadRecord:
+    """One page load as stored server-side.
+
+    Only privacy-safe fields are present (anonymous user id, coarse
+    geography, ISP class, timing) — no IP or URL path, just the domain
+    and its Tranco rank.
+
+    Attributes:
+        user_id: Anonymous identifier.
+        city: User's city (coarse geography from the IPinfo lookup).
+        region: Coarse region label.
+        isp: ISP class string (``starlink``/``broadband``/``cellular``).
+        is_starlink: The paper's primary split.
+        exit_asn: Exit AS at the time of the visit (Starlink users flip
+            from AS36492 to AS14593 mid-campaign).
+        t_s: Campaign timestamp of the visit.
+        domain: Site domain.
+        rank: Tranco rank.
+        is_popular: Tranco top-200 flag (Figure 3's split).
+        timing: Navigation-timing decomposition.
+    """
+
+    user_id: str
+    city: str
+    region: str
+    isp: str
+    is_starlink: bool
+    exit_asn: int
+    t_s: float
+    domain: str
+    rank: int
+    is_popular: bool
+    timing: NavigationTiming
+
+    @property
+    def ptt_ms(self) -> float:
+        """Page Transit Time, milliseconds."""
+        return self.timing.ptt_ms
+
+    @property
+    def plt_ms(self) -> float:
+        """Page Load Time, milliseconds."""
+        return self.timing.plt_ms
+
+
+@dataclass(frozen=True)
+class SpeedtestRecord:
+    """One in-browser speedtest (Table 3's data)."""
+
+    user_id: str
+    city: str
+    isp: str
+    is_starlink: bool
+    t_s: float
+    download_mbps: float
+    upload_mbps: float
+    ping_ms: float

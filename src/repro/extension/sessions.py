@@ -1,0 +1,119 @@
+"""Browsing-session timestamp generation.
+
+Users browse when awake: visits follow a diurnal intensity (evening
+heavy, overnight sparse — the paper notes PTT data is sparse at night
+because it is only gathered when the user is online).  Besides organic
+visits, the generator emits occasional *details-tab* events (which load
+the 10-site Tranco sample) and rare speedtest events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.extension.users import User
+from repro.geo.cities import city
+from repro.rng import stream
+
+SECONDS_PER_DAY = 86_400.0
+
+
+class EventKind(Enum):
+    """What the user did at a timestamp."""
+
+    ORGANIC_VISIT = "organic"
+    DETAILS_TAB = "details"
+    SPEEDTEST = "speedtest"
+
+
+@dataclass(frozen=True)
+class BrowseEvent:
+    """One timestamped user action."""
+
+    t_s: float
+    kind: EventKind
+
+
+def browsing_intensity(local_hour: float) -> float:
+    """Relative browsing intensity by local hour (integrates to ~1/24).
+
+    Bimodal: a midday shoulder and an evening peak, near-zero in the
+    small hours.
+    """
+    hour = local_hour % 24.0
+
+    def bump(centre: float, width: float, height: float) -> float:
+        distance = min(abs(hour - centre), 24.0 - abs(hour - centre))
+        return height * math.exp(-0.5 * (distance / width) ** 2)
+
+    return 0.01 + bump(13.0, 3.0, 0.6) + bump(20.5, 2.5, 1.0)
+
+
+_PEAK_INTENSITY = max(browsing_intensity(h / 4.0) for h in range(0, 96))
+_MEAN_INTENSITY = sum(browsing_intensity(h / 4.0) for h in range(0, 96)) / 96.0
+
+
+class SessionGenerator:
+    """Generates a user's event timeline over a period.
+
+    Args:
+        user: The user to generate for.
+        seed: Root seed; draws come from a user-keyed stream.
+        details_tab_daily_rate: Mean details-tab opens per day.
+        speedtest_daily_rate: Mean speedtests per day (the paper calls
+            speedtest data "even more irregular").
+    """
+
+    def __init__(
+        self,
+        user: User,
+        seed: int = 0,
+        details_tab_daily_rate: float = 0.08,
+        speedtest_daily_rate: float = 0.05,
+    ) -> None:
+        self.user = user
+        self.city = city(user.city_name)
+        self.details_tab_daily_rate = details_tab_daily_rate
+        self.speedtest_daily_rate = speedtest_daily_rate
+        self._rng = stream(seed, "sessions", user.user_id)
+
+    def _draw_times(self, start_s: float, end_s: float, daily_rate: float) -> list[float]:
+        """Thinned non-homogeneous Poisson draws over [start, end)."""
+        if end_s <= start_s:
+            raise ConfigurationError("end must exceed start")
+        duration_days = (end_s - start_s) / SECONDS_PER_DAY
+        # Thinning: draw candidates at the peak intensity, accept with
+        # probability intensity/peak.  Candidate volume is scaled by
+        # peak/mean so the *accepted* count averages daily_rate per day.
+        expected = daily_rate * duration_days * _PEAK_INTENSITY / _MEAN_INTENSITY
+        n_candidates = int(self._rng.poisson(expected))
+        times = start_s + self._rng.random(n_candidates) * (end_s - start_s)
+        kept = []
+        for t in np.sort(times):
+            local = self.city.local_hour(float(t))
+            if self._rng.random() < browsing_intensity(local) / _PEAK_INTENSITY:
+                kept.append(float(t))
+        return kept
+
+    def events(self, start_s: float, end_s: float) -> list[BrowseEvent]:
+        """All events for the user over a window, time-ordered."""
+        organic = [
+            BrowseEvent(t, EventKind.ORGANIC_VISIT)
+            for t in self._draw_times(start_s, end_s, self.user.pages_per_day)
+        ]
+        details = [
+            BrowseEvent(t, EventKind.DETAILS_TAB)
+            for t in self._draw_times(start_s, end_s, self.details_tab_daily_rate)
+        ]
+        speedtests = [
+            BrowseEvent(t, EventKind.SPEEDTEST)
+            for t in self._draw_times(start_s, end_s, self.speedtest_daily_rate)
+        ]
+        merged = organic + details + speedtests
+        merged.sort(key=lambda e: e.t_s)
+        return merged

@@ -1,0 +1,188 @@
+"""The queryable measurement dataset (and its JSONL persistence).
+
+Plays the role of the study's server-side store: holds page-load and
+speedtest records, supports the slices the analysis needs (city, ISP
+class, time window, popularity), computes the aggregates that appear in
+the paper's tables, honours user data-deletion requests, and
+round-trips to JSON Lines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import DatasetError
+from repro.extension.records import PageLoadRecord, SpeedtestRecord
+from repro.web.timing import NavigationTiming
+
+
+def _median(values: list[float]) -> float:
+    if not values:
+        raise DatasetError("median of an empty selection")
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+@dataclass
+class Dataset:
+    """All records collected by a campaign."""
+
+    page_loads: list[PageLoadRecord] = field(default_factory=list)
+    speedtests: list[SpeedtestRecord] = field(default_factory=list)
+
+    # -- ingest ----------------------------------------------------------
+
+    def add_page_load(self, record: PageLoadRecord) -> None:
+        """Store a page-load record."""
+        self.page_loads.append(record)
+
+    def add_speedtest(self, record: SpeedtestRecord) -> None:
+        """Store a speedtest record."""
+        self.speedtests.append(record)
+
+    # -- selection ---------------------------------------------------------
+
+    def select(
+        self,
+        city: str | None = None,
+        is_starlink: bool | None = None,
+        isp: str | None = None,
+        popular: bool | None = None,
+        t_min: float | None = None,
+        t_max: float | None = None,
+        domain_in: set[str] | None = None,
+    ) -> list[PageLoadRecord]:
+        """Page loads matching all given filters."""
+        out = []
+        for record in self.page_loads:
+            if city is not None and record.city != city:
+                continue
+            if is_starlink is not None and record.is_starlink != is_starlink:
+                continue
+            if isp is not None and record.isp != isp:
+                continue
+            if popular is not None and record.is_popular != popular:
+                continue
+            if t_min is not None and record.t_s < t_min:
+                continue
+            if t_max is not None and record.t_s >= t_max:
+                continue
+            if domain_in is not None and record.domain not in domain_in:
+                continue
+            out.append(record)
+        return out
+
+    def select_speedtests(
+        self, city: str | None = None, is_starlink: bool | None = None
+    ) -> list[SpeedtestRecord]:
+        """Speedtests matching the filters."""
+        return [
+            r
+            for r in self.speedtests
+            if (city is None or r.city == city)
+            and (is_starlink is None or r.is_starlink == is_starlink)
+        ]
+
+    # -- aggregates (the paper's table cells) ---------------------------------
+
+    def median_ptt_ms(self, **filters) -> float:
+        """Median PTT over a selection (Table 1 cells)."""
+        return _median([r.ptt_ms for r in self.select(**filters)])
+
+    def request_count(self, **filters) -> int:
+        """Number of requests in a selection (#req column)."""
+        return len(self.select(**filters))
+
+    def unique_domains(self, **filters) -> int:
+        """Distinct domains in a selection (#domain column)."""
+        return len({r.domain for r in self.select(**filters)})
+
+    def median_speedtest_mbps(
+        self, city: str, is_starlink: bool = True
+    ) -> tuple[float, float]:
+        """(download, upload) medians for Table 3."""
+        tests = self.select_speedtests(city=city, is_starlink=is_starlink)
+        if not tests:
+            raise DatasetError(f"no speedtests for {city}")
+        return (
+            _median([t.download_mbps for t in tests]),
+            _median([t.upload_mbps for t in tests]),
+        )
+
+    # -- privacy -----------------------------------------------------------
+
+    def delete_user(self, user_id: str) -> int:
+        """Remove all records for a user ("remove my data" button)."""
+        before = len(self.page_loads) + len(self.speedtests)
+        self.page_loads = [r for r in self.page_loads if r.user_id != user_id]
+        self.speedtests = [r for r in self.speedtests if r.user_id != user_id]
+        return before - len(self.page_loads) - len(self.speedtests)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> None:
+        """Write the dataset as JSON Lines (one record per line)."""
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for record in self.page_loads:
+                payload = {
+                    "type": "page_load",
+                    "user_id": record.user_id,
+                    "city": record.city,
+                    "region": record.region,
+                    "isp": record.isp,
+                    "is_starlink": record.is_starlink,
+                    "exit_asn": record.exit_asn,
+                    "t_s": record.t_s,
+                    "domain": record.domain,
+                    "rank": record.rank,
+                    "is_popular": record.is_popular,
+                    "timing": vars(record.timing)
+                    if not hasattr(record.timing, "__dataclass_fields__")
+                    else {
+                        k: getattr(record.timing, k)
+                        for k in record.timing.__dataclass_fields__
+                    },
+                }
+                handle.write(json.dumps(payload) + "\n")
+            for test in self.speedtests:
+                handle.write(
+                    json.dumps(
+                        {
+                            "type": "speedtest",
+                            "user_id": test.user_id,
+                            "city": test.city,
+                            "isp": test.isp,
+                            "is_starlink": test.is_starlink,
+                            "t_s": test.t_s,
+                            "download_mbps": test.download_mbps,
+                            "upload_mbps": test.upload_mbps,
+                            "ping_ms": test.ping_ms,
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "Dataset":
+        """Load a dataset written by :meth:`to_jsonl`."""
+        dataset = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                payload = json.loads(line)
+                kind = payload.pop("type", None)
+                if kind == "page_load":
+                    timing = NavigationTiming(**payload.pop("timing"))
+                    dataset.add_page_load(PageLoadRecord(timing=timing, **payload))
+                elif kind == "speedtest":
+                    dataset.add_speedtest(SpeedtestRecord(**payload))
+                else:
+                    raise DatasetError(f"unknown record type {kind!r}")
+        return dataset

@@ -1,0 +1,24 @@
+"""Geodesy: coordinates, conversions, and the city database."""
+
+from repro.geo.cities import CITIES, City, city, cities_in_region
+from repro.geo.coordinates import (
+    GeoPoint,
+    ecef_distance_m,
+    ecef_to_enu,
+    elevation_azimuth_range,
+    geodetic_to_ecef,
+    great_circle_distance_m,
+)
+
+__all__ = [
+    "CITIES",
+    "City",
+    "GeoPoint",
+    "cities_in_region",
+    "city",
+    "ecef_distance_m",
+    "ecef_to_enu",
+    "elevation_azimuth_range",
+    "geodetic_to_ecef",
+    "great_circle_distance_m",
+]

@@ -1,0 +1,167 @@
+"""City and datacentre location database.
+
+Covers the locations that appear in the paper:
+
+* The three extension cities analysed in depth (London, Seattle, Sydney)
+  and the remainder of the 10-city userbase across the UK, USA, EU,
+  Australia and Canada (Toronto and Warsaw appear in Table 3).
+* The three volunteer measurement nodes (North Carolina USA, Wiltshire UK,
+  Barcelona ES).
+* The cloud datacentres used as measurement servers: the browser speedtest
+  server in Iowa, the traceroute target in Northern Virginia, and the
+  per-node "closest Google Cloud" locations.
+
+UTC offsets are fixed per city (the values in effect during the paper's
+spring-2022 campaign); the diurnal-load model needs local wall-clock time,
+not full timezone rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.coordinates import GeoPoint
+
+
+@dataclass(frozen=True)
+class City:
+    """A named location with geodetic position and UTC offset.
+
+    Attributes:
+        name: Canonical lowercase key, e.g. ``"london"``.
+        display_name: Human-readable name used in tables.
+        country: ISO-like country code.
+        region: Coarse region label used by the paper (UK/USA/EU/AU/NA).
+        location: Geodetic position.
+        utc_offset_h: Local-time offset from UTC in hours.
+        is_datacentre: True for cloud locations rather than user cities.
+    """
+
+    name: str
+    display_name: str
+    country: str
+    region: str
+    location: GeoPoint
+    utc_offset_h: float
+    is_datacentre: bool = False
+
+    def local_hour(self, time_utc_s: float) -> float:
+        """Local wall-clock hour-of-day in [0, 24) for a UTC timestamp."""
+        return ((time_utc_s / 3600.0) + self.utc_offset_h) % 24.0
+
+
+def _city(
+    name: str,
+    display: str,
+    country: str,
+    region: str,
+    lat: float,
+    lon: float,
+    utc: float,
+    datacentre: bool = False,
+) -> City:
+    return City(
+        name=name,
+        display_name=display,
+        country=country,
+        region=region,
+        location=GeoPoint(lat, lon),
+        utc_offset_h=utc,
+        is_datacentre=datacentre,
+    )
+
+
+CITIES: dict[str, City] = {
+    c.name: c
+    for c in [
+        # Extension user cities (10 across UK / USA / EU / AU / NA).
+        _city("london", "London", "GB", "UK", 51.5074, -0.1278, 1.0),
+        _city("seattle", "Seattle", "US", "USA", 47.6062, -122.3321, -7.0),
+        _city("sydney", "Sydney", "AU", "AU", -33.8688, 151.2093, 10.0),
+        _city("toronto", "Toronto", "CA", "NA", 43.6532, -79.3832, -4.0),
+        _city("warsaw", "Warsaw", "PL", "EU", 52.2297, 21.0122, 2.0),
+        _city("berlin", "Berlin", "DE", "EU", 52.5200, 13.4050, 2.0),
+        _city("amsterdam", "Amsterdam", "NL", "EU", 52.3676, 4.9041, 2.0),
+        _city("austin", "Austin", "US", "USA", 30.2672, -97.7431, -5.0),
+        _city("denver", "Denver", "US", "USA", 39.7392, -104.9903, -6.0),
+        _city("melbourne", "Melbourne", "AU", "AU", -37.8136, 144.9631, 10.0),
+        # Volunteer measurement nodes.
+        _city("north_carolina", "North Carolina", "US", "USA", 35.7796, -78.6382, -4.0),
+        _city("wiltshire", "Wiltshire", "GB", "UK", 51.0688, -1.7945, 1.0),
+        _city("barcelona", "Barcelona", "ES", "EU", 41.3874, 2.1686, 2.0),
+        # Cloud datacentres (measurement servers).
+        _city("iowa", "Iowa (us-central1)", "US", "USA", 41.2619, -95.8608, -5.0, True),
+        _city("n_virginia", "N. Virginia", "US", "USA", 38.9519, -77.4480, -4.0, True),
+        _city("gcp_london", "London (europe-west2)", "GB", "UK", 51.5090, -0.1200, 1.0, True),
+        _city("gcp_madrid", "Madrid (europe-southwest1)", "ES", "EU", 40.4168, -3.7038, 2.0, True),
+        _city(
+            "gcp_south_carolina",
+            "S. Carolina (us-east1)",
+            "US",
+            "USA",
+            33.1960,
+            -80.0131,
+            -4.0,
+            True,
+        ),
+        _city("gcp_warsaw", "Warsaw (europe-central2)", "PL", "EU", 52.2300, 21.0100, 2.0, True),
+        _city("gcp_oregon", "Oregon (us-west1)", "US", "USA", 45.5946, -121.1787, -7.0, True),
+        _city(
+            "gcp_sydney",
+            "Sydney (australia-southeast1)",
+            "AU",
+            "AU",
+            -33.8600,
+            151.2100,
+            10.0,
+            True,
+        ),
+        _city(
+            "gcp_toronto",
+            "Toronto (northamerica-northeast2)",
+            "CA",
+            "NA",
+            43.6500,
+            -79.3800,
+            -4.0,
+            True,
+        ),
+    ]
+}
+"""All known locations, keyed by canonical name."""
+
+
+#: Closest Google Cloud location for each volunteer measurement node, as the
+#: paper hand-codes the per-node speedtest/iperf server.
+NEAREST_GCP: dict[str, str] = {
+    "north_carolina": "gcp_south_carolina",
+    "wiltshire": "gcp_london",
+    "barcelona": "gcp_madrid",
+    "london": "gcp_london",
+    "seattle": "gcp_oregon",
+    "sydney": "gcp_sydney",
+    "toronto": "gcp_toronto",
+    "warsaw": "gcp_warsaw",
+}
+
+
+def city(name: str) -> City:
+    """Look up a city by canonical name.
+
+    Raises:
+        KeyError: with the list of known names, if not found.
+    """
+    try:
+        return CITIES[name]
+    except KeyError:
+        known = ", ".join(sorted(CITIES))
+        raise KeyError(f"unknown city {name!r}; known: {known}") from None
+
+
+def cities_in_region(region: str, include_datacentres: bool = False) -> list[City]:
+    """All cities in a coarse region (``UK``/``USA``/``EU``/``AU``/``NA``)."""
+    return [
+        c
+        for c in CITIES.values()
+        if c.region == region and (include_datacentres or not c.is_datacentre)
+    ]

@@ -1,0 +1,119 @@
+"""Geodetic coordinates and frame conversions.
+
+The orbital and link-geometry code needs three frames:
+
+* **Geodetic** latitude/longitude/altitude (what the city database stores).
+* **ECEF** (Earth-Centred Earth-Fixed) Cartesian metres, used for
+  satellite/ground distances.
+* **ENU** (East-North-Up) topocentric coordinates at an observer, used to
+  compute elevation and azimuth of a satellite.
+
+A spherical Earth of mean radius is used throughout.  The paper's geometry
+(visibility masks, slant ranges) is insensitive to the ~0.3% error this
+introduces versus a full WGS-84 ellipsoid, and the spherical model keeps
+the propagator and its tests exactly self-consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import EARTH_RADIUS_M
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on (or above) the Earth in geodetic coordinates.
+
+    Attributes:
+        latitude_deg: Geodetic latitude, degrees north.
+        longitude_deg: Longitude, degrees east, in [-180, 180].
+        altitude_m: Height above mean Earth radius, metres.
+    """
+
+    latitude_deg: float
+    longitude_deg: float
+    altitude_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude_deg <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude_deg}")
+        if not -180.0 <= self.longitude_deg <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude_deg}")
+
+    def ecef(self) -> np.ndarray:
+        """Position in ECEF metres as a length-3 array."""
+        return geodetic_to_ecef(self.latitude_deg, self.longitude_deg, self.altitude_m)
+
+
+def geodetic_to_ecef(
+    latitude_deg: float, longitude_deg: float, altitude_m: float = 0.0
+) -> np.ndarray:
+    """Convert geodetic coordinates to ECEF metres (spherical Earth)."""
+    lat = math.radians(latitude_deg)
+    lon = math.radians(longitude_deg)
+    radius = EARTH_RADIUS_M + altitude_m
+    return np.array(
+        [
+            radius * math.cos(lat) * math.cos(lon),
+            radius * math.cos(lat) * math.sin(lon),
+            radius * math.sin(lat),
+        ]
+    )
+
+
+def ecef_distance_m(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two ECEF positions, metres."""
+    return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))
+
+
+def great_circle_distance_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle (surface) distance between two points, metres.
+
+    Uses the haversine formula on the mean Earth radius; altitudes are
+    ignored.  Good to ~0.5% which is ample for terrestrial path lengths.
+    """
+    lat1, lon1 = math.radians(a.latitude_deg), math.radians(a.longitude_deg)
+    lat2, lon2 = math.radians(b.latitude_deg), math.radians(b.longitude_deg)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def ecef_to_enu(observer: GeoPoint, target_ecef: np.ndarray) -> np.ndarray:
+    """Express ``target_ecef`` in the observer's East-North-Up frame, metres."""
+    lat = math.radians(observer.latitude_deg)
+    lon = math.radians(observer.longitude_deg)
+    delta = np.asarray(target_ecef, dtype=float) - observer.ecef()
+    sin_lat, cos_lat = math.sin(lat), math.cos(lat)
+    sin_lon, cos_lon = math.sin(lon), math.cos(lon)
+    rotation = np.array(
+        [
+            [-sin_lon, cos_lon, 0.0],
+            [-sin_lat * cos_lon, -sin_lat * sin_lon, cos_lat],
+            [cos_lat * cos_lon, cos_lat * sin_lon, sin_lat],
+        ]
+    )
+    return rotation @ delta
+
+
+def elevation_azimuth_range(
+    observer: GeoPoint, target_ecef: np.ndarray
+) -> tuple[float, float, float]:
+    """Elevation (deg), azimuth (deg from north, clockwise), range (m).
+
+    Elevation is negative when the target is below the observer's horizon
+    plane.  Azimuth is in [0, 360).
+    """
+    east, north, up = ecef_to_enu(observer, target_ecef)
+    horizontal = math.hypot(east, north)
+    slant = math.sqrt(east**2 + north**2 + up**2)
+    if slant == 0.0:
+        raise ValueError("target coincides with observer")
+    elevation = math.degrees(math.atan2(up, horizontal))
+    azimuth = math.degrees(math.atan2(east, north)) % 360.0
+    return elevation, azimuth, slant

@@ -1,0 +1,134 @@
+"""Unidirectional links: serialisation, propagation, queueing, loss.
+
+A link models one direction of a physical hop.  Packets offered while
+the transmitter is busy wait in a drop-tail queue; each packet then takes
+``size/rate`` to serialise and ``delay(now)`` to propagate.  Propagation
+delay may be a callable of simulation time — the Starlink bent pipe uses
+this to follow the moving serving satellite — and an optional
+``extra_delay`` sampler models queueing experienced inside an abstracted
+multi-router segment (used for transit hops whose internal routers we do
+not simulate individually).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.net.node import Node
+
+from repro.errors import ConfigurationError
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.net.simulator import Simulator
+
+DelayProvider = float | Callable[[float], float]
+
+
+class Link:
+    """One direction of a network hop.
+
+    Attributes:
+        name: Diagnostic label (``src->dst`` by default).
+        rate_bps: Serialisation rate, bits/s.
+        queue: Drop-tail queue for packets awaiting transmission.
+        loss: Loss model evaluated at transmission start.
+        delivered: Count of packets handed to the destination.
+        lost: Count of packets destroyed by the loss model.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        rate_bps: float,
+        delay: DelayProvider,
+        queue: DropTailQueue | None = None,
+        loss: LossModel | None = None,
+        extra_delay: Callable[[float], float] | None = None,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"link rate must be positive: {rate_bps}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self._delay = delay
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.loss = loss if loss is not None else NoLoss()
+        self.extra_delay = extra_delay
+        self.name = name or f"{src.name}->{dst.name}"
+        self._transmitting = False
+        self.delivered = 0
+        self.lost = 0
+        self.offered = 0
+        self._enqueue_times: dict[int, float] = {}
+        self._last_delivery_s = 0.0
+
+    # -- delay ------------------------------------------------------------
+
+    def propagation_delay_s(self, now_s: float) -> float:
+        """Current one-way propagation delay, seconds."""
+        if callable(self._delay):
+            delay = self._delay(now_s)
+        else:
+            delay = self._delay
+        if delay < 0:
+            raise ConfigurationError(f"negative propagation delay on {self.name}: {delay}")
+        return delay
+
+    def transmission_delay_s(self, packet: Packet) -> float:
+        """Serialisation delay for ``packet``, seconds."""
+        return packet.size_bytes * 8.0 / self.rate_bps
+
+    # -- send path ----------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to the link (called by the source node)."""
+        self.offered += 1
+        if self._transmitting:
+            if self.queue.offer(packet):
+                self._enqueue_times[packet.packet_id] = self.sim.now
+            return
+        self._begin_transmission(packet)
+
+    def _begin_transmission(self, packet: Packet) -> None:
+        self._transmitting = True
+        queued_at = self._enqueue_times.pop(packet.packet_id, None)
+        if queued_at is not None:
+            packet.queueing_s += self.sim.now - queued_at
+        tx_delay = self.transmission_delay_s(packet)
+        self.sim.schedule(tx_delay, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        if self.loss.should_drop(packet, self.sim.now):
+            self.lost += 1
+        else:
+            total_delay = self.propagation_delay_s(self.sim.now)
+            if self.extra_delay is not None:
+                extra = self.extra_delay(self.sim.now)
+                if extra < 0:
+                    raise ConfigurationError(
+                        f"extra_delay sampler on {self.name} returned {extra}"
+                    )
+                packet.queueing_s += extra
+                total_delay += extra
+            # A link is FIFO: stochastic extra delay (abstracted
+            # queueing) must never reorder packets, so delivery is
+            # clamped to be monotone.
+            delivery_at = max(self.sim.now + total_delay, self._last_delivery_s)
+            self._last_delivery_s = delivery_at
+            self.sim.schedule(delivery_at - self.sim.now, self._deliver, packet)
+        next_packet = self.queue.poll()
+        if next_packet is not None:
+            self._begin_transmission(next_packet)
+        else:
+            self._transmitting = False
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered += 1
+        packet.hops += 1
+        self.dst.receive(packet, self)

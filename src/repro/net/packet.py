@@ -1,0 +1,79 @@
+"""Packets and protocol tags."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any
+
+_packet_ids = itertools.count(1)
+
+DEFAULT_TTL = 64
+MTU_BYTES = 1500
+TCP_HEADER_BYTES = 40  # IPv4 + TCP, no options
+UDP_HEADER_BYTES = 28  # IPv4 + UDP
+ACK_SIZE_BYTES = TCP_HEADER_BYTES
+
+
+class Protocol(Enum):
+    """Transport/network protocol of a packet."""
+
+    UDP = "udp"
+    TCP = "tcp"
+    ICMP = "icmp"
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes:
+        src: Name of the originating node.
+        dst: Name of the destination node.
+        protocol: Transport protocol tag.
+        size_bytes: Total on-the-wire size, headers included.
+        ttl: Remaining hop count; decremented at each forwarding node.
+        flow_id: Identifier used to demultiplex to transport flows/apps.
+        seq: Sequence number (meaning is flow-specific).
+        payload: Arbitrary flow-specific metadata (e.g. ICMP type,
+            original probe info in a time-exceeded reply).
+        created_s: Simulation time the packet entered the network.
+        queueing_s: Accumulated queueing delay across traversed links
+            (written by links; the max-min estimator validates against it).
+        hops: Number of links traversed so far.
+    """
+
+    src: str
+    dst: str
+    protocol: Protocol
+    size_bytes: int
+    ttl: int = DEFAULT_TTL
+    flow_id: str = ""
+    seq: int = 0
+    payload: dict[str, Any] = field(default_factory=dict)
+    created_s: float = 0.0
+    queueing_s: float = 0.0
+    hops: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive: {self.size_bytes}")
+        if self.ttl < 0:
+            raise ValueError(f"ttl must be non-negative: {self.ttl}")
+
+    def reply_template(self, protocol: Protocol, size_bytes: int) -> "Packet":
+        """A fresh packet from this packet's destination back to its source."""
+        return Packet(
+            src=self.dst,
+            dst=self.src,
+            protocol=protocol,
+            size_bytes=size_bytes,
+            flow_id=self.flow_id,
+            seq=self.seq,
+        )
+
+    def copy(self) -> "Packet":
+        """Deep-enough copy with a new packet id (payload dict is copied)."""
+        return replace(self, payload=dict(self.payload), packet_id=next(_packet_ids))

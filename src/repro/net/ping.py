@@ -1,0 +1,101 @@
+"""ICMP echo (ping) over the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.net.packet import Packet, Protocol
+from repro.net.topology import Network
+
+_ping_ids = itertools.count(1)
+
+
+@dataclass
+class PingResult:
+    """Outcome of a ping run.
+
+    Attributes:
+        src: Source node name.
+        dst: Destination node name.
+        sent: Echo requests sent.
+        rtts_s: RTTs of answered requests, seconds, in send order.
+    """
+
+    src: str
+    dst: str
+    sent: int
+    rtts_s: list[float] = field(default_factory=list)
+
+    @property
+    def received(self) -> int:
+        """Number of echo replies received."""
+        return len(self.rtts_s)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of unanswered requests."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.received / self.sent
+
+    def min_rtt_s(self) -> float | None:
+        """Minimum RTT, or None if everything was lost."""
+        return min(self.rtts_s) if self.rtts_s else None
+
+    def avg_rtt_s(self) -> float | None:
+        """Mean RTT, or None if everything was lost."""
+        if not self.rtts_s:
+            return None
+        return sum(self.rtts_s) / len(self.rtts_s)
+
+    def max_rtt_s(self) -> float | None:
+        """Maximum RTT, or None if everything was lost."""
+        return max(self.rtts_s) if self.rtts_s else None
+
+
+def ping(
+    network: Network,
+    src: str,
+    dst: str,
+    count: int = 10,
+    interval_s: float = 0.2,
+    size_bytes: int = 64,
+    timeout_s: float = 2.0,
+) -> PingResult:
+    """Send ``count`` ICMP echoes and collect RTTs (drives the simulator)."""
+    sim = network.sim
+    source = network.node(src)
+    flow_id = f"ping-{next(_ping_ids)}"
+    send_times: dict[int, float] = {}
+    rtts: dict[int, float] = {}
+
+    def on_reply(packet: Packet, now: float) -> None:
+        seq = packet.payload.get("probe_seq")
+        if seq in send_times and seq not in rtts:
+            rtts[seq] = now - send_times[seq]
+
+    source.register_handler(flow_id, on_reply)
+
+    def send_echo(seq: int) -> None:
+        packet = Packet(
+            src=src,
+            dst=dst,
+            protocol=Protocol.ICMP,
+            size_bytes=size_bytes,
+            flow_id=flow_id,
+            seq=seq,
+            created_s=sim.now,
+        )
+        packet.payload["type"] = "echo"
+        send_times[seq] = sim.now
+        source.send(packet)
+
+    base = sim.now
+    for seq in range(count):
+        sim.schedule_at(base + seq * interval_s, send_echo, seq)
+    sim.run(until=base + count * interval_s + timeout_s)
+    source.unregister_handler(flow_id)
+
+    ordered = [rtts[seq] for seq in sorted(rtts)]
+    return PingResult(src=src, dst=dst, sent=count, rtts_s=ordered)

@@ -1,0 +1,115 @@
+"""Discrete-event simulation core.
+
+A classic heap-driven event loop.  Callbacks are scheduled at absolute or
+relative times; ties are broken by insertion order so runs are fully
+deterministic.  The simulator carries no global state — multiple
+simulators can coexist (the test suite relies on this).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time_s: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.  Cancel with :meth:`cancel`."""
+
+    __slots__ = ("callback", "args", "cancelled", "time_s")
+
+    def __init__(self, time_s: float, callback: Callable[..., None], args: tuple[Any, ...]):
+        self.time_s = time_s
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, my_callback, arg1)
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapEntry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay_s: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay_s`` seconds.
+
+        Raises:
+            SimulationError: on negative delay.
+        """
+        if delay_s < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_s})")
+        return self.schedule_at(self._now + delay_s, callback, *args)
+
+    def schedule_at(self, time_s: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time_s``."""
+        if time_s < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_s} < now {self._now}"
+            )
+        event = Event(time_s, callback, args)
+        heapq.heappush(self._heap, _HeapEntry(time_s, next(self._sequence), event))
+        return event
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> int:
+        """Run until the event queue drains or ``until`` is reached.
+
+        Returns the number of events executed.  ``max_events`` guards
+        against runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                if until is not None and entry.time_s > until:
+                    break
+                heapq.heappop(self._heap)
+                if entry.event.cancelled:
+                    continue
+                self._now = entry.time_s
+                entry.event.callback(*entry.event.args)
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return executed

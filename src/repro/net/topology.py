@@ -1,0 +1,152 @@
+"""Network container and static shortest-path routing."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.link import DelayProvider, Link
+from repro.net.loss import LossModel
+from repro.net.node import Node
+from repro.net.queues import DropTailQueue
+from repro.net.simulator import Simulator
+
+
+class Network:
+    """A set of nodes and links sharing one simulator.
+
+    Typical use::
+
+        net = Network()
+        net.add_node("client")
+        net.add_node("server")
+        net.connect("client", "server", rate_bps=10e6, delay=0.01)
+        net.compute_routes()
+    """
+
+    def __init__(self, sim: Simulator | None = None) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.nodes: dict[str, Node] = {}
+
+    def add_node(self, name: str, processing_delay_s: float = 0.0) -> Node:
+        """Create and register a node.
+
+        Raises:
+            ConfigurationError: on duplicate names.
+        """
+        if name in self.nodes:
+            raise ConfigurationError(f"duplicate node name: {name!r}")
+        node = Node(self.sim, name, processing_delay_s)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise RoutingError(f"no node named {name!r}") from None
+
+    def connect_oneway(
+        self,
+        src: str,
+        dst: str,
+        rate_bps: float,
+        delay: DelayProvider,
+        queue: DropTailQueue | None = None,
+        loss: LossModel | None = None,
+        extra_delay: Callable[[float], float] | None = None,
+    ) -> Link:
+        """Create a unidirectional link from ``src`` to ``dst``."""
+        link = Link(
+            self.sim,
+            self.node(src),
+            self.node(dst),
+            rate_bps=rate_bps,
+            delay=delay,
+            queue=queue,
+            loss=loss,
+            extra_delay=extra_delay,
+        )
+        self.node(src).attach_link(link)
+        return link
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        rate_bps: float,
+        delay: DelayProvider,
+        rate_bps_reverse: float | None = None,
+        loss: LossModel | None = None,
+        loss_reverse: LossModel | None = None,
+        queue: DropTailQueue | None = None,
+        queue_reverse: DropTailQueue | None = None,
+        extra_delay: Callable[[float], float] | None = None,
+    ) -> tuple[Link, Link]:
+        """Create a bidirectional link pair (possibly asymmetric rates).
+
+        Queues and loss models are per-direction; by default each
+        direction gets its own fresh drop-tail queue.
+        """
+        forward = self.connect_oneway(
+            a, b, rate_bps, delay, queue=queue, loss=loss, extra_delay=extra_delay
+        )
+        reverse = self.connect_oneway(
+            b,
+            a,
+            rate_bps_reverse if rate_bps_reverse is not None else rate_bps,
+            delay,
+            queue=queue_reverse,
+            loss=loss_reverse,
+            extra_delay=extra_delay,
+        )
+        return forward, reverse
+
+    def compute_routes(self) -> None:
+        """Fill every node's routing table with BFS shortest paths.
+
+        Hop-count shortest paths are sufficient for the linear/tree
+        topologies the experiments build; ties break deterministically
+        by insertion order of links.
+        """
+        for source in self.nodes.values():
+            parents: dict[str, str] = {}
+            frontier = deque([source.name])
+            seen = {source.name}
+            while frontier:
+                current = frontier.popleft()
+                for neighbour in self.nodes[current].links:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        parents[neighbour] = current
+                        frontier.append(neighbour)
+            routes: dict[str, str] = {}
+            for destination in seen - {source.name}:
+                hop = destination
+                while parents[hop] != source.name:
+                    hop = parents[hop]
+                routes[destination] = hop
+            source.routes = routes
+
+    def path(self, src: str, dst: str) -> list[str]:
+        """Node names along the routed path from ``src`` to ``dst``.
+
+        Raises:
+            RoutingError: if no route exists (run compute_routes first).
+        """
+        self.node(src)
+        current = src
+        path = [src]
+        visited = {src}
+        while current != dst:
+            next_hop = self.nodes[current].routes.get(dst)
+            if next_hop is None:
+                raise RoutingError(f"no route from {src} to {dst} (at {current})")
+            if next_hop in visited:
+                raise RoutingError(f"routing loop from {src} to {dst} via {next_hop}")
+            visited.add(next_hop)
+            path.append(next_hop)
+            current = next_hop
+        return path

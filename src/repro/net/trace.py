@@ -1,0 +1,165 @@
+"""Traceroute over the simulated network.
+
+Classic UDP traceroute: probes with increasing TTL elicit ICMP
+time-exceeded replies from successive routers and a port-unreachable
+reply from the destination.  Matches the paper's methodology for
+Figure 5 (20 repetitions per access technology) and Table 2 (30 probes
+of 60-byte UDP packets for the max-min queueing-delay estimation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.net.packet import Packet, Protocol
+from repro.net.topology import Network
+
+_trace_ids = itertools.count(1)
+
+DEFAULT_PROBE_SIZE_BYTES = 60  # the paper uses 60-byte UDP probes
+
+
+@dataclass
+class HopResult:
+    """Replies collected for one TTL value.
+
+    Attributes:
+        ttl: Probe TTL.
+        responder: Name of the replying node (None if all probes lost).
+        rtts_s: Round-trip times of answered probes, seconds.
+        sent: Number of probes sent at this TTL.
+    """
+
+    ttl: int
+    responder: str | None
+    rtts_s: list[float] = field(default_factory=list)
+    sent: int = 0
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of probes that went unanswered."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - len(self.rtts_s) / self.sent
+
+    def min_rtt_s(self) -> float | None:
+        """Minimum observed RTT, or None."""
+        return min(self.rtts_s) if self.rtts_s else None
+
+    def max_rtt_s(self) -> float | None:
+        """Maximum observed RTT, or None."""
+        return max(self.rtts_s) if self.rtts_s else None
+
+    def median_rtt_s(self) -> float | None:
+        """Median observed RTT, or None."""
+        if not self.rtts_s:
+            return None
+        ordered = sorted(self.rtts_s)
+        middle = len(ordered) // 2
+        if len(ordered) % 2 == 1:
+            return ordered[middle]
+        return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+@dataclass
+class TracerouteResult:
+    """A complete traceroute run."""
+
+    src: str
+    dst: str
+    hops: list[HopResult]
+    destination_reached: bool
+
+    def hop_names(self) -> list[str | None]:
+        """Responder per hop, in TTL order."""
+        return [hop.responder for hop in self.hops]
+
+
+def traceroute(
+    network: Network,
+    src: str,
+    dst: str,
+    probes_per_hop: int = 3,
+    max_ttl: int = 30,
+    probe_size_bytes: int = DEFAULT_PROBE_SIZE_BYTES,
+    probe_gap_s: float = 0.02,
+    timeout_s: float = 2.0,
+) -> TracerouteResult:
+    """Run a traceroute inside the simulation and return per-hop RTTs.
+
+    Drives ``network.sim`` until all probes are answered or timed out.
+    Probes for successive TTLs are spaced ``probe_gap_s`` apart (as real
+    traceroute does), so one run samples the path over a short interval.
+    """
+    sim = network.sim
+    source = network.node(src)
+    flow_id = f"traceroute-{next(_trace_ids)}"
+
+    send_times: dict[int, float] = {}
+    replies: dict[int, tuple[str, float, str]] = {}  # seq -> (responder, rtt, type)
+
+    def on_reply(packet: Packet, now: float) -> None:
+        seq = packet.payload.get("probe_seq")
+        if seq in send_times and seq not in replies:
+            replies[seq] = (
+                packet.payload.get("responder", packet.src),
+                now - send_times[seq],
+                packet.payload.get("type", ""),
+            )
+
+    source.register_handler(flow_id, on_reply)
+
+    sequence = 0
+    schedule: list[tuple[int, int, int]] = []  # (seq, ttl, probe index)
+    for ttl in range(1, max_ttl + 1):
+        for probe_index in range(probes_per_hop):
+            schedule.append((sequence, ttl, probe_index))
+            sequence += 1
+
+    base_time = sim.now
+
+    def send_probe(seq: int, ttl: int) -> None:
+        packet = Packet(
+            src=src,
+            dst=dst,
+            protocol=Protocol.UDP,
+            size_bytes=probe_size_bytes,
+            ttl=ttl,
+            flow_id=flow_id,
+            seq=seq,
+            created_s=sim.now,
+        )
+        packet.payload["sent_ttl"] = ttl
+        send_times[seq] = sim.now
+        source.send(packet)
+
+    for seq, ttl, probe_index in schedule:
+        offset = (seq + 1) * probe_gap_s
+        sim.schedule_at(base_time + offset, send_probe, seq, ttl)
+
+    deadline = base_time + len(schedule) * probe_gap_s + timeout_s
+    sim.run(until=deadline)
+    source.unregister_handler(flow_id)
+
+    hops: list[HopResult] = []
+    destination_reached = False
+    for ttl in range(1, max_ttl + 1):
+        seqs = [s for s, t, _ in schedule if t == ttl]
+        hop = HopResult(ttl=ttl, responder=None, sent=len(seqs))
+        reached_here = False
+        for seq in seqs:
+            reply = replies.get(seq)
+            if reply is None:
+                continue
+            responder, rtt, icmp_type = reply
+            hop.responder = responder
+            hop.rtts_s.append(rtt)
+            if icmp_type == "port-unreachable" and responder == dst:
+                reached_here = True
+        hops.append(hop)
+        if reached_here:
+            destination_reached = True
+            break
+
+    return TracerouteResult(src=src, dst=dst, hops=hops, destination_reached=destination_reached)

@@ -1,0 +1,41 @@
+"""Volunteer measurement nodes (the paper's Raspberry Pis).
+
+Three enthusiast-hosted Raspberry Pis — North Carolina (USA), Wiltshire
+(UK) and Barcelona (ES) — sit directly behind Starlink receivers and
+run cron-driven measurements against a VM in the nearest Google Cloud
+location: speedtests every 5 minutes, iperf3 TCP/UDP, mtr/traceroute,
+and congestion-control stress tests, with the dishy API available on
+the local network.
+
+* :mod:`repro.nodes.cron` — the cron scheduler.
+* :mod:`repro.nodes.iperf` — iperf3-style TCP/UDP tests (packet-level
+  and analytic fast paths).
+* :mod:`repro.nodes.mtr` — mtr-style repeated traceroute statistics.
+* :mod:`repro.nodes.rpi` — the measurement node tying it together.
+"""
+
+from repro.nodes.cron import CronJob, cron_times
+from repro.nodes.iperf import (
+    IperfResult,
+    UdpBurstResult,
+    analytic_udp_loss_fraction,
+    run_iperf_tcp,
+    run_udp_burst,
+)
+from repro.nodes.mtr import MtrHopStats, MtrReport, run_mtr
+from repro.nodes.rpi import MeasurementNode, NODE_CITIES
+
+__all__ = [
+    "CronJob",
+    "IperfResult",
+    "MeasurementNode",
+    "MtrHopStats",
+    "MtrReport",
+    "NODE_CITIES",
+    "UdpBurstResult",
+    "analytic_udp_loss_fraction",
+    "cron_times",
+    "run_iperf_tcp",
+    "run_mtr",
+    "run_udp_burst",
+]

@@ -1,0 +1,76 @@
+"""Cron-style periodic job scheduling (pure time arithmetic).
+
+The RPis run their speedtest utility from a cron job every 5 minutes
+and iperf every half hour; this module computes those firing times over
+campaign windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CronJob:
+    """A periodic job.
+
+    Attributes:
+        name: Job label (e.g. ``speedtest``).
+        interval_s: Firing period, seconds.
+        offset_s: Phase within the period (cron minute alignment).
+        jitter_s: Max execution start-delay (RPis are not hard
+            real-time; cron fires a few seconds late under load).
+    """
+
+    name: str
+    interval_s: float
+    offset_s: float = 0.0
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigurationError(f"interval must be positive: {self.interval_s}")
+        if not 0.0 <= self.offset_s < self.interval_s:
+            raise ConfigurationError("offset must lie within one interval")
+
+    def times(self, start_s: float, end_s: float, rng=None) -> list[float]:
+        """Firing times in ``[start_s, end_s)``, optionally jittered."""
+        return cron_times(
+            start_s, end_s, self.interval_s, self.offset_s, self.jitter_s, rng
+        )
+
+
+def cron_times(
+    start_s: float,
+    end_s: float,
+    interval_s: float,
+    offset_s: float = 0.0,
+    jitter_s: float = 0.0,
+    rng=None,
+) -> list[float]:
+    """All cron firing times in ``[start_s, end_s)``.
+
+    Raises:
+        ConfigurationError: on a non-positive interval or inverted window.
+    """
+    if interval_s <= 0:
+        raise ConfigurationError(f"interval must be positive: {interval_s}")
+    if end_s < start_s:
+        raise ConfigurationError("end before start")
+    first_index = int((start_s - offset_s) // interval_s)
+    times: list[float] = []
+    index = first_index
+    while True:
+        t = index * interval_s + offset_s
+        if t >= end_s:
+            break
+        if t >= start_s:
+            if jitter_s > 0.0 and rng is not None:
+                t = t + float(rng.random()) * jitter_s
+                if t >= end_s:
+                    break
+            times.append(t)
+        index += 1
+    return times

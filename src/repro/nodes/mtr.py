@@ -1,0 +1,119 @@
+"""mtr-style repeated traceroute with per-hop statistics.
+
+The paper's Table 2 methodology: 30 traceroute cycles of 60-byte UDP
+probes per node, from which per-hop minimum / median / maximum RTTs
+feed the max-min queueing-delay estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.trace import traceroute
+from repro.starlink.access import AccessPath
+
+
+@dataclass(frozen=True)
+class MtrHopStats:
+    """Aggregated statistics for one hop.
+
+    Attributes:
+        ttl: Hop index (1-based).
+        responder: Node that answered (None if fully lost).
+        sent / received: Probe counts.
+        min_ms / median_ms / max_ms / avg_ms: RTT statistics.
+    """
+
+    ttl: int
+    responder: str | None
+    sent: int
+    received: int
+    min_ms: float
+    median_ms: float
+    max_ms: float
+    avg_ms: float
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of unanswered probes at this hop."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.received / self.sent
+
+
+@dataclass(frozen=True)
+class MtrReport:
+    """A full mtr run."""
+
+    src: str
+    dst: str
+    cycles: int
+    hops: list[MtrHopStats]
+
+    def hop_by_responder(self, responder: str) -> MtrHopStats:
+        """Stats of the hop answered by ``responder``.
+
+        Raises:
+            KeyError: if that responder never appeared.
+        """
+        for hop in self.hops:
+            if hop.responder == responder:
+                return hop
+        raise KeyError(f"no hop answered by {responder!r}")
+
+
+def run_mtr(
+    path: AccessPath,
+    cycles: int = 30,
+    probe_size_bytes: int = 60,
+    max_ttl: int = 16,
+) -> MtrReport:
+    """Run ``cycles`` probe rounds over an access path (drives the sim).
+
+    Equivalent to ``mtr --report -c cycles`` with UDP probes: each hop
+    gets ``cycles`` probes, interleaved in time like mtr's rounds.
+    """
+    result = traceroute(
+        path.network,
+        path.client,
+        path.server,
+        probes_per_hop=cycles,
+        max_ttl=max_ttl,
+        probe_size_bytes=probe_size_bytes,
+    )
+    hops: list[MtrHopStats] = []
+    for hop in result.hops:
+        if hop.rtts_s:
+            ordered = sorted(hop.rtts_s)
+            middle = len(ordered) // 2
+            median = (
+                ordered[middle]
+                if len(ordered) % 2 == 1
+                else 0.5 * (ordered[middle - 1] + ordered[middle])
+            )
+            hops.append(
+                MtrHopStats(
+                    ttl=hop.ttl,
+                    responder=hop.responder,
+                    sent=hop.sent,
+                    received=len(hop.rtts_s),
+                    min_ms=min(ordered) * 1000.0,
+                    median_ms=median * 1000.0,
+                    max_ms=max(ordered) * 1000.0,
+                    avg_ms=sum(ordered) / len(ordered) * 1000.0,
+                )
+            )
+        else:
+            hops.append(
+                MtrHopStats(
+                    ttl=hop.ttl,
+                    responder=hop.responder,
+                    sent=hop.sent,
+                    received=0,
+                    min_ms=float("nan"),
+                    median_ms=float("nan"),
+                    max_ms=float("nan"),
+                    avg_ms=float("nan"),
+                )
+            )
+    return MtrReport(src=path.client, dst=path.server, cycles=cycles, hops=hops)

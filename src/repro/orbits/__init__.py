@@ -1,0 +1,55 @@
+"""Orbital mechanics: TLEs, propagation, constellations, visibility.
+
+This subpackage replaces the paper's use of live CelesTrak TLE data for
+the real Starlink constellation.  It provides:
+
+* :mod:`repro.orbits.kepler` — orbital elements and the Kepler equation.
+* :mod:`repro.orbits.propagator` — a first-order J2 secular propagator
+  (circular-orbit accuracy is ample for visibility geometry over the
+  minutes-to-hours horizons the paper analyses).
+* :mod:`repro.orbits.tle` — a Two-Line Element parser/writer, so the
+  pipeline ingests the same artefact format the paper used.
+* :mod:`repro.orbits.constellation` — Walker-delta shells configured as
+  Starlink shell 1.
+* :mod:`repro.orbits.visibility` — elevation/azimuth/slant-range and
+  line-of-sight pass computation for a ground station.
+* :mod:`repro.orbits.tracking` — serving-satellite selection and the
+  handover events that the paper correlates with packet-loss bursts.
+"""
+
+from repro.orbits.constellation import Satellite, WalkerShell, starlink_shell1
+from repro.orbits.isl import IslNetwork, IslPath
+from repro.orbits.kepler import OrbitalElements, solve_kepler
+from repro.orbits.propagator import J2Propagator
+from repro.orbits.shells import (
+    STARLINK_GEN1_SHELLS,
+    MultiShellConstellation,
+    ShellSpec,
+)
+from repro.orbits.tle import TLE, parse_tle, parse_tle_file, tle_checksum
+from repro.orbits.tracking import HandoverEvent, SatelliteTracker, TrackingSample
+from repro.orbits.visibility import Pass, VisibilitySample, visible_satellites
+
+__all__ = [
+    "HandoverEvent",
+    "IslNetwork",
+    "IslPath",
+    "J2Propagator",
+    "MultiShellConstellation",
+    "OrbitalElements",
+    "Pass",
+    "STARLINK_GEN1_SHELLS",
+    "Satellite",
+    "SatelliteTracker",
+    "ShellSpec",
+    "TLE",
+    "TrackingSample",
+    "VisibilitySample",
+    "WalkerShell",
+    "parse_tle",
+    "parse_tle_file",
+    "solve_kepler",
+    "starlink_shell1",
+    "tle_checksum",
+    "visible_satellites",
+]

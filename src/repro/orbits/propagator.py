@@ -1,0 +1,97 @@
+"""First-order J2 secular orbit propagator.
+
+Propagates classical elements forward in time applying the secular J2
+rates (nodal regression, apsidal rotation, mean-anomaly drift), then
+rotates ECI positions into ECEF using a linear Earth-rotation model.
+
+Accuracy notes: for the near-circular 550 km Starlink orbits, secular J2
+is the dominant perturbation; short-periodic terms move positions by a
+few kilometres, which is negligible against the 550-1089 km slant ranges
+and 25-degree elevation masks that drive visibility.  This is the same
+fidelity class as the ns-3 Hypatia simulator's default propagation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    EARTH_EQUATORIAL_RADIUS_M,
+    EARTH_J2,
+    EARTH_ROTATION_RAD_S,
+)
+from repro.orbits.kepler import OrbitalElements
+
+
+@dataclass(frozen=True)
+class J2Propagator:
+    """Propagates an element set with secular J2 rates.
+
+    Attributes:
+        elements: Elements at ``epoch_s``.
+        epoch_s: Campaign time of the element set, seconds.
+    """
+
+    elements: OrbitalElements
+    epoch_s: float = 0.0
+
+    def _secular_rates(self) -> tuple[float, float, float]:
+        """(raan_dot, argp_dot, mean_anomaly_dot) in rad/s."""
+        el = self.elements
+        n = el.mean_motion_rad_s
+        p = el.semi_latus_rectum_m
+        j2_factor = 1.5 * EARTH_J2 * (EARTH_EQUATORIAL_RADIUS_M / p) ** 2 * n
+        cos_i = math.cos(el.inclination_rad)
+        sin_i_sq = math.sin(el.inclination_rad) ** 2
+        raan_dot = -j2_factor * cos_i
+        argp_dot = j2_factor * (2.0 - 2.5 * sin_i_sq)
+        mean_dot = n * (
+            1.0
+            + 1.5
+            * EARTH_J2
+            * (EARTH_EQUATORIAL_RADIUS_M / p) ** 2
+            * math.sqrt(1.0 - el.eccentricity**2)
+            * (1.0 - 1.5 * sin_i_sq)
+        )
+        return raan_dot, argp_dot, mean_dot
+
+    def elements_at(self, t_s: float) -> OrbitalElements:
+        """Element set propagated to campaign time ``t_s``."""
+        dt = t_s - self.epoch_s
+        raan_dot, argp_dot, mean_dot = self._secular_rates()
+        el = self.elements
+        return el.with_angles(
+            raan_rad=el.raan_rad + raan_dot * dt,
+            arg_perigee_rad=el.arg_perigee_rad + argp_dot * dt,
+            mean_anomaly_rad=el.mean_anomaly_rad + mean_dot * dt,
+        )
+
+    def position_eci(self, t_s: float) -> np.ndarray:
+        """ECI position at campaign time ``t_s``, metres."""
+        return self.elements_at(t_s).position_eci()
+
+    def position_ecef(self, t_s: float) -> np.ndarray:
+        """ECEF position at campaign time ``t_s``, metres.
+
+        Uses a linear Greenwich-angle model with theta(0) = 0: the frames
+        are defined to coincide at campaign t=0, which is consistent as
+        long as ground stations and satellites use the same convention
+        (they do, throughout this package).
+        """
+        return eci_to_ecef(self.position_eci(t_s), t_s)
+
+
+def gmst_rad(t_s: float) -> float:
+    """Greenwich mean sidereal angle at campaign time ``t_s`` (theta0=0)."""
+    return (EARTH_ROTATION_RAD_S * t_s) % (2.0 * math.pi)
+
+
+def eci_to_ecef(position_eci: np.ndarray, t_s: float) -> np.ndarray:
+    """Rotate an ECI position into ECEF at campaign time ``t_s``."""
+    theta = gmst_rad(t_s)
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    x, y, z = np.asarray(position_eci, dtype=float)
+    return np.array([cos_t * x + sin_t * y, -sin_t * x + cos_t * y, z])

@@ -1,0 +1,126 @@
+"""The five Starlink shells and multi-shell constellations.
+
+The paper notes Starlink "has five orbital shells, the closest of which
+is only 550 km away".  The Gen1 configuration from SpaceX's FCC
+modification (the paper's refs [20, 49, 50]):
+
+=======  ===========  ============  =======  ==========  =============
+Shell    Altitude     Inclination   Planes   Sats/plane  Min elevation
+=======  ===========  ============  =======  ==========  =============
+1        550 km       53.0 deg      72       22          25 deg
+2        540 km       53.2 deg      72       22          25 deg
+3        570 km       70.0 deg      36       20          25 deg
+4        560 km       97.6 deg      6        58          25 deg
+5        560 km       97.6 deg      4        43          25 deg
+=======  ===========  ============  =======  ==========  =============
+
+Shells 4/5 are polar and serve high latitudes; the mid-latitude cities
+the paper measures are covered by shells 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.constellation import Satellite, WalkerShell
+from repro.orbits.visibility import VisibilitySample, visible_satellites
+
+
+@dataclass(frozen=True)
+class ShellSpec:
+    """Geometry of one Starlink shell."""
+
+    shell_id: int
+    altitude_km: float
+    inclination_deg: float
+    n_planes: int
+    sats_per_plane: int
+    min_elevation_deg: float = 25.0
+
+    @property
+    def total_satellites(self) -> int:
+        """Satellites in the shell."""
+        return self.n_planes * self.sats_per_plane
+
+
+STARLINK_GEN1_SHELLS: tuple[ShellSpec, ...] = (
+    ShellSpec(1, 550.0, 53.0, 72, 22),
+    ShellSpec(2, 540.0, 53.2, 72, 22),
+    ShellSpec(3, 570.0, 70.0, 36, 20),
+    ShellSpec(4, 560.0, 97.6, 6, 58),
+    ShellSpec(5, 560.0, 97.6, 4, 43),
+)
+"""The five Gen1 shells from the FCC filings."""
+
+
+class MultiShellConstellation:
+    """Several Walker shells operated as one constellation.
+
+    Args:
+        specs: Shell geometries (default: all five Gen1 shells).
+        density: Uniform thinning factor in (0, 1]; scales plane and
+            slot counts down for cheaper simulations while preserving
+            altitudes/inclinations.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[ShellSpec, ...] = STARLINK_GEN1_SHELLS,
+        density: float = 1.0,
+    ) -> None:
+        if not 0.0 < density <= 1.0:
+            raise ConfigurationError(f"density must be in (0, 1]: {density}")
+        self.specs = specs
+        self.shells: list[WalkerShell] = []
+        catalog = 44714
+        for spec in specs:
+            n_planes = max(2, round(spec.n_planes * density))
+            sats_per_plane = max(2, round(spec.sats_per_plane * density))
+            shell = WalkerShell(
+                altitude_m=spec.altitude_km * 1000.0,
+                inclination_deg=spec.inclination_deg,
+                n_planes=n_planes,
+                sats_per_plane=sats_per_plane,
+                name_prefix=f"STARLINK-S{spec.shell_id}",
+                first_catalog_number=catalog,
+            )
+            catalog += len(shell)
+            self.shells.append(shell)
+
+    def __len__(self) -> int:
+        return sum(len(shell) for shell in self.shells)
+
+    @property
+    def satellites(self) -> list[Satellite]:
+        """All satellites across shells."""
+        return [sat for shell in self.shells for sat in shell.satellites]
+
+    def visible(
+        self, observer: GeoPoint, t_s: float, min_elevation_deg: float | None = None
+    ) -> list[VisibilitySample]:
+        """Visible satellites across all shells, best first.
+
+        ``min_elevation_deg`` overrides each shell's own mask when given.
+        """
+        samples: list[VisibilitySample] = []
+        for spec, shell in zip(self.specs, self.shells):
+            mask = (
+                min_elevation_deg
+                if min_elevation_deg is not None
+                else spec.min_elevation_deg
+            )
+            samples.extend(visible_satellites(shell, observer, t_s, mask))
+        samples.sort(key=lambda s: s.elevation_deg, reverse=True)
+        return samples
+
+    def coverage_fraction(
+        self, observer: GeoPoint, duration_s: float = 3600.0, step_s: float = 30.0
+    ) -> float:
+        """Fraction of sampled instants with at least one usable satellite."""
+        times = np.arange(0.0, duration_s, step_s)
+        covered = sum(1 for t in times if self.visible(observer, float(t)))
+        return covered / len(times)

@@ -1,0 +1,281 @@
+"""Two-Line Element (TLE) set parsing, validation and generation.
+
+The paper tracks overhead Starlink satellites using CelesTrak TLE files
+(its ref [11]).  Offline, we cannot fetch live TLEs, so this module both
+*parses* the standard NORAD format (so real files drop in unchanged) and
+*writes* it (so the synthetic Walker constellation can be exported as a
+TLE file and re-ingested through exactly the code path the paper used).
+
+Format reference: https://celestrak.org/NORAD/documentation/tle-fmt.php
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+from typing import Iterable
+
+from repro.constants import EARTH_MU_M3_S2
+from repro.errors import TLEError
+from repro.orbits.kepler import OrbitalElements
+from repro.timeline import CAMPAIGN_START
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+def tle_checksum(line: str) -> int:
+    """NORAD TLE checksum: digits summed, '-' counts 1, modulo 10."""
+    total = 0
+    for char in line[:68]:
+        if char.isdigit():
+            total += int(char)
+        elif char == "-":
+            total += 1
+    return total % 10
+
+
+def _epoch_to_campaign_s(epoch_year_2digit: int, epoch_day: float) -> float:
+    """Convert TLE epoch (YY, fractional day-of-year) to campaign seconds."""
+    year = 2000 + epoch_year_2digit if epoch_year_2digit < 57 else 1900 + epoch_year_2digit
+    instant = datetime(year, 1, 1, tzinfo=timezone.utc) + timedelta(days=epoch_day - 1.0)
+    return (instant - CAMPAIGN_START).total_seconds()
+
+
+def _campaign_s_to_epoch(t_s: float) -> tuple[int, float]:
+    """Inverse of :func:`_epoch_to_campaign_s`."""
+    instant = CAMPAIGN_START + timedelta(seconds=t_s)
+    start_of_year = datetime(instant.year, 1, 1, tzinfo=timezone.utc)
+    day = (instant - start_of_year).total_seconds() / _SECONDS_PER_DAY + 1.0
+    return instant.year % 100, day
+
+
+@dataclass(frozen=True)
+class TLE:
+    """A parsed Two-Line Element set.
+
+    Angles are degrees and mean motion is revolutions/day, mirroring the
+    wire format; :meth:`to_elements` converts to SI radians.
+    """
+
+    name: str
+    catalog_number: int
+    classification: str
+    intl_designator: str
+    epoch_year: int  # two-digit year as in the format
+    epoch_day: float  # fractional day-of-year
+    mean_motion_dot: float  # rev/day^2 / 2 (unused by the J2 propagator)
+    bstar: float
+    element_set_number: int
+    inclination_deg: float
+    raan_deg: float
+    eccentricity: float
+    arg_perigee_deg: float
+    mean_anomaly_deg: float
+    mean_motion_rev_day: float
+    revolution_number: int
+
+    @property
+    def epoch_campaign_s(self) -> float:
+        """TLE epoch expressed in campaign seconds."""
+        return _epoch_to_campaign_s(self.epoch_year, self.epoch_day)
+
+    @property
+    def semi_major_m(self) -> float:
+        """Semi-major axis recovered from mean motion, metres."""
+        n_rad_s = self.mean_motion_rev_day * 2.0 * math.pi / _SECONDS_PER_DAY
+        return (EARTH_MU_M3_S2 / n_rad_s**2) ** (1.0 / 3.0)
+
+    def to_elements(self) -> OrbitalElements:
+        """Classical elements at this TLE's epoch."""
+        return OrbitalElements(
+            semi_major_m=self.semi_major_m,
+            eccentricity=self.eccentricity,
+            inclination_rad=math.radians(self.inclination_deg),
+            raan_rad=math.radians(self.raan_deg),
+            arg_perigee_rad=math.radians(self.arg_perigee_deg),
+            mean_anomaly_rad=math.radians(self.mean_anomaly_deg),
+        )
+
+
+def _parse_implied_decimal(field: str) -> float:
+    """Parse the TLE 'implied decimal point' exponent notation, e.g. ' 29871-4'."""
+    field = field.strip()
+    if not field or set(field) <= {"0", "-", "+", " "}:
+        return 0.0
+    mantissa_sign = -1.0 if field[0] == "-" else 1.0
+    body = field.lstrip("+-")
+    # Exponent is the final signed digit.
+    mantissa_str, exp_sign, exp_str = body[:-2], body[-2], body[-1]
+    if exp_sign not in "+-":
+        # Some writers omit the sign; treat the last char as the exponent.
+        mantissa_str, exp_sign, exp_str = body[:-1], "+", body[-1]
+    mantissa = float("0." + mantissa_str)
+    exponent = int(exp_str) * (1 if exp_sign == "+" else -1)
+    return mantissa_sign * mantissa * 10.0**exponent
+
+
+def parse_tle(line1: str, line2: str, name: str = "") -> TLE:
+    """Parse a TLE from its two lines (plus optional preceding name line).
+
+    Raises:
+        TLEError: on malformed lines, line-number mismatch, or checksum
+            failure.
+    """
+    line1 = line1.rstrip("\n")
+    line2 = line2.rstrip("\n")
+    if len(line1) < 69 or len(line2) < 69:
+        raise TLEError(
+            f"TLE lines must be 69 characters, got {len(line1)} and {len(line2)}"
+        )
+    if line1[0] != "1" or line2[0] != "2":
+        raise TLEError(f"bad TLE line numbers: {line1[0]!r}, {line2[0]!r}")
+    for line in (line1, line2):
+        expected = tle_checksum(line)
+        actual = line[68]
+        if not actual.isdigit() or int(actual) != expected:
+            raise TLEError(f"checksum mismatch on line: {line!r} (expected {expected})")
+    cat1 = line1[2:7].strip()
+    cat2 = line2[2:7].strip()
+    if cat1 != cat2:
+        raise TLEError(f"catalog number mismatch: {cat1!r} vs {cat2!r}")
+    try:
+        return TLE(
+            name=name.strip() or f"SAT-{int(cat1)}",
+            catalog_number=int(cat1),
+            classification=line1[7],
+            intl_designator=line1[9:17].strip(),
+            epoch_year=int(line1[18:20]),
+            epoch_day=float(line1[20:32]),
+            mean_motion_dot=float(line1[33:43].replace(" ", "") or 0.0),
+            bstar=_parse_implied_decimal(line1[53:61]),
+            element_set_number=int(line1[64:68].strip() or 0),
+            inclination_deg=float(line2[8:16]),
+            raan_deg=float(line2[17:25]),
+            eccentricity=float("0." + line2[26:33].strip()),
+            arg_perigee_deg=float(line2[34:42]),
+            mean_anomaly_deg=float(line2[43:51]),
+            mean_motion_rev_day=float(line2[52:63]),
+            revolution_number=int(line2[63:68].strip() or 0),
+        )
+    except ValueError as exc:
+        raise TLEError(f"malformed TLE field: {exc}") from exc
+
+
+def parse_tle_file(text: str) -> list[TLE]:
+    """Parse a multi-TLE file in 2-line or 3-line (named) format."""
+    lines = [ln.rstrip("\n") for ln in text.splitlines() if ln.strip()]
+    tles: list[TLE] = []
+    pending_name = ""
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        if line.startswith("1 ") and index + 1 < len(lines) and lines[index + 1].startswith("2 "):
+            tles.append(parse_tle(line, lines[index + 1], name=pending_name))
+            pending_name = ""
+            index += 2
+        else:
+            pending_name = line.removeprefix("0 ").strip()
+            index += 1
+    if pending_name and not tles:
+        raise TLEError("file contained names but no TLE line pairs")
+    return tles
+
+
+def _format_implied_decimal(value: float) -> str:
+    """Format a float in TLE implied-decimal notation (8 characters)."""
+    if value == 0.0:
+        return " 00000+0"
+    sign = "-" if value < 0 else " "
+    magnitude = abs(value)
+    exponent = int(math.floor(math.log10(magnitude))) + 1
+    mantissa = magnitude / 10.0**exponent
+    mantissa_digits = f"{mantissa:.5f}"[2:7]
+    exp_char = f"{exponent:+d}".replace("+0", "+").replace("-0", "-")
+    if len(exp_char) > 2:  # clamp pathological exponents
+        exp_char = "+9" if exponent > 0 else "-9"
+    return f"{sign}{mantissa_digits}{exp_char}"
+
+
+def format_tle(tle: TLE) -> tuple[str, str]:
+    """Render a :class:`TLE` back to its two 69-character lines."""
+    line1 = (
+        f"1 {tle.catalog_number:05d}{tle.classification} "
+        f"{tle.intl_designator:<8} "
+        f"{tle.epoch_year:02d}{tle.epoch_day:012.8f} "
+        f"{_format_mean_motion_dot(tle.mean_motion_dot)} "
+        f" 00000+0 "
+        f"{_format_implied_decimal(tle.bstar)} "
+        f"0 {tle.element_set_number:4d}"
+    )
+    line2 = (
+        f"2 {tle.catalog_number:05d} "
+        f"{tle.inclination_deg:8.4f} "
+        f"{tle.raan_deg:8.4f} "
+        f"{_format_eccentricity(tle.eccentricity)} "
+        f"{tle.arg_perigee_deg:8.4f} "
+        f"{tle.mean_anomaly_deg:8.4f} "
+        f"{tle.mean_motion_rev_day:11.8f}"
+        f"{tle.revolution_number:5d}"
+    )
+    line1 = line1[:68] + str(tle_checksum(line1))
+    line2 = line2[:68] + str(tle_checksum(line2))
+    return line1, line2
+
+
+def _format_mean_motion_dot(value: float) -> str:
+    """First derivative of mean motion: sign column + leading-dot decimal.
+
+    The field is 10 columns, e.g. ``-.00002182``.  Values with magnitude
+    >= 1 cannot be represented in the format and are clamped.
+    """
+    sign = "-" if value < 0 else " "
+    magnitude = min(abs(value), 0.99999999)
+    fraction_digits = f"{magnitude:.8f}"[2:]  # strip the leading '0.'
+    return f"{sign}.{fraction_digits}"
+
+
+def _format_eccentricity(eccentricity: float) -> str:
+    """Eccentricity with implied leading decimal point, 7 digits."""
+    return f"{eccentricity:.7f}"[2:9]
+
+
+def format_tle_file(tles: Iterable[TLE], include_names: bool = True) -> str:
+    """Render TLEs to a 3-line (named) or 2-line file body."""
+    chunks: list[str] = []
+    for tle in tles:
+        if include_names:
+            chunks.append(tle.name)
+        line1, line2 = format_tle(tle)
+        chunks.append(line1)
+        chunks.append(line2)
+    return "\n".join(chunks) + "\n"
+
+
+def tle_from_elements(
+    name: str,
+    catalog_number: int,
+    elements: OrbitalElements,
+    epoch_campaign_s: float = 0.0,
+) -> TLE:
+    """Build a TLE record from classical elements at a campaign time."""
+    epoch_year, epoch_day = _campaign_s_to_epoch(epoch_campaign_s)
+    mean_motion_rev_day = elements.mean_motion_rad_s * _SECONDS_PER_DAY / (2.0 * math.pi)
+    return TLE(
+        name=name,
+        catalog_number=catalog_number,
+        classification="U",
+        intl_designator="22001A",
+        epoch_year=epoch_year,
+        epoch_day=epoch_day,
+        mean_motion_dot=0.0,
+        bstar=0.0,
+        element_set_number=999,
+        inclination_deg=math.degrees(elements.inclination_rad),
+        raan_deg=math.degrees(elements.raan_rad),
+        eccentricity=elements.eccentricity,
+        arg_perigee_deg=math.degrees(elements.arg_perigee_rad),
+        mean_anomaly_deg=math.degrees(elements.mean_anomaly_rad),
+        mean_motion_rev_day=mean_motion_rev_day,
+        revolution_number=1,
+    )

@@ -1,0 +1,168 @@
+"""Serving-satellite tracking and handover events.
+
+Starlink terminals are (re)assigned to satellites on a fixed scheduler
+epoch (~15 s).  Between epochs a terminal keeps its serving satellite; if
+the satellite drops below the elevation mask mid-epoch the link breaks
+until a new assignment ("line-of-sight lost" handover).  The paper's
+Figure 7 correlates exactly these events with packet-loss bursts, so the
+tracker reports every handover with its cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.constants import (
+    STARLINK_MIN_ELEVATION_DEG,
+    STARLINK_RESCHEDULE_INTERVAL_S,
+)
+from repro.errors import ConfigurationError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.constellation import WalkerShell
+from repro.orbits.visibility import visible_satellites
+
+
+class HandoverReason(Enum):
+    """Why the serving satellite changed."""
+
+    ACQUIRED = "acquired"  # first assignment / recovery from outage
+    RESCHEDULE = "reschedule"  # scheduler epoch chose a different satellite
+    LOS_LOST = "los_lost"  # serving satellite dropped below the mask
+    OUTAGE = "outage"  # no satellite visible at all
+
+
+class SelectionPolicy(Enum):
+    """How the scheduler picks among visible satellites."""
+
+    MAX_ELEVATION = "max_elevation"
+    MIN_RANGE = "min_range"
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """A change of serving satellite."""
+
+    t_s: float
+    from_satellite: str | None
+    to_satellite: str | None
+    reason: HandoverReason
+
+
+@dataclass(frozen=True)
+class TrackingSample:
+    """Tracker state at one sample instant."""
+
+    t_s: float
+    serving: str | None
+    elevation_deg: float
+    slant_range_m: float
+
+    @property
+    def connected(self) -> bool:
+        """Whether a serving satellite is assigned."""
+        return self.serving is not None
+
+
+@dataclass
+class SatelliteTracker:
+    """Tracks the serving satellite for one terminal over time.
+
+    Attributes:
+        shell: The constellation shell.
+        observer: Terminal location.
+        min_elevation_deg: Usability mask, degrees.
+        reschedule_interval_s: Scheduler epoch; reassignments happen on
+            multiples of this interval (15 s for Starlink).
+        policy: Selection policy at each scheduling decision.
+    """
+
+    shell: WalkerShell
+    observer: GeoPoint
+    min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG
+    reschedule_interval_s: float = STARLINK_RESCHEDULE_INTERVAL_S
+    policy: SelectionPolicy = SelectionPolicy.MAX_ELEVATION
+    _serving: str | None = field(default=None, init=False)
+    _last_epoch: int = field(default=-1, init=False)
+
+    def __post_init__(self) -> None:
+        if self.reschedule_interval_s <= 0:
+            raise ConfigurationError(
+                f"reschedule interval must be positive: {self.reschedule_interval_s}"
+            )
+
+    def _select(self, t_s: float) -> str | None:
+        candidates = visible_satellites(
+            self.shell, self.observer, t_s, self.min_elevation_deg
+        )
+        if not candidates:
+            return None
+        if self.policy is SelectionPolicy.MIN_RANGE:
+            return min(candidates, key=lambda s: s.slant_range_m).satellite
+        return candidates[0].satellite  # already sorted by elevation
+
+    def _geometry_of(self, name: str, t_s: float) -> tuple[float, float]:
+        """(elevation_deg, slant_range_m) of a named satellite at t."""
+        from repro.geo.coordinates import elevation_azimuth_range
+
+        satellite = self.shell.satellite(name)
+        position = satellite.position_ecef(t_s)
+        elevation, _, slant = elevation_azimuth_range(self.observer, position)
+        return elevation, slant
+
+    def step(self, t_s: float) -> tuple[TrackingSample, HandoverEvent | None]:
+        """Advance the tracker to ``t_s`` and return (sample, event?).
+
+        Must be called with non-decreasing timestamps.  An event is
+        returned only when the serving satellite changes at this step.
+        """
+        epoch = int(t_s // self.reschedule_interval_s)
+        event: HandoverEvent | None = None
+        previous = self._serving
+
+        serving_visible = False
+        if previous is not None:
+            elevation, _ = self._geometry_of(previous, t_s)
+            serving_visible = elevation >= self.min_elevation_deg
+
+        if epoch != self._last_epoch:
+            # Scheduler epoch boundary: free reassignment.
+            self._last_epoch = epoch
+            chosen = self._select(t_s)
+            if chosen != previous:
+                if chosen is None:
+                    reason = HandoverReason.OUTAGE
+                elif previous is None:
+                    reason = HandoverReason.ACQUIRED
+                elif not serving_visible:
+                    reason = HandoverReason.LOS_LOST
+                else:
+                    reason = HandoverReason.RESCHEDULE
+                event = HandoverEvent(t_s, previous, chosen, reason)
+                self._serving = chosen
+        elif previous is not None and not serving_visible:
+            # Mid-epoch loss of line of sight: link breaks immediately.
+            event = HandoverEvent(t_s, previous, None, HandoverReason.LOS_LOST)
+            self._serving = None
+
+        if self._serving is None:
+            sample = TrackingSample(t_s, None, float("-inf"), 0.0)
+        else:
+            elevation, slant = self._geometry_of(self._serving, t_s)
+            sample = TrackingSample(t_s, self._serving, elevation, slant)
+        return sample, event
+
+    def track(
+        self, start_s: float, end_s: float, step_s: float = 1.0
+    ) -> tuple[list[TrackingSample], list[HandoverEvent]]:
+        """Run the tracker over a window; returns samples and handovers."""
+        samples: list[TrackingSample] = []
+        events: list[HandoverEvent] = []
+        for t in np.arange(start_s, end_s, step_s):
+            sample, event = self.step(float(t))
+            samples.append(sample)
+            if event is not None:
+                events.append(event)
+        return samples, events

@@ -1,0 +1,205 @@
+"""Ground-station visibility: elevation masks, slant ranges, passes.
+
+Implements the geometry the paper uses for Figure 7: a satellite is
+usable when its elevation at the terminal exceeds the 25-degree mask from
+SpaceX's FCC filings, equivalently when the slant range is below
+~1089 km for shell 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import STARLINK_MIN_ELEVATION_DEG
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.constellation import WalkerShell
+
+
+@dataclass(frozen=True)
+class VisibilitySample:
+    """Satellite geometry relative to an observer at one instant."""
+
+    satellite: str
+    t_s: float
+    elevation_deg: float
+    azimuth_deg: float
+    slant_range_m: float
+
+    @property
+    def visible(self) -> bool:
+        """Whether the sample clears the shell-1 minimum elevation mask."""
+        return self.elevation_deg >= STARLINK_MIN_ELEVATION_DEG
+
+
+@dataclass(frozen=True)
+class Pass:
+    """A contiguous visibility window of one satellite over an observer."""
+
+    satellite: str
+    start_s: float
+    end_s: float
+    max_elevation_deg: float
+
+    @property
+    def duration_s(self) -> float:
+        """Pass length, seconds."""
+        return self.end_s - self.start_s
+
+
+def _enu_components(
+    observer: GeoPoint, positions_ecef: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised ENU components of many ECEF positions at an observer."""
+    lat = math.radians(observer.latitude_deg)
+    lon = math.radians(observer.longitude_deg)
+    delta = positions_ecef - observer.ecef()
+    sin_lat, cos_lat = math.sin(lat), math.cos(lat)
+    sin_lon, cos_lon = math.sin(lon), math.cos(lon)
+    east = -sin_lon * delta[:, 0] + cos_lon * delta[:, 1]
+    north = (
+        -sin_lat * cos_lon * delta[:, 0]
+        - sin_lat * sin_lon * delta[:, 1]
+        + cos_lat * delta[:, 2]
+    )
+    up = (
+        cos_lat * cos_lon * delta[:, 0]
+        + cos_lat * sin_lon * delta[:, 1]
+        + sin_lat * delta[:, 2]
+    )
+    return east, north, up
+
+
+def all_samples(
+    shell: WalkerShell, observer: GeoPoint, t_s: float
+) -> list[VisibilitySample]:
+    """Geometry of every satellite in the shell at ``t_s`` (vectorised)."""
+    positions = shell.positions_ecef(t_s)
+    east, north, up = _enu_components(observer, positions)
+    horizontal = np.hypot(east, north)
+    slant = np.sqrt(east**2 + north**2 + up**2)
+    elevation = np.degrees(np.arctan2(up, horizontal))
+    azimuth = np.degrees(np.arctan2(east, north)) % 360.0
+    return [
+        VisibilitySample(
+            satellite=sat.name,
+            t_s=t_s,
+            elevation_deg=float(elevation[i]),
+            azimuth_deg=float(azimuth[i]),
+            slant_range_m=float(slant[i]),
+        )
+        for i, sat in enumerate(shell.satellites)
+    ]
+
+
+def visible_satellites(
+    shell: WalkerShell,
+    observer: GeoPoint,
+    t_s: float,
+    min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
+) -> list[VisibilitySample]:
+    """Satellites above the elevation mask, best (highest) first.
+
+    Filters on the vectorised arrays before materialising sample
+    objects, so scanning a full 1584-satellite shell stays cheap even
+    when called once per scheduler epoch for months of campaign time.
+    """
+    positions = shell.positions_ecef(t_s)
+    east, north, up = _enu_components(observer, positions)
+    horizontal = np.hypot(east, north)
+    elevation = np.degrees(np.arctan2(up, horizontal))
+    visible_idx = np.nonzero(elevation >= min_elevation_deg)[0]
+    samples = []
+    for i in visible_idx:
+        slant = math.sqrt(east[i] ** 2 + north[i] ** 2 + up[i] ** 2)
+        azimuth = math.degrees(math.atan2(east[i], north[i])) % 360.0
+        samples.append(
+            VisibilitySample(
+                satellite=shell.satellites[i].name,
+                t_s=t_s,
+                elevation_deg=float(elevation[i]),
+                azimuth_deg=azimuth,
+                slant_range_m=float(slant),
+            )
+        )
+    samples.sort(key=lambda s: s.elevation_deg, reverse=True)
+    return samples
+
+
+def passes(
+    shell: WalkerShell,
+    observer: GeoPoint,
+    start_s: float,
+    end_s: float,
+    step_s: float = 5.0,
+    min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
+) -> list[Pass]:
+    """Visibility passes of all shell satellites over ``[start_s, end_s]``.
+
+    Sampled at ``step_s`` resolution; windows shorter than one step may be
+    missed, which is irrelevant at shell-1 pass durations (minutes).
+    """
+    n_steps = int(math.floor((end_s - start_s) / step_s)) + 1
+    open_passes: dict[str, tuple[float, float]] = {}  # name -> (start, max_elev)
+    finished: list[Pass] = []
+    for step_index in range(n_steps):
+        t = start_s + step_index * step_s
+        visible_now = {
+            s.satellite: s.elevation_deg
+            for s in all_samples(shell, observer, t)
+            if s.elevation_deg >= min_elevation_deg
+        }
+        for name, elevation in visible_now.items():
+            if name in open_passes:
+                pass_start, max_elev = open_passes[name]
+                open_passes[name] = (pass_start, max(max_elev, elevation))
+            else:
+                open_passes[name] = (t, elevation)
+        for name in list(open_passes):
+            if name not in visible_now:
+                pass_start, max_elev = open_passes.pop(name)
+                finished.append(Pass(name, pass_start, t - step_s, max_elev))
+    for name, (pass_start, max_elev) in open_passes.items():
+        finished.append(Pass(name, pass_start, start_s + (n_steps - 1) * step_s, max_elev))
+    finished.sort(key=lambda p: (p.start_s, p.satellite))
+    return finished
+
+
+def distance_series(
+    shell: WalkerShell,
+    observer: GeoPoint,
+    satellites: list[str],
+    start_s: float,
+    end_s: float,
+    step_s: float = 1.0,
+    min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
+) -> dict[str, np.ndarray]:
+    """Slant-range time series per satellite, zeroed when out of sight.
+
+    Matches the convention of the paper's Figure 7, which sets distance to
+    zero when a satellite goes out of line of sight.  Returns a mapping
+    from satellite name to an array of ranges (metres) aligned with
+    ``numpy.arange(start_s, end_s, step_s)``.
+    """
+    wanted = set(satellites)
+    times = np.arange(start_s, end_s, step_s)
+    series = {name: np.zeros(len(times)) for name in satellites}
+    name_to_index = {sat.name: i for i, sat in enumerate(shell.satellites)}
+    missing = wanted - set(name_to_index)
+    if missing:
+        raise KeyError(f"satellites not in shell: {sorted(missing)}")
+    for t_index, t in enumerate(times):
+        positions = shell.positions_ecef(float(t))
+        east, north, up = _enu_components(observer, positions)
+        for name in satellites:
+            sat_index = name_to_index[name]
+            elevation = math.degrees(
+                math.atan2(up[sat_index], math.hypot(east[sat_index], north[sat_index]))
+            )
+            if elevation >= min_elevation_deg:
+                series[name][t_index] = math.sqrt(
+                    east[sat_index] ** 2 + north[sat_index] ** 2 + up[sat_index] ** 2
+                )
+    return series

@@ -1,0 +1,59 @@
+"""Exit autonomous-system plan and the 2022 Google -> SpaceX migration.
+
+The paper observed Starlink users' traffic initially exiting from
+AS36492 (Google) and migrating to AS14593 (SpaceX) during the campaign:
+between 16 and 24 Feb 2022 in London and between 1 and 2 Apr 2022 in
+Sydney, while Seattle was on AS14593 throughout.  Figure 3 shows Page
+Transit Times increasing slightly after the switch — the paper
+conjectures Google's better peering meant fewer AS hops.
+
+:class:`AsPlan` reproduces that schedule and quantifies the conjecture
+as a small post-migration path penalty (extra transit latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import AS_GOOGLE, AS_SPACEX
+from repro.timeline import LONDON_AS_SWITCH_T, SYDNEY_AS_SWITCH_T
+
+
+@dataclass(frozen=True)
+class AsPlan:
+    """Exit-AS schedule for Starlink users, per city.
+
+    Attributes:
+        switch_times: City -> campaign time of the Google->SpaceX
+            migration.  Cities absent from the map are on SpaceX's AS
+            for the whole campaign (like Seattle in the paper).
+        peering_penalty_ms: Extra one-way transit latency after moving
+            off Google's AS (worse peering, extra AS hops).
+    """
+
+    switch_times: dict[str, float] = field(
+        default_factory=lambda: {
+            "london": LONDON_AS_SWITCH_T,
+            "wiltshire": LONDON_AS_SWITCH_T,
+            "sydney": SYDNEY_AS_SWITCH_T,
+            "melbourne": SYDNEY_AS_SWITCH_T,
+        }
+    )
+    peering_penalty_ms: float = 9.0
+
+    def exit_as(self, city_name: str, t_s: float) -> int:
+        """Exit AS number for a city at campaign time ``t_s``."""
+        switch_at = self.switch_times.get(city_name)
+        if switch_at is not None and t_s < switch_at:
+            return AS_GOOGLE
+        return AS_SPACEX
+
+    def on_google_as(self, city_name: str, t_s: float) -> bool:
+        """Whether traffic still exits via Google's AS at ``t_s``."""
+        return self.exit_as(city_name, t_s) == AS_GOOGLE
+
+    def transit_penalty_s(self, city_name: str, t_s: float) -> float:
+        """One-way latency penalty (seconds) in effect at ``t_s``."""
+        if self.on_google_as(city_name, t_s):
+            return 0.0
+        return self.peering_penalty_ms / 1000.0

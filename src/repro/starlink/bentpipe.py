@@ -1,0 +1,309 @@
+"""The Earth-satellite-Earth ("bent pipe") link model.
+
+Combines the substrates into the link a Starlink terminal actually gets:
+
+* **Propagation** follows the serving satellite chosen by the 15-second
+  scheduler epoch (terminal->satellite + satellite->gateway distances
+  over c).  The paper finds this bent pipe dominates path latency.
+* **Scheduler/processing delay**: MAC framing, uplink grants, gateway
+  processing — the fixed ~10 ms floor that makes Starlink RTTs ~30 ms
+  rather than the ~5 ms physics would allow.
+* **Weather**: the rain-fade impairment multiplies the scheduler/ARQ
+  component, adds residual loss and scales capacity
+  (:mod:`repro.weather.impairment`).
+* **Queueing**: load-coupled stochastic queueing from the capacity
+  model; this is what Table 2's max-min estimator measures.
+* **Handover loss**: burst-loss windows gated on the tracker's handover
+  events (Figure 7's loss clumps).
+
+Two interfaces are exposed: *analytic* (mean/sampled RTT, loss rate and
+capacity at an arbitrary campaign time — used by the six-month browser
+campaign, where packet-level simulation of 50k page loads would be
+wasteful) and *packet-level* (delay providers and loss models to plug
+into :class:`repro.net.link.Link` for traceroute/iperf/TCP experiments).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    SPEED_OF_LIGHT_M_S,
+    STARLINK_MIN_ELEVATION_DEG,
+    STARLINK_RESCHEDULE_INTERVAL_S,
+)
+from repro.errors import VisibilityError
+from repro.geo.coordinates import GeoPoint, elevation_azimuth_range
+from repro.orbits.constellation import WalkerShell
+from repro.orbits.tracking import SatelliteTracker
+from repro.orbits.visibility import visible_satellites
+from repro.rng import stream
+from repro.starlink.capacity import ServiceCapacityModel
+from repro.weather.history import WeatherHistory
+from repro.weather.impairment import LinkImpairment, impairment_for
+from repro.weather.conditions import WeatherCondition
+
+PROCESSING_DELAY_S = 0.002
+"""One-way dish + satellite + gateway processing, seconds."""
+
+SCHEDULER_DELAY_S = 0.006
+"""One-way MAC framing and uplink-grant delay at clear sky, seconds."""
+
+OUTAGE_RTT_PENALTY_S = 2.0
+"""Analytic RTT charged when no satellite is visible (reconnect time)."""
+
+
+@dataclass(frozen=True)
+class ServingGeometry:
+    """Bent-pipe geometry at one instant."""
+
+    satellite: str
+    terminal_range_m: float
+    gateway_range_m: float
+    elevation_deg: float
+
+    @property
+    def propagation_delay_s(self) -> float:
+        """One-way terminal->satellite->gateway propagation, seconds."""
+        return (self.terminal_range_m + self.gateway_range_m) / SPEED_OF_LIGHT_M_S
+
+
+class BentPipeModel:
+    """The bent-pipe link for one terminal.
+
+    Args:
+        shell: Constellation shell overhead.
+        terminal: Terminal (dish) location.
+        gateway: Gateway ground-station location.
+        city_name: City for weather/timezone/capacity lookups.
+        weather: Weather history (None -> permanent clear sky).
+        capacity: Capacity model (None -> built from the city's plan).
+        seed: RNG root for queueing/loss draws.
+    """
+
+    def __init__(
+        self,
+        shell: WalkerShell,
+        terminal: GeoPoint,
+        gateway: GeoPoint,
+        city_name: str,
+        weather: WeatherHistory | None = None,
+        capacity: ServiceCapacityModel | None = None,
+        seed: int = 0,
+        min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
+        obstruction=None,
+    ) -> None:
+        """``obstruction`` is an optional
+        :class:`repro.starlink.obstruction.ObstructionMask`: satellites
+        behind blocked sky are unusable for this terminal, so a badly
+        sited dish sees more handovers and outright outages."""
+        self.shell = shell
+        self.terminal = terminal
+        self.gateway = gateway
+        self.city_name = city_name
+        self.weather = weather
+        self.capacity = (
+            capacity
+            if capacity is not None
+            else ServiceCapacityModel(city_name, seed=seed)
+        )
+        self.min_elevation_deg = min_elevation_deg
+        self.obstruction = obstruction
+        self._rng = stream(seed, "bentpipe", city_name)
+        self._geometry_cache: OrderedDict[int, ServingGeometry | None] = OrderedDict()
+        self._wireless_queue = self.capacity.wireless_queueing_sampler()
+
+    # -- geometry ----------------------------------------------------------
+
+    def serving_geometry(self, t_s: float) -> ServingGeometry | None:
+        """Geometry via the serving satellite at ``t_s`` (None = outage).
+
+        The serving satellite is fixed per 15-second scheduler epoch
+        (max-elevation selection at the epoch start), matching
+        :class:`repro.orbits.tracking.SatelliteTracker` behaviour in a
+        stateless, random-access form usable at arbitrary times.
+        """
+        epoch = int(t_s // STARLINK_RESCHEDULE_INTERVAL_S)
+        if epoch in self._geometry_cache:
+            self._geometry_cache.move_to_end(epoch)
+            return self._geometry_cache[epoch]
+        epoch_time = epoch * STARLINK_RESCHEDULE_INTERVAL_S
+        candidates = visible_satellites(
+            self.shell, self.terminal, epoch_time, self.min_elevation_deg
+        )
+        if self.obstruction is not None:
+            candidates = self.obstruction.filter_visible(candidates)
+        geometry: ServingGeometry | None = None
+        if candidates:
+            best = candidates[0]
+            satellite = self.shell.satellite(best.satellite)
+            _, _, gateway_range = elevation_azimuth_range(
+                self.gateway, satellite.position_ecef(epoch_time)
+            )
+            geometry = ServingGeometry(
+                satellite=best.satellite,
+                terminal_range_m=best.slant_range_m,
+                gateway_range_m=gateway_range,
+                elevation_deg=best.elevation_deg,
+            )
+        self._geometry_cache[epoch] = geometry
+        if len(self._geometry_cache) > 8192:
+            self._geometry_cache.popitem(last=False)
+        return geometry
+
+    def is_outage(self, t_s: float) -> bool:
+        """Whether no satellite is usable at ``t_s``."""
+        return self.serving_geometry(t_s) is None
+
+    # -- weather ----------------------------------------------------------
+
+    def condition_at(self, t_s: float) -> WeatherCondition:
+        """Weather condition over the terminal at ``t_s``."""
+        if self.weather is None:
+            return WeatherCondition.CLEAR_SKY
+        return self.weather.condition_at(self.city_name, t_s)
+
+    def impairment_at(self, t_s: float) -> LinkImpairment:
+        """Weather impairment of the link at ``t_s``."""
+        geometry = self.serving_geometry(t_s)
+        elevation = geometry.elevation_deg if geometry is not None else 55.0
+        return impairment_for(self.condition_at(t_s), elevation)
+
+    # -- analytic latency/loss/capacity ---------------------------------------
+
+    def base_one_way_delay_s(self, t_s: float) -> float:
+        """Deterministic one-way latency (no queueing) at ``t_s``.
+
+        Raises:
+            VisibilityError: during an outage; analytic callers that
+                tolerate outages should check :meth:`is_outage`.
+        """
+        geometry = self.serving_geometry(t_s)
+        if geometry is None:
+            raise VisibilityError(
+                f"no satellite visible over {self.city_name} at t={t_s}"
+            )
+        impairment = self.impairment_at(t_s)
+        scheduler = SCHEDULER_DELAY_S * impairment.latency_multiplier
+        return geometry.propagation_delay_s + PROCESSING_DELAY_S + scheduler
+
+    def mean_rtt_to_pop_s(self, t_s: float) -> float:
+        """Expected terminal<->PoP RTT at ``t_s`` (mean queueing folded in).
+
+        Weather multiplies the queueing component too: rain fade forces
+        a slower MCS, so the same offered load queues for longer — the
+        dominant mechanism behind Figure 4's ~2x rainy-day PTT.
+        """
+        if self.is_outage(t_s):
+            return OUTAGE_RTT_PENALTY_S
+        utilization = self.capacity.utilization(t_s)
+        weather_multiplier = self.impairment_at(t_s).latency_multiplier
+        mean_queue = (
+            (self.capacity.plan.wireless_queue_mean_ms / 1000.0)
+            * (0.4 + 1.2 * utilization)
+            * weather_multiplier
+        )
+        return 2.0 * self.base_one_way_delay_s(t_s) + 2.0 * mean_queue
+
+    def sample_rtt_to_pop_s(self, t_s: float) -> float:
+        """One random terminal<->PoP RTT draw at ``t_s``."""
+        if self.is_outage(t_s):
+            return OUTAGE_RTT_PENALTY_S
+        weather_multiplier = self.impairment_at(t_s).latency_multiplier
+        return 2.0 * self.base_one_way_delay_s(t_s) + weather_multiplier * (
+            self._wireless_queue(t_s) + self._wireless_queue(t_s)
+        )
+
+    def loss_rate(self, t_s: float, residual: float = 0.002) -> float:
+        """Steady-state (non-handover) packet-loss probability at ``t_s``."""
+        if self.is_outage(t_s):
+            return 1.0
+        return min(1.0, residual + self.impairment_at(t_s).extra_loss_rate)
+
+    def capacity_bps(self, t_s: float, downlink: bool = True, noisy: bool = True) -> float:
+        """Weather-adjusted achievable rate at ``t_s``, bits/s."""
+        return self.capacity.capacity_bps(t_s, downlink, noisy) * (
+            self.impairment_at(t_s).capacity_multiplier
+        )
+
+    # -- packet-level plumbing ---------------------------------------------
+
+    def link_delay_provider(self, time_offset_s: float = 0.0):
+        """One-way delay callable for :class:`repro.net.link.Link`.
+
+        ``time_offset_s`` maps simulation time (which starts at 0 for
+        each experiment) onto campaign time.
+        """
+
+        def delay(now_s: float) -> float:
+            t = now_s + time_offset_s
+            if self.is_outage(t):
+                return OUTAGE_RTT_PENALTY_S / 2.0
+            return self.base_one_way_delay_s(t)
+
+        return delay
+
+    def wireless_extra_delay_provider(self, time_offset_s: float = 0.0):
+        """Queueing sampler for the bent-pipe link (packet level)."""
+
+        def extra(now_s: float) -> float:
+            return self._wireless_queue(now_s + time_offset_s)
+
+        return extra
+
+    def handover_loss_model(
+        self,
+        start_s: float,
+        end_s: float,
+        seed: int = 0,
+        burst_duration_s: float = 4.0,
+        burst_loss: float = 0.26,
+        outage_loss: float = 0.85,
+        residual_loss: float = 0.002,
+        step_s: float = 1.0,
+        time_offset_s: float | None = None,
+        warmup_s: float = 90.0,
+    ):
+        """Build the handover-gated burst-loss model for a time window.
+
+        Runs a :class:`SatelliteTracker` over ``[start_s - warmup_s,
+        end_s]`` (campaign time), converts its handover events into
+        burst windows, and returns ``(loss_model, events, samples)``.
+        The warm-up matters: a cold tracker has just selected the best
+        satellite, so short windows would almost never see a handover;
+        warming up gives the serving satellite a realistic age.  The
+        loss model's windows are expressed in *simulation* time, i.e.
+        shifted by ``-time_offset_s`` (default: ``-start_s``); events
+        and samples are returned in campaign time, warm-up included.
+        """
+        from repro.net.loss import HandoverBurstLoss
+
+        if time_offset_s is None:
+            time_offset_s = start_s
+        tracker = SatelliteTracker(
+            self.shell,
+            self.terminal,
+            min_elevation_deg=self.min_elevation_deg,
+        )
+        samples, events = tracker.track(max(0.0, start_s - warmup_s), end_s, step_s)
+        shifted = [
+            type(event)(
+                t_s=event.t_s - time_offset_s,
+                from_satellite=event.from_satellite,
+                to_satellite=event.to_satellite,
+                reason=event.reason,
+            )
+            for event in events
+        ]
+        model = HandoverBurstLoss.from_handovers(
+            shifted,
+            rng=stream(seed, "handover-loss", self.city_name),
+            burst_duration_s=burst_duration_s,
+            burst_loss=burst_loss,
+            outage_loss=outage_loss,
+            residual_loss=residual_loss,
+        )
+        return model, events, samples

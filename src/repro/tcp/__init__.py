@@ -1,0 +1,24 @@
+"""Packet-level TCP with pluggable congestion control.
+
+Implements the transport behaviour the paper exercises with iperf3 on
+its Raspberry-Pi nodes: a cumulative-ACK TCP sender/receiver pair
+(:mod:`repro.tcp.flow`) with RFC 6298 RTO estimation
+(:mod:`repro.tcp.rtt`) and the five congestion-control algorithms
+compared in Figure 8 — BBR, CUBIC, Reno, Veno and Vegas
+(:mod:`repro.tcp.cc`).
+"""
+
+from repro.tcp.cc import CC_REGISTRY, make_cc
+from repro.tcp.cc.base import AckSample, CongestionControl
+from repro.tcp.flow import FlowStats, TcpFlow
+from repro.tcp.rtt import RttEstimator
+
+__all__ = [
+    "AckSample",
+    "CC_REGISTRY",
+    "CongestionControl",
+    "FlowStats",
+    "RttEstimator",
+    "TcpFlow",
+    "make_cc",
+]

@@ -1,0 +1,57 @@
+"""Congestion-control algorithm registry.
+
+The five algorithms available on the paper's Raspberry Pi (Debian) image
+and compared in Figure 8: BBR, CUBIC, Reno, Veno and Vegas.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.tcp.cc.base import AckSample, CongestionControl
+from repro.tcp.cc.bbr import Bbr
+from repro.tcp.cc.cubic import Cubic
+from repro.tcp.cc.leoaware import LeoBbr
+from repro.tcp.cc.reno import Reno
+from repro.tcp.cc.vegas import Vegas
+from repro.tcp.cc.veno import Veno
+
+CC_REGISTRY: dict[str, type[CongestionControl]] = {
+    cls.name: cls for cls in (Bbr, Cubic, Reno, Vegas, Veno, LeoBbr)
+}
+"""Algorithm name (as ``sysctl net.ipv4.tcp_congestion_control`` would
+spell it) to implementation class.  ``bbr-leo`` is this reproduction's
+implementation of the LEO-adapted transport the paper's takeaway calls
+for — not part of the paper's measured set."""
+
+PAPER_CCAS = ("bbr", "cubic", "reno", "veno", "vegas")
+"""The five algorithms available on the paper's RPi image (Figure 8)."""
+
+
+def make_cc(name: str, initial_cwnd: float = 10.0) -> CongestionControl:
+    """Instantiate a congestion-control algorithm by name.
+
+    Raises:
+        ConfigurationError: for unknown names.
+    """
+    try:
+        cls = CC_REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown congestion control {name!r}; known: {sorted(CC_REGISTRY)}"
+        ) from None
+    return cls(initial_cwnd=initial_cwnd)
+
+
+__all__ = [
+    "AckSample",
+    "Bbr",
+    "CC_REGISTRY",
+    "CongestionControl",
+    "Cubic",
+    "LeoBbr",
+    "PAPER_CCAS",
+    "Reno",
+    "Vegas",
+    "Veno",
+    "make_cc",
+]

@@ -1,0 +1,79 @@
+"""Congestion-control interface shared by all algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AckSample:
+    """Information delivered to the CC algorithm on each cumulative ACK.
+
+    Attributes:
+        now_s: Simulation time of the ACK.
+        rtt_s: RTT sample from this ACK (None if it acked only
+            retransmitted data, per Karn's algorithm).
+        min_rtt_s: Connection-lifetime minimum RTT.
+        newly_acked: Number of segments newly acknowledged.
+        delivered_bytes: Connection-cumulative delivered bytes.
+        delivery_rate_bps: Estimated delivery rate for the acked segment
+            (None when not measurable).
+        in_flight: Outstanding segments after this ACK.
+        mss_bytes: Sender maximum segment size.
+        is_app_limited: Whether the sender was application-limited when
+            the acked segment was sent.
+        in_recovery: Whether a fast-recovery episode is active.  Loss-
+            based algorithms freeze window growth while recovering;
+            BBR's model updates run regardless.
+    """
+
+    now_s: float
+    rtt_s: float | None
+    min_rtt_s: float
+    newly_acked: int
+    delivered_bytes: int
+    delivery_rate_bps: float | None
+    in_flight: int
+    mss_bytes: int
+    is_app_limited: bool = False
+    in_recovery: bool = False
+
+
+class CongestionControl(abc.ABC):
+    """Base class for congestion-control algorithms.
+
+    The flow consults :attr:`cwnd` (a segment count) before each send and
+    :meth:`pacing_rate_bps` to space transmissions (None means
+    window-limited bursting, the classic loss-based behaviour).
+    """
+
+    #: registry name, overridden by subclasses
+    name: str = "base"
+
+    def __init__(self, initial_cwnd: float = 10.0) -> None:
+        self._cwnd = max(1.0, initial_cwnd)
+
+    @property
+    def cwnd(self) -> float:
+        """Congestion window in segments."""
+        return self._cwnd
+
+    @abc.abstractmethod
+    def on_ack(self, sample: AckSample) -> None:
+        """Process a cumulative ACK."""
+
+    @abc.abstractmethod
+    def on_loss(self, now_s: float, in_flight: int) -> None:
+        """Process a fast-retransmit loss detection."""
+
+    def on_timeout(self, now_s: float) -> None:
+        """Process an RTO expiry.  Default: collapse to 1 segment."""
+        self._cwnd = 1.0
+
+    def pacing_rate_bps(self, mss_bytes: int) -> float | None:
+        """Pacing rate, or None for unpaced (window-limited) sending."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(cwnd={self._cwnd:.1f})"

@@ -1,0 +1,165 @@
+"""BBR v1 (Bottleneck Bandwidth and Round-trip propagation time).
+
+A faithful-in-structure simplification of BBRv1: STARTUP / DRAIN /
+PROBE_BW / PROBE_RTT state machine, a windowed-max bottleneck-bandwidth
+filter fed by per-ACK delivery-rate samples, a windowed-min RTprop
+filter, gain cycling in PROBE_BW, and a cwnd of ``cwnd_gain * BDP``.
+Crucially, BBR does *not* react to packet loss — which is why the paper
+expects it to ride out Starlink's handover loss bursts better than the
+loss-based algorithms (Figure 8), while still losing goodput to the
+retransmissions themselves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.tcp.cc.base import AckSample, CongestionControl
+
+_STARTUP_GAIN = 2.885  # 2/ln(2)
+_DRAIN_GAIN = 1.0 / _STARTUP_GAIN
+_PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+_BTLBW_WINDOW_ROUNDS = 10
+_RTPROP_WINDOW_S = 10.0
+_PROBE_RTT_DURATION_S = 0.2
+_PROBE_RTT_INTERVAL_S = 10.0
+_MIN_CWND = 4.0
+
+
+class Bbr(CongestionControl):
+    """BBR v1 congestion control."""
+
+    name = "bbr"
+
+    def __init__(self, initial_cwnd: float = 10.0) -> None:
+        super().__init__(initial_cwnd)
+        self.state = "STARTUP"
+        self.pacing_gain = _STARTUP_GAIN
+        self.cwnd_gain = _STARTUP_GAIN
+        self._btlbw_samples: deque[tuple[int, float]] = deque()  # (round, bps)
+        self._rtprop_samples: deque[tuple[float, float]] = deque()  # (time, rtt)
+        self._round = 0
+        self._round_end_delivered = 0
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self._cycle_index = 0
+        self._cycle_start_s = 0.0
+        self._probe_rtt_until_s: float | None = None
+        self._last_probe_rtt_s = 0.0
+
+    # -- filters ---------------------------------------------------------
+    #
+    # Both filters are monotonic deques: the btlbw deque is kept
+    # non-increasing in rate (front = windowed max), the rtprop deque
+    # non-decreasing in rtt (front = windowed min), so updates and
+    # queries are O(1) amortised.
+
+    @property
+    def btlbw_bps(self) -> float:
+        """Windowed-max bottleneck bandwidth estimate, bits/s."""
+        if not self._btlbw_samples:
+            return 0.0
+        return self._btlbw_samples[0][1]
+
+    @property
+    def rtprop_s(self) -> float:
+        """Windowed-min round-trip propagation estimate, seconds."""
+        if not self._rtprop_samples:
+            return 0.1  # conservative default before any sample
+        return self._rtprop_samples[0][1]
+
+    def _update_filters(self, sample: AckSample) -> None:
+        if sample.delivered_bytes >= self._round_end_delivered:
+            self._round += 1
+            self._round_end_delivered = sample.delivered_bytes + int(
+                sample.in_flight * sample.mss_bytes
+            )
+        if sample.delivery_rate_bps is not None and not sample.is_app_limited:
+            while self._btlbw_samples and self._btlbw_samples[-1][1] <= sample.delivery_rate_bps:
+                self._btlbw_samples.pop()
+            self._btlbw_samples.append((self._round, sample.delivery_rate_bps))
+        while (
+            self._btlbw_samples
+            and self._btlbw_samples[0][0] < self._round - _BTLBW_WINDOW_ROUNDS
+        ):
+            self._btlbw_samples.popleft()
+        if sample.rtt_s is not None:
+            while self._rtprop_samples and self._rtprop_samples[-1][1] >= sample.rtt_s:
+                self._rtprop_samples.pop()
+            self._rtprop_samples.append((sample.now_s, sample.rtt_s))
+        while (
+            self._rtprop_samples
+            and self._rtprop_samples[0][0] < sample.now_s - _RTPROP_WINDOW_S
+        ):
+            self._rtprop_samples.popleft()
+
+    def _bdp_packets(self, mss_bytes: int) -> float:
+        if self.btlbw_bps <= 0:
+            return self._cwnd
+        return self.btlbw_bps * self.rtprop_s / (8.0 * mss_bytes)
+
+    # -- state machine ------------------------------------------------------
+
+    def _check_full_pipe(self) -> None:
+        bw = self.btlbw_bps
+        if bw > self._full_bw * 1.25:
+            self._full_bw = bw
+            self._full_bw_rounds = 0
+        else:
+            self._full_bw_rounds += 1
+        if self._full_bw_rounds >= 3:
+            self.state = "DRAIN"
+            self.pacing_gain = _DRAIN_GAIN
+            self.cwnd_gain = _STARTUP_GAIN
+
+    def _advance_cycle(self, sample: AckSample) -> None:
+        if sample.now_s - self._cycle_start_s > self.rtprop_s:
+            self._cycle_index = (self._cycle_index + 1) % len(_PROBE_BW_GAINS)
+            self._cycle_start_s = sample.now_s
+            self.pacing_gain = _PROBE_BW_GAINS[self._cycle_index]
+
+    def on_ack(self, sample: AckSample) -> None:
+        self._update_filters(sample)
+        if self.state == "STARTUP":
+            self._check_full_pipe()
+        elif self.state == "DRAIN":
+            if sample.in_flight <= self._bdp_packets(sample.mss_bytes):
+                self.state = "PROBE_BW"
+                self.pacing_gain = 1.0
+                self.cwnd_gain = 2.0
+                self._cycle_start_s = sample.now_s
+                self._cycle_index = 2  # start in a neutral phase
+        elif self.state == "PROBE_BW":
+            self._advance_cycle(sample)
+            if (
+                sample.now_s - self._last_probe_rtt_s > _PROBE_RTT_INTERVAL_S
+                and self._probe_rtt_until_s is None
+            ):
+                self.state = "PROBE_RTT"
+                self._probe_rtt_until_s = sample.now_s + _PROBE_RTT_DURATION_S
+        elif self.state == "PROBE_RTT":
+            if self._probe_rtt_until_s is not None and sample.now_s >= self._probe_rtt_until_s:
+                self.state = "PROBE_BW"
+                self.pacing_gain = 1.0
+                self.cwnd_gain = 2.0
+                self._probe_rtt_until_s = None
+                self._last_probe_rtt_s = sample.now_s
+        # Update cwnd from the model.
+        if self.state == "PROBE_RTT":
+            self._cwnd = _MIN_CWND
+        else:
+            target = self.cwnd_gain * self._bdp_packets(sample.mss_bytes)
+            self._cwnd = max(_MIN_CWND, target)
+
+    def on_loss(self, now_s: float, in_flight: int) -> None:
+        """BBRv1 deliberately ignores individual losses."""
+
+    def on_timeout(self, now_s: float) -> None:
+        """Conservative cwnd on RTO, but keep the model state."""
+        self._cwnd = _MIN_CWND
+
+    def pacing_rate_bps(self, mss_bytes: int) -> float | None:
+        bw = self.btlbw_bps
+        if bw <= 0:
+            return None  # no estimate yet: window-limited startup burst
+        return max(1e4, self.pacing_gain * bw)

@@ -1,0 +1,82 @@
+"""TCP CUBIC (RFC 8312, simplified).
+
+Window growth is a cubic function of time since the last congestion
+event, anchored at the pre-loss window ``w_max``.  Includes the
+TCP-friendly (Reno-tracking) region and fast-convergence heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import AckSample, CongestionControl
+
+
+class Cubic(CongestionControl):
+    """CUBIC congestion control."""
+
+    name = "cubic"
+
+    #: RFC 8312 constants
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, initial_cwnd: float = 10.0) -> None:
+        super().__init__(initial_cwnd)
+        self.ssthresh = float("inf")
+        self.w_max = 0.0
+        self._epoch_start_s: float | None = None
+        self._k = 0.0
+        self._w_est = 0.0  # TCP-friendly estimate
+        self._acked_in_epoch = 0.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        """Whether the window is below the slow-start threshold."""
+        return self._cwnd < self.ssthresh
+
+    def _begin_epoch(self, now_s: float) -> None:
+        self._epoch_start_s = now_s
+        if self.w_max > self._cwnd:
+            self._k = ((self.w_max - self._cwnd) / self.C) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0
+            self.w_max = self._cwnd
+        self._w_est = self._cwnd
+        self._acked_in_epoch = 0.0
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.in_recovery:
+            return  # window frozen during fast recovery
+        if self.in_slow_start:
+            self._cwnd += sample.newly_acked
+            return
+        if self._epoch_start_s is None:
+            self._begin_epoch(sample.now_s)
+        elapsed = sample.now_s - self._epoch_start_s
+        rtt = sample.rtt_s if sample.rtt_s is not None else sample.min_rtt_s
+        # Cubic target one RTT in the future.
+        target = self.w_max + self.C * (elapsed + rtt - self._k) ** 3
+        # TCP-friendly region (standard AIMD tracking estimate).
+        self._acked_in_epoch += sample.newly_acked
+        self._w_est += 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) * (
+            sample.newly_acked / self._cwnd
+        )
+        target = max(target, self._w_est)
+        if target > self._cwnd:
+            # Approach the target over roughly one RTT of acks.
+            self._cwnd += (target - self._cwnd) / self._cwnd * sample.newly_acked
+        else:
+            self._cwnd += sample.newly_acked / (100.0 * self._cwnd)  # minimal growth
+
+    def on_loss(self, now_s: float, in_flight: int) -> None:
+        # Fast convergence: release bandwidth faster when w_max shrinks.
+        if self._cwnd < self.w_max:
+            self.w_max = self._cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self.w_max = self._cwnd
+        self._cwnd = max(2.0, self._cwnd * self.BETA)
+        self.ssthresh = self._cwnd
+        self._epoch_start_s = None
+
+    def on_timeout(self, now_s: float) -> None:
+        self.on_loss(now_s, 0)
+        self._cwnd = 1.0

@@ -1,0 +1,36 @@
+"""TCP Reno (NewReno-style AIMD)."""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import AckSample, CongestionControl
+
+
+class Reno(CongestionControl):
+    """Classic AIMD: slow start, congestion avoidance, halve on loss."""
+
+    name = "reno"
+
+    def __init__(self, initial_cwnd: float = 10.0, ssthresh: float = float("inf")) -> None:
+        super().__init__(initial_cwnd)
+        self.ssthresh = ssthresh
+
+    @property
+    def in_slow_start(self) -> bool:
+        """Whether the window is below the slow-start threshold."""
+        return self._cwnd < self.ssthresh
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.in_recovery:
+            return  # window frozen during fast recovery
+        if self.in_slow_start:
+            self._cwnd += sample.newly_acked
+        else:
+            self._cwnd += sample.newly_acked / self._cwnd
+
+    def on_loss(self, now_s: float, in_flight: int) -> None:
+        self.ssthresh = max(2.0, self._cwnd / 2.0)
+        self._cwnd = self.ssthresh
+
+    def on_timeout(self, now_s: float) -> None:
+        self.ssthresh = max(2.0, self._cwnd / 2.0)
+        self._cwnd = 1.0

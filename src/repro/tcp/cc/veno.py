@@ -1,0 +1,74 @@
+"""TCP Veno (Reno enhanced with Vegas-style loss discrimination).
+
+Veno keeps the Vegas backlog estimate ``N = cwnd * (rtt - base) / rtt``
+and uses it to classify losses: if ``N < beta`` the network looks
+uncongested, so the loss is presumed *random* (wireless) and the window
+is only reduced to 80%; otherwise the classic halving applies.  In
+congestion avoidance it also grows at half rate once ``N >= beta``.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import AckSample, CongestionControl
+
+
+class Veno(CongestionControl):
+    """Veno congestion control."""
+
+    name = "veno"
+
+    #: backlog threshold distinguishing random from congestive loss
+    BETA_PACKETS = 3.0
+    #: multiplicative decrease for presumed-random loss
+    RANDOM_LOSS_FACTOR = 0.8
+
+    def __init__(self, initial_cwnd: float = 10.0) -> None:
+        super().__init__(initial_cwnd)
+        self.ssthresh = float("inf")
+        self.base_rtt_s = float("inf")
+        self._latest_rtt_s: float | None = None
+        self._half_rate_toggle = False
+
+    @property
+    def in_slow_start(self) -> bool:
+        """Whether the window is below the slow-start threshold."""
+        return self._cwnd < self.ssthresh
+
+    def _backlog(self) -> float:
+        if self._latest_rtt_s is None or self.base_rtt_s == float("inf"):
+            return 0.0
+        if self._latest_rtt_s <= 0:
+            return 0.0
+        return self._cwnd * (self._latest_rtt_s - self.base_rtt_s) / self._latest_rtt_s
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.in_recovery:
+            if sample.rtt_s is not None:
+                self.base_rtt_s = min(self.base_rtt_s, sample.rtt_s)
+                self._latest_rtt_s = sample.rtt_s
+            return  # window frozen during fast recovery
+        if sample.rtt_s is not None:
+            self.base_rtt_s = min(self.base_rtt_s, sample.rtt_s)
+            self._latest_rtt_s = sample.rtt_s
+        if self.in_slow_start:
+            self._cwnd += sample.newly_acked
+            return
+        if self._backlog() < self.BETA_PACKETS:
+            self._cwnd += sample.newly_acked / self._cwnd
+        else:
+            # Available bandwidth fully used: grow at half rate.
+            self._half_rate_toggle = not self._half_rate_toggle
+            if self._half_rate_toggle:
+                self._cwnd += sample.newly_acked / self._cwnd
+
+    def on_loss(self, now_s: float, in_flight: int) -> None:
+        if self._backlog() < self.BETA_PACKETS:
+            # Presumed random (wireless) loss: gentle decrease.
+            self._cwnd = max(2.0, self._cwnd * self.RANDOM_LOSS_FACTOR)
+        else:
+            self._cwnd = max(2.0, self._cwnd / 2.0)
+        self.ssthresh = self._cwnd
+
+    def on_timeout(self, now_s: float) -> None:
+        self.ssthresh = max(2.0, self._cwnd / 2.0)
+        self._cwnd = 1.0

@@ -1,0 +1,61 @@
+"""RFC 6298 round-trip-time estimation and retransmission timeout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RttEstimator:
+    """Smoothed RTT / RTT variance / RTO per RFC 6298.
+
+    Attributes:
+        alpha: SRTT gain (1/8 per the RFC).
+        beta: RTTVAR gain (1/4 per the RFC).
+        k: RTO variance multiplier (4 per the RFC).
+        min_rto_s: Lower bound on the RTO.  The RFC says 1 s; Linux uses
+            200 ms, which we default to so short simulations behave like
+            the paper's Linux-based measurement nodes.
+        max_rto_s: Upper bound on the (backed-off) RTO.
+    """
+
+    alpha: float = 0.125
+    beta: float = 0.25
+    k: float = 4.0
+    min_rto_s: float = 0.2
+    max_rto_s: float = 60.0
+    srtt_s: float | None = None
+    rttvar_s: float = 0.0
+    min_rtt_s: float = float("inf")
+    latest_rtt_s: float | None = None
+    _backoff: int = 0
+
+    def on_measurement(self, rtt_s: float) -> None:
+        """Fold in a new RTT sample (from a non-retransmitted segment)."""
+        if rtt_s <= 0:
+            raise ValueError(f"rtt must be positive: {rtt_s}")
+        self.latest_rtt_s = rtt_s
+        self.min_rtt_s = min(self.min_rtt_s, rtt_s)
+        if self.srtt_s is None:
+            self.srtt_s = rtt_s
+            self.rttvar_s = rtt_s / 2.0
+        else:
+            self.rttvar_s = (1 - self.beta) * self.rttvar_s + self.beta * abs(
+                self.srtt_s - rtt_s
+            )
+            self.srtt_s = (1 - self.alpha) * self.srtt_s + self.alpha * rtt_s
+        self._backoff = 0
+
+    @property
+    def rto_s(self) -> float:
+        """Current retransmission timeout, with exponential backoff applied."""
+        if self.srtt_s is None:
+            base = 1.0  # RFC 6298 initial RTO
+        else:
+            base = self.srtt_s + self.k * self.rttvar_s
+        backed_off = base * (2.0**self._backoff)
+        return min(self.max_rto_s, max(self.min_rto_s, backed_off))
+
+    def on_timeout(self) -> None:
+        """Double the RTO (RFC 6298 5.5)."""
+        self._backoff = min(self._backoff + 1, 10)

@@ -1,0 +1,32 @@
+"""Weather substrate: conditions, stochastic generation, rain fade.
+
+Replaces the paper's use of the OpenWeatherMap history API.  The taxonomy
+is the seven OWM icon conditions analysed in Figure 4; a per-city Markov
+process generates an hourly condition timeline for the whole campaign;
+and an ITU-style rain-fade model converts each condition into physical
+link attenuation, which the Starlink bent-pipe model turns into latency,
+loss and capacity impairments.
+"""
+
+from repro.weather.conditions import WEATHER_CONDITIONS, WeatherCondition
+from repro.weather.generator import MarkovWeatherGenerator, climate_for_city
+from repro.weather.history import WeatherHistory
+from repro.weather.impairment import LinkImpairment, impairment_for
+from repro.weather.rainfade import (
+    cloud_attenuation_db,
+    rain_attenuation_db,
+    total_attenuation_db,
+)
+
+__all__ = [
+    "LinkImpairment",
+    "MarkovWeatherGenerator",
+    "WEATHER_CONDITIONS",
+    "WeatherCondition",
+    "WeatherHistory",
+    "climate_for_city",
+    "cloud_attenuation_db",
+    "impairment_for",
+    "rain_attenuation_db",
+    "total_attenuation_db",
+]

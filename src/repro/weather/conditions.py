@@ -1,0 +1,87 @@
+"""The OpenWeatherMap condition taxonomy used by the paper's Figure 4.
+
+Figure 4 buckets Page Transit Times by the seven icon conditions reported
+by the OpenWeatherMap API, "sorted in the direction of increased cloud
+cover": clear sky, few clouds, scattered clouds, broken clouds, overcast
+clouds, light rain, moderate rain.  Each condition carries the physical
+quantities the rain-fade model needs: a representative rain rate and a
+cloud liquid-water attenuation contribution.
+
+Rain rates follow the standard meteorological bucketing (light rain
+< 2.5 mm/h, moderate rain 2.5-10 mm/h).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class WeatherCondition(Enum):
+    """The seven OWM icon conditions, ordered by increasing severity."""
+
+    CLEAR_SKY = "clear sky"
+    FEW_CLOUDS = "few clouds"
+    SCATTERED_CLOUDS = "scattered clouds"
+    BROKEN_CLOUDS = "broken clouds"
+    OVERCAST_CLOUDS = "overcast clouds"
+    LIGHT_RAIN = "light rain"
+    MODERATE_RAIN = "moderate rain"
+
+    @property
+    def severity(self) -> int:
+        """Ordinal position in the increasing-cloud-cover ordering."""
+        return _ORDER.index(self)
+
+    @property
+    def profile(self) -> "ConditionProfile":
+        """Physical profile of this condition."""
+        return _PROFILES[self]
+
+    @property
+    def display_name(self) -> str:
+        """Title-cased label as used on the paper's x-axis."""
+        return self.value.title()
+
+
+_ORDER = [
+    WeatherCondition.CLEAR_SKY,
+    WeatherCondition.FEW_CLOUDS,
+    WeatherCondition.SCATTERED_CLOUDS,
+    WeatherCondition.BROKEN_CLOUDS,
+    WeatherCondition.OVERCAST_CLOUDS,
+    WeatherCondition.LIGHT_RAIN,
+    WeatherCondition.MODERATE_RAIN,
+]
+
+WEATHER_CONDITIONS: tuple[WeatherCondition, ...] = tuple(_ORDER)
+"""All conditions in increasing-severity order."""
+
+
+@dataclass(frozen=True)
+class ConditionProfile:
+    """Physical parameters of a weather condition.
+
+    Attributes:
+        rain_rate_mm_h: Representative surface rain rate, mm/h.
+        cloud_cover_fraction: Fractional sky cover in [0, 1].
+        cloud_attenuation_db: Zenith attenuation from cloud liquid water
+            at Ku band, dB.  Small relative to rain attenuation — the
+            paper notes cloud droplets (~0.1 mm) matter far less than
+            thick raindrops on the dish.
+    """
+
+    rain_rate_mm_h: float
+    cloud_cover_fraction: float
+    cloud_attenuation_db: float
+
+
+_PROFILES: dict[WeatherCondition, ConditionProfile] = {
+    WeatherCondition.CLEAR_SKY: ConditionProfile(0.0, 0.05, 0.0),
+    WeatherCondition.FEW_CLOUDS: ConditionProfile(0.0, 0.20, 0.05),
+    WeatherCondition.SCATTERED_CLOUDS: ConditionProfile(0.0, 0.40, 0.12),
+    WeatherCondition.BROKEN_CLOUDS: ConditionProfile(0.0, 0.70, 0.25),
+    WeatherCondition.OVERCAST_CLOUDS: ConditionProfile(0.0, 0.95, 0.45),
+    WeatherCondition.LIGHT_RAIN: ConditionProfile(1.5, 0.95, 0.50),
+    WeatherCondition.MODERATE_RAIN: ConditionProfile(7.0, 1.00, 0.60),
+}

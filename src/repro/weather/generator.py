@@ -1,0 +1,135 @@
+"""Stochastic per-city weather generation.
+
+A first-order Markov chain over the seven OWM conditions, with hourly
+steps.  Each city has a *climate* — a stationary condition distribution —
+and a *persistence* parameter controlling how sticky hourly weather is.
+Transitions mix persistence with a move to an adjacent-severity state and
+an occasional independent redraw from the climate, which produces the
+multi-hour rain spells and clear stretches real weather exhibits without
+needing historical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import stream
+from repro.weather.conditions import WEATHER_CONDITIONS, WeatherCondition
+
+#: Stationary condition weights per climate type (same order as
+#: WEATHER_CONDITIONS: clear, few, scattered, broken, overcast, light
+#: rain, moderate rain).
+_CLIMATES: dict[str, tuple[float, ...]] = {
+    # Atlantic maritime: frequent cloud, regular rain (London, Wiltshire).
+    "maritime": (0.16, 0.14, 0.15, 0.18, 0.17, 0.13, 0.07),
+    # Mediterranean: mostly clear, occasional rain (Barcelona).
+    "mediterranean": (0.42, 0.22, 0.14, 0.09, 0.06, 0.05, 0.02),
+    # Humid subtropical: mixed, convective rain (North Carolina, Sydney).
+    "subtropical": (0.28, 0.18, 0.15, 0.13, 0.11, 0.10, 0.05),
+    # Oceanic west-coast: cloudy, drizzly (Seattle).
+    "oceanic": (0.15, 0.13, 0.15, 0.19, 0.19, 0.14, 0.05),
+    # Humid continental: clearer winters, showery springs (Warsaw, Toronto).
+    "continental": (0.30, 0.18, 0.15, 0.13, 0.11, 0.09, 0.04),
+}
+
+_CITY_CLIMATE: dict[str, str] = {
+    "london": "maritime",
+    "wiltshire": "maritime",
+    "barcelona": "mediterranean",
+    "north_carolina": "subtropical",
+    "sydney": "subtropical",
+    "melbourne": "subtropical",
+    "seattle": "oceanic",
+    "amsterdam": "maritime",
+    "berlin": "continental",
+    "warsaw": "continental",
+    "toronto": "continental",
+    "austin": "subtropical",
+    "denver": "continental",
+}
+
+
+def climate_for_city(city_name: str) -> str:
+    """Climate type for a city (defaults to 'continental' if unknown)."""
+    return _CITY_CLIMATE.get(city_name, "continental")
+
+
+@dataclass
+class MarkovWeatherGenerator:
+    """Hourly Markov weather process for one city.
+
+    Attributes:
+        city_name: Used to pick the climate and to key the RNG stream.
+        seed: Root seed; the generator draws from an independent
+            substream so campaigns are reproducible.
+        persistence: Probability of keeping the current condition each
+            hourly step.
+        drift: Probability of moving one severity step (split evenly up /
+            down, direction biased by the climate's stationary weights).
+    """
+
+    city_name: str
+    seed: int = 0
+    persistence: float = 0.70
+    drift: float = 0.22
+    climate: str = ""
+    _weights: np.ndarray = field(init=False)
+    _rng: np.random.Generator = field(init=False)
+    _state: WeatherCondition = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.persistence <= 1.0 or not 0.0 <= self.drift <= 1.0:
+            raise ConfigurationError("persistence and drift must be probabilities")
+        if self.persistence + self.drift > 1.0:
+            raise ConfigurationError("persistence + drift must not exceed 1")
+        if not self.climate:
+            self.climate = climate_for_city(self.city_name)
+        if self.climate not in _CLIMATES:
+            raise ConfigurationError(
+                f"unknown climate {self.climate!r}; known: {sorted(_CLIMATES)}"
+            )
+        self._weights = np.array(_CLIMATES[self.climate])
+        self._weights = self._weights / self._weights.sum()
+        self._rng = stream(self.seed, "weather", self.city_name)
+        self._state = self._draw_stationary()
+
+    def _draw_stationary(self) -> WeatherCondition:
+        index = int(self._rng.choice(len(WEATHER_CONDITIONS), p=self._weights))
+        return WEATHER_CONDITIONS[index]
+
+    @property
+    def state(self) -> WeatherCondition:
+        """Current condition."""
+        return self._state
+
+    def step(self) -> WeatherCondition:
+        """Advance one hour and return the new condition."""
+        roll = self._rng.random()
+        if roll < self.persistence:
+            return self._state
+        if roll < self.persistence + self.drift:
+            self._state = self._drift_step()
+        else:
+            self._state = self._draw_stationary()
+        return self._state
+
+    def _drift_step(self) -> WeatherCondition:
+        """Move one severity step, biased toward the climate's weights."""
+        index = self._state.severity
+        candidates = [i for i in (index - 1, index + 1) if 0 <= i < len(WEATHER_CONDITIONS)]
+        weights = self._weights[candidates]
+        total = weights.sum()
+        if total <= 0:
+            chosen = candidates[0]
+        else:
+            chosen = int(self._rng.choice(candidates, p=weights / total))
+        return WEATHER_CONDITIONS[chosen]
+
+    def hourly_sequence(self, n_hours: int) -> list[WeatherCondition]:
+        """Generate ``n_hours`` further hourly conditions."""
+        if n_hours < 0:
+            raise ConfigurationError(f"n_hours must be non-negative: {n_hours}")
+        return [self.step() for _ in range(n_hours)]

@@ -1,0 +1,43 @@
+"""Web-performance substrate: sites, hosting, page loads, speedtests.
+
+Models everything the browser extension measures:
+
+* :mod:`repro.web.tranco` — a deterministic synthetic Tranco-style
+  ranked site list (the paper samples 5 sites from the top 500, 3 from
+  the top 10k and 2 from the top 1M for its details tab).
+* :mod:`repro.web.hosting` — where a site is served from, as a function
+  of its popularity (popular sites ride CDNs near the user; unpopular
+  ones sit on distant origins) — the mechanism behind Figure 3's
+  popular/unpopular gap.
+* :mod:`repro.web.timing` — Navigation-Timing-style decomposition into
+  the components the extension records; Page Transit Time (PTT) is the
+  network-only part, Page Load Time (PLT) adds parse/render.
+* :mod:`repro.web.page` — per-page profiles (size, redirects, server
+  think time, device render cost).
+* :mod:`repro.web.browser` — the page-load model: connection model x
+  page profile -> NavigationTiming.
+* :mod:`repro.web.speedtest` — the Librespeed-style in-browser
+  bandwidth test behind Table 3.
+"""
+
+from repro.web.browser import ConnectionModel, PageLoadSimulator, StaticConnectionModel
+from repro.web.hosting import HostingModel, ServerKind, SiteHosting
+from repro.web.page import PageProfile, PageProfileGenerator
+from repro.web.speedtest import SpeedtestResult, run_browser_speedtest
+from repro.web.timing import NavigationTiming
+from repro.web.tranco import TrancoList
+
+__all__ = [
+    "ConnectionModel",
+    "HostingModel",
+    "NavigationTiming",
+    "PageLoadSimulator",
+    "PageProfile",
+    "PageProfileGenerator",
+    "ServerKind",
+    "SiteHosting",
+    "SpeedtestResult",
+    "StaticConnectionModel",
+    "TrancoList",
+    "run_browser_speedtest",
+]

@@ -1,0 +1,198 @@
+"""The page-load model: connection x page -> NavigationTiming.
+
+An analytic (non-packet-level) model of an HTTPS page fetch, mirroring
+how the browser's Navigation Timing API decomposes it:
+
+* DNS: cached or recursive resolution (access RTT + resolver work).
+* TCP: one handshake RTT; SYN losses pay the 1 s SYN-retransmit timer.
+* TLS: one RTT for TLS 1.3, a quarter of sites still pay two (1.2).
+* Request/TTFB: one RTT plus server think time.
+* Response: slow-start-aware transfer of the main document
+  (geometrically growing congestion window from IW10) plus
+  serialisation at the access bandwidth; data losses pay a recovery
+  penalty with probability growing with the number of segments.
+* Redirects: each costs connection + request to the redirecting host.
+
+Analytic modelling is the substitution that makes the six-month,
+50k-record browser campaign tractable (packet-simulating every page
+load would add nothing: PTT is a sum of RTT multiples and transfer
+times, all of which the connection model captures).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.web.hosting import SiteHosting
+from repro.web.page import PageProfile
+from repro.web.timing import NavigationTiming
+
+SYN_RETRANSMIT_S = 1.0  # kernel initial SYN timer
+DATA_RECOVERY_S = 0.25  # typical fast-recovery stall seen by the app
+INITIAL_WINDOW_SEGMENTS = 10
+SEGMENT_BYTES = 1448
+
+
+class ConnectionModel(Protocol):
+    """Access-network behaviour seen by the browser."""
+
+    def rtt_sample_s(self, t_s: float) -> float:
+        """One RTT draw from the client to its internet exchange."""
+        ...
+
+    def bandwidth_bps(self, t_s: float) -> float:
+        """Downlink bandwidth available to this client."""
+        ...
+
+    def loss_rate(self, t_s: float) -> float:
+        """Packet-loss probability on the access network."""
+        ...
+
+
+@dataclass
+class StaticConnectionModel:
+    """Fixed-parameter access network (broadband / cellular baselines).
+
+    Attributes:
+        base_rtt_s: Deterministic access RTT component.
+        jitter_mean_s: Mean of the exponential jitter added per sample.
+        bandwidth: Downlink rate, bits/s.
+        loss: Packet-loss probability.
+        rng: Source of jitter draws.
+    """
+
+    base_rtt_s: float
+    jitter_mean_s: float
+    bandwidth: float
+    loss: float
+    rng: np.random.Generator
+
+    def rtt_sample_s(self, t_s: float) -> float:
+        return self.base_rtt_s + float(self.rng.exponential(self.jitter_mean_s))
+
+    def bandwidth_bps(self, t_s: float) -> float:
+        return self.bandwidth
+
+    def loss_rate(self, t_s: float) -> float:
+        return self.loss
+
+
+class PageLoadSimulator:
+    """Computes NavigationTiming for page visits.
+
+    Args:
+        connection: The client's access-network model.
+        dns_cache_hit_rate: Fraction of visits resolved locally.
+        tls12_fraction: Fraction of sites still needing 2-RTT TLS.
+    """
+
+    def __init__(
+        self,
+        connection: ConnectionModel,
+        dns_cache_hit_rate: float = 0.55,
+        tls12_fraction: float = 0.25,
+        connection_reuse_rate: float = 0.52,
+        use_quic: bool = False,
+        quic_0rtt_rate: float = 0.5,
+    ) -> None:
+        self.connection = connection
+        self.dns_cache_hit_rate = dns_cache_hit_rate
+        self.tls12_fraction = tls12_fraction
+        self.connection_reuse_rate = connection_reuse_rate
+        self.use_quic = use_quic
+        self.quic_0rtt_rate = quic_0rtt_rate
+
+    # -- pieces ------------------------------------------------------------
+
+    def _exchange_rtt_s(self, t_s: float, hosting: SiteHosting) -> float:
+        """One full client<->server round trip."""
+        return self.connection.rtt_sample_s(t_s) + 2.0 * hosting.server_one_way_s
+
+    def _dns_s(self, t_s: float, hosting: SiteHosting, rng: np.random.Generator) -> float:
+        if rng.random() < self.dns_cache_hit_rate:
+            return 0.002
+        resolver = 0.5 * self.connection.rtt_sample_s(t_s)
+        upstream = 0.030 if rng.random() < 0.4 else 0.0  # authoritative walk
+        return resolver + upstream
+
+    def _handshake_s(
+        self, t_s: float, hosting: SiteHosting, rng: np.random.Generator
+    ) -> float:
+        rtt = self._exchange_rtt_s(t_s, hosting)
+        if rng.random() < self.connection.loss_rate(t_s):
+            rtt += SYN_RETRANSMIT_S
+        return rtt
+
+    def _tls_s(self, t_s: float, hosting: SiteHosting, rng: np.random.Generator) -> float:
+        rounds = 2 if rng.random() < self.tls12_fraction else 1
+        return rounds * self._exchange_rtt_s(t_s, hosting) + 0.004  # crypto cost
+
+    def _response_s(
+        self,
+        t_s: float,
+        hosting: SiteHosting,
+        document_bytes: int,
+        rng: np.random.Generator,
+    ) -> float:
+        segments = max(1, math.ceil(document_bytes / SEGMENT_BYTES))
+        # Slow-start rounds to stream `segments` with IW10 doubling.
+        # The first window arrives with the TTFB (counted in request_s),
+        # so the response component pays rounds-1 further round trips.
+        rounds = max(1, math.ceil(math.log2(segments / INITIAL_WINDOW_SEGMENTS + 1)))
+        rtt = self._exchange_rtt_s(t_s, hosting)
+        serialisation = document_bytes * 8.0 / self.connection.bandwidth_bps(t_s)
+        loss = self.connection.loss_rate(t_s)
+        p_recovery = 1.0 - (1.0 - loss) ** min(segments, 25)
+        recovery = DATA_RECOVERY_S if rng.random() < p_recovery else 0.0
+        return (rounds - 1) * rtt + serialisation + recovery
+
+    # -- the full load -------------------------------------------------------
+
+    def load(
+        self,
+        page: PageProfile,
+        hosting: SiteHosting,
+        t_s: float,
+        rng: np.random.Generator,
+        device_multiplier: float = 1.0,
+    ) -> NavigationTiming:
+        """Simulate one visit and return its timing decomposition.
+
+        ``device_multiplier`` scales the DOM/render components — the
+        per-user hardware variability whose removal motivates PTT.
+        """
+        redirect = 0.0
+        for _ in range(page.n_redirects):
+            redirect += self._handshake_s(t_s, hosting, rng)
+            redirect += self._exchange_rtt_s(t_s, hosting) + 0.3 * hosting.server_think_s
+        # Browsers keep connections alive: a large share of navigations
+        # reuse an established (TCP+TLS) connection and pay neither
+        # handshake — Navigation Timing reports zero for both.
+        reused = rng.random() < self.connection_reuse_rate
+        if self.use_quic and not reused:
+            # QUIC folds transport and crypto into one round trip, and a
+            # resumed session with 0-RTT pays none at all (the benefit
+            # the satellite-QUIC literature the paper cites targets).
+            if rng.random() < self.quic_0rtt_rate:
+                connect_s, tls_s = 0.0, 0.004
+            else:
+                connect_s, tls_s = 0.0, self._exchange_rtt_s(t_s, hosting) + 0.004
+        elif reused:
+            connect_s, tls_s = 0.0, 0.0
+        else:
+            connect_s = self._handshake_s(t_s, hosting, rng)
+            tls_s = self._tls_s(t_s, hosting, rng)
+        return NavigationTiming(
+            redirect_s=redirect,
+            dns_s=self._dns_s(t_s, hosting, rng) if not reused else 0.0,
+            connect_s=connect_s,
+            tls_s=tls_s,
+            request_s=self._exchange_rtt_s(t_s, hosting) + hosting.server_think_s,
+            response_s=self._response_s(t_s, hosting, page.document_bytes, rng),
+            dom_s=page.dom_work_s * device_multiplier,
+            render_s=page.render_work_s * device_multiplier,
+        )

@@ -1,0 +1,82 @@
+"""The Librespeed-style in-browser bandwidth test (Table 3).
+
+The extension embeds a Librespeed client [33] pointed at a fixed server
+in Google's Iowa datacentre.  An in-browser test measures slightly less
+than the link capacity: XHR/fetch overhead, warm-up discard, and — on
+long fat paths — the per-stream buffer limit (a handful of parallel
+streams each capped by browser/OS buffers, so very high
+bandwidth-delay products become window-limited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import bps_to_mbps
+
+BROWSER_EFFICIENCY = 0.93
+"""Fraction of capacity an in-browser test attains (XHR overhead,
+warm-up discard)."""
+
+STREAMS = 6
+"""Parallel connections the Librespeed client opens."""
+
+STREAM_WINDOW_BYTES = 1_500_000
+"""Effective per-stream window (browser + kernel buffers)."""
+
+MEASUREMENT_NOISE_SIGMA = 0.06
+"""Lognormal sigma of run-to-run measurement noise."""
+
+
+@dataclass(frozen=True)
+class SpeedtestResult:
+    """One speedtest run.
+
+    Attributes:
+        t_s: Campaign time of the run.
+        download_mbps: Measured downlink goodput.
+        upload_mbps: Measured uplink goodput.
+        ping_ms: Measured RTT to the speedtest server.
+    """
+
+    t_s: float
+    download_mbps: float
+    upload_mbps: float
+    ping_ms: float
+
+
+def _window_limited_bps(rtt_s: float) -> float:
+    """Aggregate rate ceiling imposed by per-stream windows."""
+    return STREAMS * STREAM_WINDOW_BYTES * 8.0 / max(rtt_s, 1e-3)
+
+
+def run_browser_speedtest(
+    t_s: float,
+    dl_capacity_bps: float,
+    ul_capacity_bps: float,
+    rtt_s: float,
+    rng: np.random.Generator,
+) -> SpeedtestResult:
+    """Model one Librespeed run against a distant server.
+
+    Args:
+        t_s: Campaign time (recorded in the result).
+        dl_capacity_bps / ul_capacity_bps: Achievable link rates at the
+            time of the test.
+        rtt_s: RTT from the client to the speedtest server.
+        rng: Noise source.
+    """
+    ceiling = _window_limited_bps(rtt_s)
+    noise_dl = float(rng.lognormal(0.0, MEASUREMENT_NOISE_SIGMA))
+    noise_ul = float(rng.lognormal(0.0, MEASUREMENT_NOISE_SIGMA))
+    download = min(BROWSER_EFFICIENCY * dl_capacity_bps, ceiling) * noise_dl
+    upload = min(BROWSER_EFFICIENCY * ul_capacity_bps, ceiling) * noise_ul
+    ping_ms = rtt_s * 1000.0 * float(rng.lognormal(0.0, 0.05))
+    return SpeedtestResult(
+        t_s=t_s,
+        download_mbps=bps_to_mbps(download),
+        upload_mbps=bps_to_mbps(upload),
+        ping_ms=ping_ms,
+    )

@@ -1,0 +1,81 @@
+"""Navigation-Timing-style page-load decomposition.
+
+The extension records the network components of a page load (HTTP
+redirection, DNS resolution, connection setup, request and response
+times) and sums them into the **Page Transit Time (PTT)** — the metric
+the paper introduces to strip out device-dependent parse/render cost.
+PTT plus DOM processing and render time gives the conventional **Page
+Load Time (PLT)**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import s_to_ms
+
+
+@dataclass(frozen=True)
+class NavigationTiming:
+    """Components of one page load, all in seconds.
+
+    Attributes:
+        redirect_s: Total time in HTTP redirects.
+        dns_s: Domain-name resolution.
+        connect_s: TCP handshake.
+        tls_s: TLS handshake.
+        request_s: Request upload + server wait until first byte.
+        response_s: First response byte to last byte.
+        dom_s: DOM construction and script execution (device-bound).
+        render_s: Layout and paint (device-bound).
+    """
+
+    redirect_s: float
+    dns_s: float
+    connect_s: float
+    tls_s: float
+    request_s: float
+    response_s: float
+    dom_s: float
+    render_s: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "redirect_s",
+            "dns_s",
+            "connect_s",
+            "tls_s",
+            "request_s",
+            "response_s",
+            "dom_s",
+            "render_s",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def page_transit_time_s(self) -> float:
+        """PTT: the network-only wait time of the page load."""
+        return (
+            self.redirect_s
+            + self.dns_s
+            + self.connect_s
+            + self.tls_s
+            + self.request_s
+            + self.response_s
+        )
+
+    @property
+    def page_load_time_s(self) -> float:
+        """PLT: PTT plus the device-bound processing components."""
+        return self.page_transit_time_s + self.dom_s + self.render_s
+
+    @property
+    def ptt_ms(self) -> float:
+        """PTT in milliseconds (the unit of the paper's tables)."""
+        return s_to_ms(self.page_transit_time_s)
+
+    @property
+    def plt_ms(self) -> float:
+        """PLT in milliseconds."""
+        return s_to_ms(self.page_load_time_s)

@@ -1,0 +1,221 @@
+"""Analysis-layer tests: stats, queueing estimator, joins, tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.queueing import max_min_queueing, segment_queueing
+from repro.analysis.stats import ccdf, ccdf_at, ecdf, median, percentile, summarize
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError, DatasetError
+
+
+# --- stats ----------------------------------------------------------------
+
+
+def test_median_odd_even():
+    assert median([3, 1, 2]) == 2
+    assert median([1, 2, 3, 4]) == 2.5
+
+
+def test_median_empty_raises():
+    with pytest.raises(DatasetError):
+        median([])
+
+
+def test_percentile():
+    values = list(range(101))
+    assert percentile(values, 50) == 50
+    assert percentile(values, 90) == 90
+
+
+def test_ecdf_monotone():
+    xs, ps = ecdf([5, 1, 3, 2, 4])
+    assert list(xs) == [1, 2, 3, 4, 5]
+    assert list(ps) == pytest.approx([0.2, 0.4, 0.6, 0.8, 1.0])
+
+
+def test_ccdf_complements_ecdf():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert ccdf_at(data, 3.0) == 0.5  # P[X >= 3]
+    assert ccdf_at(data, 0.0) == 1.0
+    assert ccdf_at(data, 10.0) == 0.0
+
+
+def test_ccdf_series():
+    xs, ps = ccdf([1.0, 2.0, 3.0, 4.0])
+    assert ps[0] == 1.0
+    assert list(ps) == sorted(ps, reverse=True)
+
+
+def test_summary_fields():
+    s = summarize([1, 2, 3, 4, 5])
+    assert (s.n, s.min, s.median, s.max) == (5, 1, 3, 5)
+    assert s.mean == 3
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+def test_median_between_min_max_property(values):
+    m = median(values)
+    assert min(values) <= m <= max(values)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100),
+    st.floats(min_value=0, max_value=1e6),
+)
+def test_ccdf_at_is_probability_property(values, threshold):
+    assert 0.0 <= ccdf_at(values, threshold) <= 1.0
+
+
+# --- queueing estimator -----------------------------------------------------
+
+
+def test_max_min_on_known_distribution():
+    rng = np.random.default_rng(0)
+    base = 0.030
+    queueing = rng.exponential(0.010, size=2000)
+    estimate = max_min_queueing(base + queueing)
+    # median of exp(10 ms) is ~6.9 ms; min -> ~0.
+    assert estimate.median_queueing_s == pytest.approx(0.0069, abs=0.0015)
+    assert estimate.min_rtt_s == pytest.approx(base, abs=0.001)
+    assert estimate.max_queueing_s > estimate.median_queueing_s
+
+
+def test_max_min_deterministic_path_gives_zero():
+    estimate = max_min_queueing([0.05] * 30)
+    assert estimate.median_queueing_s == 0.0
+    assert estimate.max_queueing_s == 0.0
+
+
+def test_max_min_needs_samples():
+    with pytest.raises(DatasetError):
+        max_min_queueing([0.05])
+
+
+def test_segment_queueing_isolates_far_segment():
+    rng = np.random.default_rng(1)
+    near = 0.010 + rng.exponential(0.001, size=1000)
+    far = near + 0.020 + rng.exponential(0.012, size=1000)
+    estimate = segment_queueing(near, far)
+    assert estimate.median_queueing_s == pytest.approx(0.0083, abs=0.004)
+
+
+def test_segment_queueing_needs_pairs():
+    with pytest.raises(DatasetError):
+        segment_queueing([0.01], [0.02])
+
+
+# --- tables ----------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["x", 1.25], ["yy", 10.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "1.2" in text and "10.5" in text
+
+
+def test_format_table_title():
+    text = format_table(["c"], [[1.0]], title="Title")
+    assert text.startswith("Title")
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ConfigurationError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+# --- weather join / AS change ------------------------------------------------
+
+
+def test_ptt_by_condition_groups():
+    from repro.analysis.weatherjoin import ptt_by_condition
+    from repro.extension.records import PageLoadRecord
+    from repro.weather.history import WeatherHistory
+    from repro.web.timing import NavigationTiming
+
+    weather = WeatherHistory(seed=0, duration_s=30 * 86_400.0)
+
+    def rec(t):
+        return PageLoadRecord(
+            user_id="u-1",
+            city="london",
+            region="UK",
+            isp="starlink",
+            is_starlink=True,
+            exit_asn=14593,
+            t_s=t,
+            domain="google.com",
+            rank=1,
+            is_popular=True,
+            timing=NavigationTiming(0, 0.01, 0.03, 0.03, 0.05, 0.08, 0.2, 0.1),
+        )
+
+    records = [rec(float(t)) for t in np.linspace(0, 29 * 86_400, 400)]
+    groups = ptt_by_condition(records, weather, "london")
+    assert groups  # at least one condition bucketed
+    assert sum(s.n for s in groups.values()) <= len(records)
+
+
+def test_detect_as_switch():
+    from repro.analysis.aschange import detect_as_switch_time, split_around
+    from repro.constants import AS_GOOGLE, AS_SPACEX
+    from repro.extension.records import PageLoadRecord
+    from repro.web.timing import NavigationTiming
+
+    def rec(t, asn):
+        return PageLoadRecord(
+            user_id="u-1",
+            city="london",
+            region="UK",
+            isp="starlink",
+            is_starlink=True,
+            exit_asn=asn,
+            t_s=t,
+            domain="google.com",
+            rank=1,
+            is_popular=True,
+            timing=NavigationTiming(0, 0.01, 0.03, 0.03, 0.05, 0.08, 0.2, 0.1),
+        )
+
+    records = [rec(float(t), AS_GOOGLE) for t in range(0, 100, 10)]
+    records += [rec(float(t), AS_SPACEX) for t in range(100, 200, 10)]
+    switch = detect_as_switch_time(records)
+    assert switch == 100.0
+    before, after = split_around(records, switch)
+    assert len(before) == 10 and len(after) == 10
+
+
+def test_detect_as_switch_none_when_always_spacex():
+    from repro.analysis.aschange import detect_as_switch_time
+    from repro.constants import AS_SPACEX
+    from repro.extension.records import PageLoadRecord
+    from repro.web.timing import NavigationTiming
+
+    def rec(t):
+        return PageLoadRecord(
+            user_id="u-1",
+            city="seattle",
+            region="USA",
+            isp="starlink",
+            is_starlink=True,
+            exit_asn=AS_SPACEX,
+            t_s=t,
+            domain="google.com",
+            rank=1,
+            is_popular=True,
+            timing=NavigationTiming(0, 0.01, 0.03, 0.03, 0.05, 0.08, 0.2, 0.1),
+        )
+
+    assert detect_as_switch_time([rec(float(t)) for t in range(5)]) is None
+
+
+def test_detect_as_switch_empty_raises():
+    from repro.analysis.aschange import detect_as_switch_time
+    from repro.errors import DatasetError
+
+    with pytest.raises(DatasetError):
+        detect_as_switch_time([])

@@ -1,0 +1,80 @@
+"""CLI (`python -m repro.experiments`) and report-generator tests."""
+
+import csv
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.__main__ import dump_series, main
+from repro.experiments import run_experiment
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "figure8" in out
+    assert "extension_isl" in out
+
+
+def test_cli_runs_cheap_experiment(capsys):
+    assert main(["figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "figure1" in out
+    assert "paper reference" in out
+
+
+def test_cli_validate_pass(capsys):
+    assert main(["figure1", "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "[PASS]" in out
+
+
+def test_cli_unknown_experiment():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        main(["figure99"])
+
+
+def test_cli_dump_series(tmp_path, capsys):
+    assert main(["figure7", "--dump-series", str(tmp_path)]) == 0
+    files = list(tmp_path.glob("figure7_*.csv"))
+    assert files
+    with files[0].open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["x", "y"]
+    assert len(rows) > 10
+
+
+def test_dump_series_handles_samples(tmp_path):
+    result = run_experiment("figure6b", seed=0)
+    written = dump_series(result, str(tmp_path))
+    assert any(path.endswith("_samples.csv") for path in written)
+
+
+def test_dump_series_no_series(tmp_path):
+    result = run_experiment("figure1", seed=0)
+    assert dump_series(result, str(tmp_path)) == []
+
+
+def test_cli_entrypoint_subprocess():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "--list"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0
+    assert "table1" in completed.stdout
+
+
+def test_report_renderer_marks_checks():
+    from repro.experiments.report import _render_markdown
+
+    result = run_experiment("figure1", seed=0)
+    text = _render_markdown("figure1", result, 0.1)
+    assert "Shape checks: 3/3 pass" in text
+    assert "- [x]" in text
+    assert "| city |" in text or "| city " in text

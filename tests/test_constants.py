@@ -1,0 +1,47 @@
+"""Physical-constant sanity tests."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_orbital_period_shell1():
+    # Starlink shell 1 at 550 km: ~95-96 minute period.
+    period_min = constants.orbital_period_s(constants.STARLINK_SHELL1_ALTITUDE_M) / 60.0
+    assert 94.0 < period_min < 97.0
+
+
+def test_orbital_period_increases_with_altitude():
+    low = constants.orbital_period_s(400e3)
+    high = constants.orbital_period_s(1200e3)
+    assert high > low
+
+
+def test_max_slant_range_near_paper_value():
+    # The paper quotes 1089 km for 550 km altitude at a 25 degree mask;
+    # a spherical mean-radius Earth puts it within a few percent.
+    computed = constants.max_slant_range_m(
+        constants.STARLINK_SHELL1_ALTITUDE_M, constants.STARLINK_MIN_ELEVATION_DEG
+    )
+    assert abs(computed - constants.STARLINK_MAX_SLANT_RANGE_M) / 1089e3 < 0.05
+
+
+def test_max_slant_range_at_zenith_equals_altitude():
+    computed = constants.max_slant_range_m(550e3, 90.0)
+    assert computed == pytest.approx(550e3, rel=1e-9)
+
+
+def test_max_slant_range_monotone_in_elevation():
+    ranges = [constants.max_slant_range_m(550e3, e) for e in (5, 25, 45, 65, 85)]
+    assert ranges == sorted(ranges, reverse=True)
+
+
+def test_shell1_geometry_constants():
+    assert constants.STARLINK_SHELL1_PLANES * constants.STARLINK_SHELL1_SATS_PER_PLANE == 1584
+
+
+def test_as_numbers():
+    assert constants.AS_GOOGLE == 36492
+    assert constants.AS_SPACEX == 14593

@@ -1,0 +1,105 @@
+"""End-to-end extension-campaign tests (small scales)."""
+
+import pytest
+
+from repro.extension.campaign import CampaignConfig, ExtensionCampaign
+from repro.extension.connection import StarlinkConnectionModel, connection_for_user
+from repro.extension.users import IspKind, UserPopulation
+from repro.errors import ConfigurationError
+from repro.starlink.asn import AsPlan
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    config = CampaignConfig(
+        seed=11,
+        duration_s=7 * 86_400.0,
+        request_fraction=0.3,
+        cities=("london", "seattle"),
+        shell_planes=24,
+        shell_sats_per_plane=12,
+    )
+    return ExtensionCampaign(config).run()
+
+
+def test_campaign_produces_records(small_dataset):
+    assert len(small_dataset.page_loads) > 200
+
+
+def test_campaign_covers_both_isps(small_dataset):
+    assert small_dataset.select(is_starlink=True)
+    assert small_dataset.select(is_starlink=False)
+
+
+def test_records_carry_coarse_geography_only(small_dataset):
+    from repro.extension.privacy import contains_forbidden_fields
+
+    record = small_dataset.page_loads[0]
+    assert record.city in ("london", "seattle")
+    assert not contains_forbidden_fields(vars(record))
+
+
+def test_records_have_positive_ptt(small_dataset):
+    for record in small_dataset.page_loads[:200]:
+        assert record.ptt_ms > 0
+        assert record.plt_ms >= record.ptt_ms
+
+
+def test_ranks_match_popularity_flag(small_dataset):
+    for record in small_dataset.page_loads[:500]:
+        assert record.is_popular == (record.rank <= 200)
+
+
+def test_campaign_deterministic():
+    config = CampaignConfig(
+        seed=3, duration_s=2 * 86_400.0, request_fraction=0.3, cities=("london",)
+    )
+    a = ExtensionCampaign(config).run()
+    b = ExtensionCampaign(config).run()
+    assert len(a.page_loads) == len(b.page_loads)
+    assert [r.ptt_ms for r in a.page_loads[:50]] == [r.ptt_ms for r in b.page_loads[:50]]
+
+
+def test_starlink_users_need_bentpipe():
+    population = UserPopulation(seed=0)
+    starlink_user = population.starlink_users[0]
+    with pytest.raises(ConfigurationError):
+        connection_for_user(starlink_user, None, AsPlan())
+
+
+def test_connection_models_by_isp():
+    population = UserPopulation(seed=0)
+    config = CampaignConfig(seed=0, cities=("london",))
+    campaign = ExtensionCampaign(config)
+    bentpipe = campaign.bentpipe_for_city("london")
+    for user in population.in_city("london"):
+        model = connection_for_user(
+            user, bentpipe if user.isp.is_starlink else None, AsPlan()
+        )
+        if user.isp is IspKind.STARLINK:
+            assert isinstance(model, StarlinkConnectionModel)
+        rtt = model.rtt_sample_s(1000.0)
+        assert 0.0 < rtt < 3.0
+        assert model.bandwidth_bps(1000.0) > 1e6
+        assert model.uplink_bps(1000.0) > 1e5
+
+
+def test_bentpipe_shared_per_city():
+    campaign = ExtensionCampaign(CampaignConfig(seed=0, cities=("london",)))
+    assert campaign.bentpipe_for_city("london") is campaign.bentpipe_for_city("london")
+
+
+def test_speedtest_boost_increases_tests():
+    base_config = CampaignConfig(
+        seed=5, duration_s=10 * 86_400.0, request_fraction=0.05, cities=("london",)
+    )
+    boosted_config = CampaignConfig(
+        seed=5,
+        duration_s=10 * 86_400.0,
+        request_fraction=0.05,
+        cities=("london",),
+        speedtest_boost=30.0,
+    )
+    base = ExtensionCampaign(base_config).run()
+    boosted = ExtensionCampaign(boosted_config).run()
+    assert len(boosted.speedtests) > 3 * max(1, len(base.speedtests))

@@ -1,0 +1,89 @@
+"""Privacy and IPinfo classification tests."""
+
+import pytest
+
+from repro.constants import AS_GOOGLE, AS_SPACEX
+from repro.extension.ipinfo import lookup_isp
+from repro.extension.privacy import (
+    FORBIDDEN_FIELDS,
+    anonymous_user_id,
+    contains_forbidden_fields,
+    redact_record,
+)
+from repro.extension.users import IspKind, User
+from repro.rng import stream
+from repro.timeline import LONDON_AS_SWITCH_T
+
+
+def _user(isp=IspKind.STARLINK, city_name="london"):
+    return User(
+        user_id="u-abcdefghijkl",
+        city_name=city_name,
+        isp=isp,
+        pages_per_day=10.0,
+        device_multiplier=1.0,
+    )
+
+
+def test_anonymous_ids_have_no_structure():
+    rng = stream(0, "ids")
+    ids = {anonymous_user_id(rng) for _ in range(100)}
+    assert len(ids) == 100
+    assert all(i.startswith("u-") for i in ids)
+
+
+def test_redact_strips_forbidden_fields():
+    record = {"user_id": "u-x", "ip": "1.2.3.4", "ptt_ms": 100, "email": "a@b.c"}
+    cleaned = redact_record(record)
+    assert "ip" not in cleaned
+    assert "email" not in cleaned
+    assert cleaned["ptt_ms"] == 100
+
+
+def test_redact_handles_dataclasses():
+    from dataclasses import dataclass
+
+    @dataclass
+    class WithIp:
+        user_id: str
+        ip: str
+
+    cleaned = redact_record(WithIp("u-x", "10.0.0.1"))
+    assert cleaned == {"user_id": "u-x"}
+
+
+def test_redact_rejects_other_types():
+    with pytest.raises(TypeError):
+        redact_record("a string")
+
+
+def test_contains_forbidden_detects_nested():
+    assert contains_forbidden_fields({"outer": {"IP": "x"}})
+    assert not contains_forbidden_fields({"outer": {"city": "london"}})
+
+
+def test_starlink_user_classified():
+    info = lookup_isp(_user(), 0.0)
+    assert info.is_starlink
+    assert info.city_name == "london"
+    assert info.region == "UK"
+
+
+def test_starlink_as_follows_migration():
+    before = lookup_isp(_user(), LONDON_AS_SWITCH_T - 10)
+    after = lookup_isp(_user(), LONDON_AS_SWITCH_T + 10)
+    assert before.asn == AS_GOOGLE
+    assert "Google" in before.org
+    assert after.asn == AS_SPACEX
+    assert "Space Exploration" in after.org
+
+
+def test_broadband_user_classified():
+    info = lookup_isp(_user(isp=IspKind.BROADBAND), 0.0)
+    assert not info.is_starlink
+    assert info.asn not in (AS_GOOGLE, AS_SPACEX)
+
+
+def test_ipinfo_result_has_no_address_fields():
+    info = lookup_isp(_user(), 0.0)
+    assert not contains_forbidden_fields(vars(info))

@@ -1,0 +1,69 @@
+"""City-database tests."""
+
+import pytest
+
+from repro.geo.cities import CITIES, NEAREST_GCP, cities_in_region, city
+
+
+def test_lookup_known_city():
+    london = city("london")
+    assert london.display_name == "London"
+    assert london.region == "UK"
+
+
+def test_lookup_unknown_city_lists_names():
+    with pytest.raises(KeyError, match="unknown city"):
+        city("atlantis")
+
+
+def test_all_paper_cities_present():
+    for name in (
+        "london",
+        "seattle",
+        "sydney",
+        "toronto",
+        "warsaw",
+        "north_carolina",
+        "wiltshire",
+        "barcelona",
+        "iowa",
+        "n_virginia",
+    ):
+        assert name in CITIES
+
+
+def test_volunteer_nodes_have_gcp_mapping():
+    for node in ("north_carolina", "wiltshire", "barcelona"):
+        assert NEAREST_GCP[node] in CITIES
+        assert CITIES[NEAREST_GCP[node]].is_datacentre
+
+
+def test_local_hour_offsets():
+    london = city("london")  # UTC+1
+    seattle = city("seattle")  # UTC-7
+    assert london.local_hour(0.0) == pytest.approx(1.0)
+    assert seattle.local_hour(0.0) == pytest.approx(17.0)
+
+
+def test_local_hour_wraps():
+    sydney = city("sydney")  # UTC+10
+    assert 0.0 <= sydney.local_hour(23 * 3600.0) < 24.0
+
+
+def test_cities_in_region_excludes_datacentres_by_default():
+    uk = cities_in_region("UK")
+    assert all(not c.is_datacentre for c in uk)
+    assert {c.name for c in uk} == {"london", "wiltshire"}
+
+
+def test_cities_in_region_can_include_datacentres():
+    uk = cities_in_region("UK", include_datacentres=True)
+    assert any(c.is_datacentre for c in uk)
+
+
+def test_user_city_count_matches_paper():
+    user_cities = [
+        c for c in CITIES.values() if not c.is_datacentre and c.name not in
+        ("north_carolina", "wiltshire", "barcelona")
+    ]
+    assert len(user_cities) == 10

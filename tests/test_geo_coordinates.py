@@ -1,0 +1,139 @@
+"""Geodesy tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constants import EARTH_RADIUS_M
+from repro.geo.coordinates import (
+    GeoPoint,
+    ecef_distance_m,
+    ecef_to_enu,
+    elevation_azimuth_range,
+    geodetic_to_ecef,
+    great_circle_distance_m,
+)
+
+LONDON = GeoPoint(51.5074, -0.1278)
+NEW_YORK = GeoPoint(40.7128, -74.0060)
+
+
+def test_geopoint_validates_latitude():
+    with pytest.raises(ValueError):
+        GeoPoint(91.0, 0.0)
+    with pytest.raises(ValueError):
+        GeoPoint(-91.0, 0.0)
+
+
+def test_geopoint_validates_longitude():
+    with pytest.raises(ValueError):
+        GeoPoint(0.0, 181.0)
+
+
+def test_equator_prime_meridian_ecef():
+    ecef = geodetic_to_ecef(0.0, 0.0)
+    assert ecef == pytest.approx([EARTH_RADIUS_M, 0.0, 0.0])
+
+
+def test_north_pole_ecef():
+    ecef = geodetic_to_ecef(90.0, 0.0)
+    assert ecef[2] == pytest.approx(EARTH_RADIUS_M)
+    assert abs(ecef[0]) < 1.0 and abs(ecef[1]) < 1.0
+
+
+def test_altitude_extends_radius():
+    surface = geodetic_to_ecef(45.0, 45.0, 0.0)
+    raised = geodetic_to_ecef(45.0, 45.0, 550e3)
+    assert np.linalg.norm(raised) == pytest.approx(EARTH_RADIUS_M + 550e3)
+    assert np.linalg.norm(surface) == pytest.approx(EARTH_RADIUS_M)
+
+
+def test_london_new_york_distance():
+    # ~5570 km great circle.
+    d = great_circle_distance_m(LONDON, NEW_YORK)
+    assert 5.4e6 < d < 5.7e6
+
+
+def test_great_circle_symmetric():
+    assert great_circle_distance_m(LONDON, NEW_YORK) == pytest.approx(
+        great_circle_distance_m(NEW_YORK, LONDON)
+    )
+
+
+def test_great_circle_zero_for_same_point():
+    assert great_circle_distance_m(LONDON, LONDON) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_zenith_satellite_elevation_90():
+    observer = GeoPoint(51.5, -0.13)
+    overhead = geodetic_to_ecef(51.5, -0.13, 550e3)
+    elevation, _, slant = elevation_azimuth_range(observer, overhead)
+    assert elevation == pytest.approx(90.0, abs=0.01)
+    assert slant == pytest.approx(550e3, rel=1e-6)
+
+
+def test_azimuth_of_northern_target():
+    observer = GeoPoint(0.0, 0.0)
+    north_target = geodetic_to_ecef(5.0, 0.0, 550e3)
+    _, azimuth, _ = elevation_azimuth_range(observer, north_target)
+    assert azimuth == pytest.approx(0.0, abs=1.0)
+
+
+def test_azimuth_of_eastern_target():
+    observer = GeoPoint(0.0, 0.0)
+    east_target = geodetic_to_ecef(0.0, 5.0, 550e3)
+    _, azimuth, _ = elevation_azimuth_range(observer, east_target)
+    assert azimuth == pytest.approx(90.0, abs=1.0)
+
+
+def test_below_horizon_negative_elevation():
+    observer = GeoPoint(0.0, 0.0)
+    antipode_sat = geodetic_to_ecef(0.0, 179.0, 550e3)
+    elevation, _, _ = elevation_azimuth_range(observer, antipode_sat)
+    assert elevation < 0
+
+
+def test_elevation_range_rejects_coincident_points():
+    observer = GeoPoint(10.0, 10.0)
+    with pytest.raises(ValueError):
+        elevation_azimuth_range(observer, observer.ecef())
+
+
+def test_enu_up_component_positive_overhead():
+    observer = GeoPoint(30.0, 60.0)
+    overhead = geodetic_to_ecef(30.0, 60.0, 100e3)
+    east, north, up = ecef_to_enu(observer, overhead)
+    assert up == pytest.approx(100e3, rel=1e-6)
+    assert abs(east) < 1.0 and abs(north) < 1.0
+
+
+def test_ecef_distance():
+    a = np.array([0.0, 0.0, 0.0])
+    b = np.array([3.0, 4.0, 0.0])
+    assert ecef_distance_m(a, b) == 5.0
+
+
+@given(
+    st.floats(min_value=-89.0, max_value=89.0),
+    st.floats(min_value=-180.0, max_value=180.0),
+)
+def test_ecef_norm_is_radius_property(lat, lon):
+    assert np.linalg.norm(geodetic_to_ecef(lat, lon)) == pytest.approx(
+        EARTH_RADIUS_M, rel=1e-9
+    )
+
+
+@given(
+    st.floats(min_value=-89.0, max_value=89.0),
+    st.floats(min_value=-179.0, max_value=179.0),
+    st.floats(min_value=-89.0, max_value=89.0),
+    st.floats(min_value=-179.0, max_value=179.0),
+)
+def test_great_circle_triangle_inequality_vs_chord(lat1, lon1, lat2, lon2):
+    """Surface distance is at least the straight-line chord distance."""
+    a, b = GeoPoint(lat1, lon1), GeoPoint(lat2, lon2)
+    chord = ecef_distance_m(a.ecef(), b.ecef())
+    assert great_circle_distance_m(a, b) >= chord - 1e-6

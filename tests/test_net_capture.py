@@ -1,0 +1,126 @@
+"""Link-tap capture tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.capture import CaptureEvent, tap_link
+from repro.net.loss import BernoulliLoss, HandoverBurstLoss
+from repro.net.packet import Packet, Protocol
+from repro.net.topology import Network
+
+
+def _two_node_net(loss=None, rate=10e6):
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    forward, _ = net.connect("a", "b", rate_bps=rate, delay=0.005, loss=loss)
+    net.compute_routes()
+    return net, forward
+
+
+def _blast(net, n=100, flow_id="f"):
+    base = net.sim.now
+    for seq in range(n):
+        net.sim.schedule_at(
+            base + seq * 0.002,
+            net.node("a").send,
+            Packet(
+                src="a", dst="b", protocol=Protocol.UDP, size_bytes=1000,
+                flow_id=flow_id, seq=seq,
+            ),
+        )
+    net.sim.run()
+
+
+def test_tap_records_deliveries():
+    net, link = _two_node_net()
+    tap = tap_link(link)
+    _blast(net, n=50)
+    assert len(tap.delivered()) == 50
+    assert tap.loss_fraction() == 0.0
+    assert all(r.event is CaptureEvent.DELIVERED for r in tap.records)
+
+
+def test_tap_records_losses():
+    net, link = _two_node_net(loss=BernoulliLoss(1.0, np.random.default_rng(0)))
+    tap = tap_link(link)
+    _blast(net, n=30)
+    assert len(tap.lost()) == 30
+    assert tap.loss_fraction() == 1.0
+
+
+def test_tap_partial_loss_statistics():
+    net, link = _two_node_net(loss=BernoulliLoss(0.3, np.random.default_rng(1)))
+    tap = tap_link(link)
+    _blast(net, n=2000)
+    assert 0.25 < tap.loss_fraction() < 0.35
+    assert len(tap.delivered()) + len(tap.lost()) == 2000
+
+
+def test_tap_filters_by_flow():
+    net, link = _two_node_net()
+    tap = tap_link(link)
+    _blast(net, n=20, flow_id="one")
+    _blast(net, n=10, flow_id="two")
+    assert len(tap.delivered("one")) == 20
+    assert len(tap.delivered("two")) == 10
+
+
+def test_tap_throughput_series():
+    net, link = _two_node_net()
+    tap = tap_link(link)
+    _blast(net, n=500)  # 1000 B every 2 ms = 4 Mbps for 1 s
+    bins, mbps = tap.throughput_series(bin_s=0.5)
+    assert len(bins) >= 2
+    assert mbps[0] == pytest.approx(4.0, rel=0.15)
+
+
+def test_tap_empty_series():
+    net, link = _two_node_net()
+    tap = tap_link(link)
+    bins, mbps = tap.throughput_series()
+    assert bins.size == 0 and mbps.size == 0
+
+
+def test_tap_rejects_bad_bin():
+    net, link = _two_node_net()
+    tap = tap_link(link)
+    with pytest.raises(ConfigurationError):
+        tap.throughput_series(bin_s=0.0)
+
+
+def test_double_tap_rejected():
+    net, link = _two_node_net()
+    tap_link(link)
+    with pytest.raises(ConfigurationError):
+        tap_link(link)
+
+
+def test_tap_confirms_loss_clumping():
+    """End-to-end: the tap sees losses clustered in burst windows."""
+    loss = HandoverBurstLoss(
+        burst_windows=[(0.4, 0.6, 0.95)], residual_loss=0.0,
+        rng=np.random.default_rng(2),
+    )
+    net, link = _two_node_net(loss=loss)
+    tap = tap_link(link)
+    _blast(net, n=500)
+    loss_times = tap.loss_times()
+    assert loss_times.size > 10
+    assert loss_times.min() >= 0.39
+    assert loss_times.max() <= 0.61
+
+
+def test_tap_does_not_change_timing():
+    reference_net, _ = _two_node_net()
+    arrivals_ref = []
+    reference_net.node("b").register_handler("f", lambda p, t: arrivals_ref.append(t))
+    _blast(reference_net, n=20)
+
+    tapped_net, tapped_link = _two_node_net()
+    tap = tap_link(tapped_link)
+    arrivals_tapped = []
+    tapped_net.node("b").register_handler("f", lambda p, t: arrivals_tapped.append(t))
+    _blast(tapped_net, n=20)
+    assert arrivals_ref == arrivals_tapped

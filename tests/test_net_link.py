@@ -1,0 +1,161 @@
+"""Link behaviour tests: serialisation, propagation, queueing, loss."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss
+from repro.net.packet import Packet, Protocol
+from repro.net.queues import DropTailQueue
+from repro.net.simulator import Simulator
+from repro.net.topology import Network
+
+
+class _Sink:
+    """Minimal receiving node."""
+
+    def __init__(self, name="sink"):
+        self.name = name
+        self.received = []
+
+    def receive(self, packet, link):
+        self.received.append((packet, link.sim.now))
+
+
+class _Source:
+    def __init__(self, name="src"):
+        self.name = name
+
+
+def _make_link(sim, rate_bps=1e6, delay=0.01, **kwargs):
+    src, dst = _Source(), _Sink()
+    link = Link(sim, src, dst, rate_bps=rate_bps, delay=delay, **kwargs)
+    return link, dst
+
+
+def _packet(size=1000):
+    return Packet(src="src", dst="sink", protocol=Protocol.UDP, size_bytes=size)
+
+
+def test_single_packet_latency():
+    sim = Simulator()
+    link, sink = _make_link(sim, rate_bps=1e6, delay=0.01)
+    link.send(_packet(1000))  # 8 ms serialisation + 10 ms propagation
+    sim.run()
+    _, arrival = sink.received[0]
+    assert arrival == pytest.approx(0.018)
+
+
+def test_back_to_back_packets_serialise():
+    sim = Simulator()
+    link, sink = _make_link(sim, rate_bps=1e6, delay=0.0)
+    link.send(_packet(1000))
+    link.send(_packet(1000))
+    sim.run()
+    arrivals = [t for _, t in sink.received]
+    assert arrivals[0] == pytest.approx(0.008)
+    assert arrivals[1] == pytest.approx(0.016)
+
+
+def test_queueing_delay_recorded():
+    sim = Simulator()
+    link, sink = _make_link(sim, rate_bps=1e6, delay=0.0)
+    first, second = _packet(1000), _packet(1000)
+    link.send(first)
+    link.send(second)
+    sim.run()
+    assert first.queueing_s == pytest.approx(0.0)
+    assert second.queueing_s == pytest.approx(0.008)
+
+
+def test_queue_overflow_drops():
+    sim = Simulator()
+    link, sink = _make_link(sim, rate_bps=1e5, delay=0.0, queue=DropTailQueue(2000))
+    for _ in range(5):
+        link.send(_packet(1000))
+    sim.run()
+    # 1 in transmission + 2 queued; the rest dropped.
+    assert len(sink.received) == 3
+    assert link.queue.drops == 2
+
+
+def test_loss_model_applied():
+    sim = Simulator()
+    link, sink = _make_link(
+        sim, loss=BernoulliLoss(1.0, np.random.default_rng(0))
+    )
+    link.send(_packet())
+    sim.run()
+    assert sink.received == []
+    assert link.lost == 1
+
+
+def test_time_varying_delay():
+    sim = Simulator()
+    link, sink = _make_link(sim, rate_bps=1e9, delay=lambda t: 0.01 if t < 1.0 else 0.05)
+    link.send(_packet())
+    sim.run()
+    sim2 = Simulator()
+    link2, sink2 = _make_link(sim2, rate_bps=1e9, delay=lambda t: 0.01 if t < 1.0 else 0.05)
+    sim2.schedule(2.0, link2.send, _packet())
+    sim2.run()
+    early = sink.received[0][1]
+    late = sink2.received[0][1] - 2.0
+    assert late > early
+
+
+def test_negative_delay_rejected_at_use():
+    sim = Simulator()
+    link, _ = _make_link(sim, delay=-0.01)
+    link.send(_packet())
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_extra_delay_does_not_reorder():
+    sim = Simulator()
+    rng = np.random.default_rng(1)
+    link, sink = _make_link(
+        sim, rate_bps=1e8, delay=0.005, extra_delay=lambda t: float(rng.exponential(0.01))
+    )
+    packets = [_packet() for _ in range(50)]
+    for p in packets:
+        link.send(p)
+    sim.run()
+    received_ids = [p.packet_id for p, _ in sink.received]
+    assert received_ids == [p.packet_id for p in packets]
+
+
+def test_negative_extra_delay_rejected():
+    sim = Simulator()
+    link, _ = _make_link(sim, extra_delay=lambda t: -0.001)
+    link.send(_packet())
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_zero_rate_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        Link(sim, _Source(), _Sink(), rate_bps=0.0, delay=0.01)
+
+
+def test_hop_counter_increments():
+    sim = Simulator()
+    link, sink = _make_link(sim)
+    packet = _packet()
+    link.send(packet)
+    sim.run()
+    assert packet.hops == 1
+
+
+def test_link_counters():
+    sim = Simulator()
+    link, sink = _make_link(sim)
+    for _ in range(4):
+        link.send(_packet())
+    sim.run()
+    assert link.offered == 4
+    assert link.delivered == 4
+    assert link.lost == 0

@@ -1,0 +1,157 @@
+"""Loss-model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net.loss import (
+    BernoulliLoss,
+    CompositeLoss,
+    GilbertElliottLoss,
+    HandoverBurstLoss,
+    NoLoss,
+)
+from repro.net.packet import Packet, Protocol
+
+
+def _packet():
+    return Packet(src="a", dst="b", protocol=Protocol.UDP, size_bytes=100)
+
+
+def test_no_loss_never_drops():
+    model = NoLoss()
+    assert not any(model.should_drop(_packet(), t) for t in np.linspace(0, 10, 50))
+
+
+def test_bernoulli_zero_and_one():
+    rng = np.random.default_rng(0)
+    assert not BernoulliLoss(0.0, rng).should_drop(_packet(), 0.0)
+    assert BernoulliLoss(1.0, rng).should_drop(_packet(), 0.0)
+
+
+def test_bernoulli_rate_statistics():
+    model = BernoulliLoss(0.3, np.random.default_rng(1))
+    drops = sum(model.should_drop(_packet(), 0.0) for _ in range(20_000))
+    assert 0.27 < drops / 20_000 < 0.33
+
+
+def test_bernoulli_validates_rate():
+    with pytest.raises(ConfigurationError):
+        BernoulliLoss(1.5)
+
+
+def test_gilbert_elliott_stationary_rate():
+    model = GilbertElliottLoss(
+        mean_good_s=1.0, mean_bad_s=0.25, loss_good=0.0, loss_bad=0.5,
+        rng=np.random.default_rng(2),
+    )
+    assert model.stationary_loss_rate == pytest.approx(0.1)
+    times = np.cumsum(np.full(100_000, 0.001))
+    drops = sum(model.should_drop(_packet(), float(t)) for t in times)
+    assert 0.06 < drops / len(times) < 0.14
+
+
+def test_gilbert_elliott_burstiness():
+    model = GilbertElliottLoss(
+        mean_good_s=5.0, mean_bad_s=0.5, loss_good=0.0, loss_bad=0.9,
+        rng=np.random.default_rng(3),
+    )
+    drops = [model.should_drop(_packet(), t * 0.001) for t in range(200_000)]
+    # Conditional probability of a drop following a drop should far
+    # exceed the marginal drop rate (bursts).
+    marginal = np.mean(drops)
+    pairs = [(a, b) for a, b in zip(drops, drops[1:])]
+    following = [b for a, b in pairs if a]
+    assert np.mean(following) > 3 * marginal
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ConfigurationError):
+        GilbertElliottLoss(mean_good_s=0.0, mean_bad_s=1.0)
+    with pytest.raises(ConfigurationError):
+        GilbertElliottLoss(mean_good_s=1.0, mean_bad_s=1.0, loss_bad=2.0)
+
+
+def test_handover_burst_loss_inside_windows():
+    model = HandoverBurstLoss(
+        burst_windows=[(10.0, 14.0, 1.0)], residual_loss=0.0,
+        rng=np.random.default_rng(4),
+    )
+    assert model.loss_probability_at(12.0) == 1.0
+    assert model.should_drop(_packet(), 12.5)
+
+
+def test_handover_burst_residual_outside_windows():
+    model = HandoverBurstLoss(
+        burst_windows=[(10.0, 14.0, 0.9)], residual_loss=0.25,
+        rng=np.random.default_rng(5),
+    )
+    assert model.loss_probability_at(20.0) == 0.25
+
+
+def test_handover_burst_overlapping_windows_take_max():
+    model = HandoverBurstLoss(
+        burst_windows=[(0.0, 10.0, 0.2), (5.0, 8.0, 0.7)],
+        rng=np.random.default_rng(6),
+    )
+    assert model.loss_probability_at(6.0) == 0.7
+    assert model.loss_probability_at(9.0) == 0.2
+
+
+def test_handover_burst_validates_windows():
+    with pytest.raises(ConfigurationError):
+        HandoverBurstLoss(burst_windows=[(5.0, 4.0, 0.5)])
+    with pytest.raises(ConfigurationError):
+        HandoverBurstLoss(burst_windows=[(5.0, 6.0, 0.5), (1.0, 2.0, 0.5)])
+    with pytest.raises(ConfigurationError):
+        HandoverBurstLoss(burst_windows=[(1.0, 2.0, 1.5)])
+
+
+def test_from_handovers_skips_acquired():
+    from repro.orbits.tracking import HandoverEvent, HandoverReason
+
+    events = [
+        HandoverEvent(0.0, None, "S-1", HandoverReason.ACQUIRED),
+        HandoverEvent(30.0, "S-1", "S-2", HandoverReason.RESCHEDULE),
+        HandoverEvent(60.0, "S-2", None, HandoverReason.LOS_LOST),
+    ]
+    model = HandoverBurstLoss.from_handovers(events, np.random.default_rng(7))
+    assert len(model.burst_windows) == 2
+    # The LOS_LOST window is longer than the reschedule window.
+    reschedule, los_lost = model.burst_windows
+    assert (los_lost[1] - los_lost[0]) == pytest.approx(2 * (reschedule[1] - reschedule[0]))
+
+
+def test_from_handovers_severity_ordering():
+    from repro.orbits.tracking import HandoverEvent, HandoverReason
+
+    rng = np.random.default_rng(8)
+    events = [HandoverEvent(10.0 + 60 * i, "A", "B", HandoverReason.RESCHEDULE) for i in range(200)]
+    model = HandoverBurstLoss.from_handovers(events, rng, severity_sigma=0.0, burst_loss=0.3)
+    assert all(p == pytest.approx(0.3) for _, _, p in model.burst_windows)
+
+
+def test_composite_loss_any_drop():
+    composite = CompositeLoss(
+        models=[NoLoss(), BernoulliLoss(1.0, np.random.default_rng(9))]
+    )
+    assert composite.should_drop(_packet(), 0.0)
+
+
+def test_composite_extra_rate():
+    composite = CompositeLoss(models=[], extra_rate=1.0, rng=np.random.default_rng(10))
+    assert composite.should_drop(_packet(), 0.0)
+    with pytest.raises(ConfigurationError):
+        CompositeLoss(models=[], extra_rate=2.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.0, max_value=100.0))
+def test_burst_probability_bounded_property(t):
+    model = HandoverBurstLoss(
+        burst_windows=[(10.0, 20.0, 0.8), (40.0, 45.0, 0.3)], residual_loss=0.01,
+        rng=np.random.default_rng(11),
+    )
+    assert 0.0 <= model.loss_probability_at(t) <= 1.0

@@ -1,0 +1,87 @@
+"""Packet and queue tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet, Protocol
+from repro.net.queues import DropTailQueue
+
+
+def _packet(size=1500, **kwargs):
+    defaults = dict(src="a", dst="b", protocol=Protocol.UDP, size_bytes=size)
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+def test_packet_ids_unique():
+    assert _packet().packet_id != _packet().packet_id
+
+
+def test_packet_rejects_bad_size():
+    with pytest.raises(ValueError):
+        _packet(size=0)
+
+
+def test_packet_rejects_negative_ttl():
+    with pytest.raises(ValueError):
+        _packet(ttl=-1)
+
+
+def test_reply_template_swaps_endpoints():
+    original = _packet(flow_id="f1", seq=42)
+    reply = original.reply_template(Protocol.ICMP, 56)
+    assert (reply.src, reply.dst) == ("b", "a")
+    assert reply.flow_id == "f1"
+    assert reply.seq == 42
+
+
+def test_copy_is_independent():
+    original = _packet()
+    original.payload["k"] = 1
+    duplicate = original.copy()
+    duplicate.payload["k"] = 2
+    assert original.payload["k"] == 1
+    assert duplicate.packet_id != original.packet_id
+
+
+def test_queue_fifo_order():
+    queue = DropTailQueue(capacity_bytes=10_000)
+    packets = [_packet() for _ in range(3)]
+    for p in packets:
+        assert queue.offer(p)
+    assert [queue.poll() for _ in range(3)] == packets
+    assert queue.poll() is None
+
+
+def test_queue_rejects_bad_capacity():
+    with pytest.raises(ConfigurationError):
+        DropTailQueue(capacity_bytes=0)
+
+
+def test_queue_tail_drop_at_capacity():
+    queue = DropTailQueue(capacity_bytes=3000)
+    assert queue.offer(_packet())
+    assert queue.offer(_packet())
+    assert not queue.offer(_packet())  # 4500 > 3000
+    assert queue.drops == 1
+    assert queue.enqueued == 2
+
+
+def test_queue_byte_accounting():
+    queue = DropTailQueue(capacity_bytes=10_000)
+    queue.offer(_packet(size=1000))
+    queue.offer(_packet(size=2000))
+    assert queue.bytes_queued == 3000
+    queue.poll()
+    assert queue.bytes_queued == 2000
+    queue.clear()
+    assert queue.bytes_queued == 0
+    assert len(queue) == 0
+
+
+def test_queue_frees_space_after_poll():
+    queue = DropTailQueue(capacity_bytes=1500)
+    assert queue.offer(_packet())
+    assert not queue.offer(_packet())
+    queue.poll()
+    assert queue.offer(_packet())

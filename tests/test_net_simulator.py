@@ -1,0 +1,120 @@
+"""Discrete-event simulator tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(3.0, log.append, "c")
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(2.0, log.append, "b")
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    log = []
+    for tag in "abc":
+        sim.schedule(1.0, log.append, tag)
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_now_advances():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, "early")
+    sim.schedule(10.0, log.append, "late")
+    executed = sim.run(until=5.0)
+    assert log == ["early"]
+    assert executed == 1
+    assert sim.now == 5.0  # clock advanced to the horizon
+    sim.run()
+    assert log == ["early", "late"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    log = []
+    event = sim.schedule(1.0, log.append, "x")
+    event.cancel()
+    sim.run()
+    assert log == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert log == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    failures = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError:
+            failures.append(True)
+
+    sim.schedule(0.0, reenter)
+    sim.run()
+    assert failures == [True]
+
+
+def test_pending_events_counter():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0

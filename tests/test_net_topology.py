@@ -1,0 +1,157 @@
+"""Topology, routing and node forwarding tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.packet import Packet, Protocol
+from repro.net.topology import Network
+
+
+def _linear_network(n=4):
+    net = Network()
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        net.add_node(name)
+    for a, b in zip(names, names[1:]):
+        net.connect(a, b, rate_bps=1e9, delay=0.001)
+    net.compute_routes()
+    return net, names
+
+
+def test_duplicate_node_rejected():
+    net = Network()
+    net.add_node("a")
+    with pytest.raises(ConfigurationError):
+        net.add_node("a")
+
+
+def test_unknown_node_lookup():
+    net = Network()
+    with pytest.raises(RoutingError):
+        net.node("ghost")
+
+
+def test_path_linear():
+    net, names = _linear_network(5)
+    assert net.path("n0", "n4") == names
+    assert net.path("n4", "n0") == names[::-1]
+
+
+def test_path_without_route():
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")  # not connected
+    net.compute_routes()
+    with pytest.raises(RoutingError):
+        net.path("a", "b")
+
+
+def test_bfs_prefers_shortest():
+    net = Network()
+    for name in ("a", "b", "c", "d"):
+        net.add_node(name)
+    net.connect("a", "b", 1e9, 0.001)
+    net.connect("b", "d", 1e9, 0.001)
+    net.connect("a", "c", 1e9, 0.001)
+    net.connect("c", "d", 1e9, 0.001)
+    net.connect("a", "d", 1e9, 0.001)  # direct
+    net.compute_routes()
+    assert net.path("a", "d") == ["a", "d"]
+
+
+def test_end_to_end_delivery():
+    net, names = _linear_network(4)
+    received = []
+    net.node("n3").register_handler("flow", lambda p, t: received.append((p.seq, t)))
+    packet = Packet(src="n0", dst="n3", protocol=Protocol.UDP, size_bytes=100, flow_id="flow")
+    net.node("n0").send(packet)
+    net.sim.run()
+    assert [seq for seq, _ in received] == [0]
+
+
+def test_ttl_expiry_generates_time_exceeded():
+    net, _ = _linear_network(5)
+    replies = []
+    net.node("n0").register_handler("tr", lambda p, t: replies.append(p.payload))
+    probe = Packet(
+        src="n0", dst="n4", protocol=Protocol.UDP, size_bytes=60, ttl=2, flow_id="tr"
+    )
+    net.node("n0").send(probe)
+    net.sim.run()
+    assert len(replies) == 1
+    assert replies[0]["type"] == "time-exceeded"
+    assert replies[0]["responder"] == "n2"
+
+
+def test_udp_to_closed_port_generates_port_unreachable():
+    net, _ = _linear_network(3)
+    replies = []
+    net.node("n0").register_handler("probe", lambda p, t: replies.append(p.payload))
+    probe = Packet(
+        src="n0", dst="n2", protocol=Protocol.UDP, size_bytes=60, flow_id="probe"
+    )
+    net.node("n0").send(probe)
+    net.sim.run()
+    assert replies[0]["type"] == "port-unreachable"
+    assert replies[0]["responder"] == "n2"
+
+
+def test_icmp_echo_gets_reply():
+    net, _ = _linear_network(3)
+    replies = []
+    net.node("n0").register_handler("ping", lambda p, t: replies.append(p.payload))
+    echo = Packet(
+        src="n0", dst="n2", protocol=Protocol.ICMP, size_bytes=64, flow_id="ping"
+    )
+    echo.payload["type"] = "echo"
+    net.node("n0").send(echo)
+    net.sim.run()
+    assert replies[0]["type"] == "echo-reply"
+
+
+def test_forwarding_without_route_raises():
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    net.connect("a", "b", 1e9, 0.001)
+    # routes not computed
+    packet = Packet(src="a", dst="b", protocol=Protocol.UDP, size_bytes=60)
+    with pytest.raises(RoutingError):
+        net.node("a").send(packet)
+
+
+def test_loopback_delivery():
+    net, _ = _linear_network(2)
+    got = []
+    net.node("n0").register_handler("self", lambda p, t: got.append(p))
+    packet = Packet(src="n0", dst="n0", protocol=Protocol.UDP, size_bytes=60, flow_id="self")
+    net.node("n0").send(packet)
+    assert got  # delivered synchronously
+
+
+def test_processing_delay_adds_latency():
+    fast = Network()
+    for name in ("a", "r", "b"):
+        fast.add_node(name)
+    fast.connect("a", "r", 1e9, 0.001)
+    fast.connect("r", "b", 1e9, 0.001)
+    fast.compute_routes()
+
+    slow = Network()
+    slow.add_node("a")
+    slow.add_node("r", processing_delay_s=0.01)
+    slow.add_node("b")
+    slow.connect("a", "r", 1e9, 0.001)
+    slow.connect("r", "b", 1e9, 0.001)
+    slow.compute_routes()
+
+    def one_way(net):
+        arrivals = []
+        net.node("b").register_handler("f", lambda p, t: arrivals.append(t))
+        net.node("a").send(
+            Packet(src="a", dst="b", protocol=Protocol.UDP, size_bytes=100, flow_id="f")
+        )
+        net.sim.run()
+        return arrivals[0]
+
+    assert one_way(slow) - one_way(fast) == pytest.approx(0.01, abs=1e-6)

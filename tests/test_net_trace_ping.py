@@ -1,0 +1,96 @@
+"""Traceroute and ping tests."""
+
+import numpy as np
+import pytest
+
+from repro.net.loss import BernoulliLoss
+from repro.net.ping import ping
+from repro.net.queues import DropTailQueue
+from repro.net.topology import Network
+from repro.net.trace import traceroute
+
+
+def _chain(n=4, hop_delay=0.005, loss_on_first=None):
+    net = Network()
+    names = [f"h{i}" for i in range(n)]
+    for name in names:
+        net.add_node(name)
+    for index, (a, b) in enumerate(zip(names, names[1:])):
+        loss = loss_on_first if index == 0 else None
+        net.connect(a, b, rate_bps=1e9, delay=hop_delay, loss=loss)
+    net.compute_routes()
+    return net, names
+
+
+def test_traceroute_discovers_all_hops():
+    net, names = _chain(5)
+    result = traceroute(net, "h0", "h4")
+    assert result.destination_reached
+    assert result.hop_names() == names[1:]
+
+
+def test_traceroute_rtts_increase_along_path():
+    net, _ = _chain(5, hop_delay=0.01)
+    result = traceroute(net, "h0", "h4", probes_per_hop=3)
+    medians = [hop.median_rtt_s() for hop in result.hops]
+    assert all(b > a for a, b in zip(medians, medians[1:]))
+
+
+def test_traceroute_hop_rtt_matches_topology():
+    net, _ = _chain(3, hop_delay=0.01)
+    result = traceroute(net, "h0", "h2")
+    assert result.hops[0].median_rtt_s() == pytest.approx(0.02, rel=0.05)
+    assert result.hops[1].median_rtt_s() == pytest.approx(0.04, rel=0.05)
+
+
+def test_traceroute_counts_losses():
+    net, _ = _chain(3, loss_on_first=BernoulliLoss(1.0, np.random.default_rng(0)))
+    result = traceroute(net, "h0", "h2", probes_per_hop=4, timeout_s=0.5)
+    assert not result.destination_reached
+    assert all(hop.loss_fraction == 1.0 for hop in result.hops)
+
+
+def test_traceroute_partial_loss():
+    net, _ = _chain(3, loss_on_first=BernoulliLoss(0.5, np.random.default_rng(1)))
+    result = traceroute(net, "h0", "h2", probes_per_hop=40, timeout_s=0.5)
+    loss = result.hops[0].loss_fraction
+    assert 0.2 < loss < 0.8
+
+
+def test_traceroute_stops_at_destination():
+    net, _ = _chain(4)
+    result = traceroute(net, "h0", "h3", max_ttl=30)
+    assert len(result.hops) == 3  # not 30
+
+
+def test_hop_result_statistics():
+    net, _ = _chain(3)
+    result = traceroute(net, "h0", "h2", probes_per_hop=5)
+    hop = result.hops[0]
+    assert hop.sent == 5
+    assert hop.min_rtt_s() <= hop.median_rtt_s() <= hop.max_rtt_s()
+
+
+def test_ping_measures_rtt():
+    net, _ = _chain(3, hop_delay=0.01)
+    result = ping(net, "h0", "h2", count=5)
+    assert result.received == 5
+    assert result.loss_fraction == 0.0
+    assert result.avg_rtt_s() == pytest.approx(0.04, rel=0.05)
+
+
+def test_ping_with_total_loss():
+    net, _ = _chain(2, loss_on_first=BernoulliLoss(1.0, np.random.default_rng(2)))
+    result = ping(net, "h0", "h1", count=4, timeout_s=0.5)
+    assert result.received == 0
+    assert result.loss_fraction == 1.0
+    assert result.min_rtt_s() is None
+    assert result.avg_rtt_s() is None
+
+
+def test_two_traceroutes_do_not_interfere():
+    net, _ = _chain(4)
+    first = traceroute(net, "h0", "h3")
+    second = traceroute(net, "h0", "h3")
+    assert first.destination_reached and second.destination_reached
+    assert len(first.hops) == len(second.hops)

@@ -1,0 +1,105 @@
+"""Walker-shell constellation tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import EARTH_RADIUS_M
+from repro.errors import ConfigurationError
+from repro.orbits.constellation import WalkerShell, starlink_shell1
+
+
+@pytest.fixture(scope="module")
+def small_shell():
+    return WalkerShell(n_planes=8, sats_per_plane=6)
+
+
+def test_default_shell1_population():
+    shell = starlink_shell1()
+    assert len(shell) == 1584
+    assert shell.total_satellites == 1584
+
+
+def test_reduced_shell_population():
+    shell = starlink_shell1(n_planes=10, sats_per_plane=5)
+    assert len(shell) == 50
+
+
+def test_satellite_names_unique(small_shell):
+    names = [s.name for s in small_shell.satellites]
+    assert len(set(names)) == len(names)
+    assert names[0].startswith("STARLINK-")
+
+
+def test_catalog_numbers_sequential(small_shell):
+    numbers = [s.catalog_number for s in small_shell.satellites]
+    assert numbers == list(range(numbers[0], numbers[0] + len(numbers)))
+
+
+def test_lookup_by_name(small_shell):
+    sat = small_shell.satellites[17]
+    assert small_shell.satellite(sat.name) is sat
+
+
+def test_lookup_unknown_name(small_shell):
+    with pytest.raises(KeyError):
+        small_shell.satellite("STARLINK-99999")
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ConfigurationError):
+        WalkerShell(n_planes=0, sats_per_plane=5)
+    with pytest.raises(ConfigurationError):
+        WalkerShell(n_planes=4, sats_per_plane=4, phasing=4)
+
+
+def test_raan_evenly_spaced(small_shell):
+    plane_raans = sorted(
+        {
+            round(math.degrees(s.propagator.elements.raan_rad), 6)
+            for s in small_shell.satellites
+        }
+    )
+    spacings = np.diff(plane_raans)
+    assert np.allclose(spacings, 360.0 / small_shell.n_planes)
+
+
+def test_vectorised_positions_match_scalar(small_shell):
+    for t in (0.0, 777.0, 5000.0):
+        bulk = small_shell.positions_ecef(t)
+        for index in (0, 13, 47):
+            scalar = small_shell.satellites[index].position_ecef(t)
+            assert np.allclose(bulk[index], scalar, atol=1e-6)
+
+
+def test_all_positions_at_correct_radius(small_shell):
+    positions = small_shell.positions_ecef(3600.0)
+    radii = np.linalg.norm(positions, axis=1)
+    assert np.allclose(radii, EARTH_RADIUS_M + small_shell.altitude_m)
+
+
+def test_latitude_bounded_by_inclination(small_shell):
+    positions = small_shell.positions_ecef(1234.0)
+    radii = np.linalg.norm(positions, axis=1)
+    latitudes = np.degrees(np.arcsin(positions[:, 2] / radii))
+    assert np.max(np.abs(latitudes)) <= small_shell.inclination_deg + 0.01
+
+
+def test_to_tle_file_roundtrips(small_shell):
+    from repro.orbits.tle import parse_tle_file
+
+    text = small_shell.to_tle_file()
+    tles = parse_tle_file(text)
+    assert len(tles) == len(small_shell)
+    assert tles[0].inclination_deg == pytest.approx(small_shell.inclination_deg, abs=1e-3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.0, max_value=7 * 86400.0))
+def test_positions_radius_invariant_property(t):
+    shell = WalkerShell(n_planes=4, sats_per_plane=3)
+    radii = np.linalg.norm(shell.positions_ecef(t), axis=1)
+    assert np.allclose(radii, EARTH_RADIUS_M + shell.altitude_m, rtol=1e-9)

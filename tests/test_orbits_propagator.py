@@ -1,0 +1,98 @@
+"""J2 propagator tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import EARTH_RADIUS_M, EARTH_ROTATION_RAD_S
+from repro.orbits.kepler import OrbitalElements
+from repro.orbits.propagator import J2Propagator, eci_to_ecef, gmst_rad
+
+
+def _shell1_elements(raan_deg=0.0, ma_deg=0.0):
+    return OrbitalElements.circular(550e3, 53.0, raan_deg, ma_deg)
+
+
+def test_position_at_epoch_matches_elements():
+    el = _shell1_elements(30.0, 60.0)
+    prop = J2Propagator(el, epoch_s=100.0)
+    assert np.allclose(prop.position_eci(100.0), el.position_eci())
+
+
+def test_orbit_radius_conserved():
+    prop = J2Propagator(_shell1_elements())
+    for t in (0.0, 600.0, 3600.0, 86400.0):
+        assert np.linalg.norm(prop.position_eci(t)) == pytest.approx(
+            EARTH_RADIUS_M + 550e3, rel=1e-9
+        )
+
+
+def test_period_returns_near_start():
+    el = _shell1_elements()
+    prop = J2Propagator(el)
+    start = prop.position_eci(0.0)
+    after_period = prop.position_eci(el.period_s)
+    # J2 shifts RAAN/arg-lat slightly over one orbit; stays within ~100 km.
+    assert np.linalg.norm(after_period - start) < 150e3
+
+
+def test_raan_regresses_for_prograde_orbit():
+    prop = J2Propagator(_shell1_elements(raan_deg=10.0))
+    raan_dot, _, _ = prop._secular_rates()
+    assert raan_dot < 0  # westward nodal regression for i < 90
+
+
+def test_raan_rate_magnitude_for_shell1():
+    # Known value: Starlink shell 1 regresses a bit under ~5 deg/day.
+    prop = J2Propagator(_shell1_elements())
+    raan_dot, _, _ = prop._secular_rates()
+    deg_per_day = math.degrees(raan_dot) * 86400.0
+    assert -6.0 < deg_per_day < -3.0
+
+
+def test_polar_orbit_has_no_regression():
+    el = OrbitalElements.circular(550e3, 90.0, 0.0, 0.0)
+    raan_dot, _, _ = J2Propagator(el)._secular_rates()
+    assert raan_dot == pytest.approx(0.0, abs=1e-12)
+
+
+def test_mean_motion_dominates_secular_rates():
+    prop = J2Propagator(_shell1_elements())
+    _, _, mean_dot = prop._secular_rates()
+    n = prop.elements.mean_motion_rad_s
+    assert abs(mean_dot - n) / n < 0.01
+
+
+def test_gmst_wraps():
+    assert 0.0 <= gmst_rad(1e7) < 2 * math.pi
+
+
+def test_eci_to_ecef_identity_at_t0():
+    position = np.array([7e6, 1e5, -2e5])
+    assert np.allclose(eci_to_ecef(position, 0.0), position)
+
+
+def test_eci_to_ecef_rotates_with_earth():
+    position = np.array([7e6, 0.0, 0.0])
+    quarter_day = (math.pi / 2) / EARTH_ROTATION_RAD_S
+    rotated = eci_to_ecef(position, quarter_day)
+    # Earth turned 90 degrees east: a fixed ECI point appears 90 west.
+    assert rotated[0] == pytest.approx(0.0, abs=1.0)
+    assert rotated[1] == pytest.approx(-7e6, rel=1e-9)
+
+
+def test_ecef_preserves_norm():
+    prop = J2Propagator(_shell1_elements(45.0, 45.0))
+    for t in (0.0, 1234.5, 98765.0):
+        assert np.linalg.norm(prop.position_ecef(t)) == pytest.approx(
+            EARTH_RADIUS_M + 550e3, rel=1e-9
+        )
+
+
+def test_elements_at_preserves_shape_parameters():
+    prop = J2Propagator(_shell1_elements())
+    later = prop.elements_at(5000.0)
+    assert later.semi_major_m == prop.elements.semi_major_m
+    assert later.eccentricity == prop.elements.eccentricity
+    assert later.inclination_rad == prop.elements.inclination_rad

@@ -1,0 +1,137 @@
+"""TLE parser/writer tests, including real-format round trips."""
+
+import math
+
+import pytest
+
+from repro.errors import TLEError
+from repro.orbits.kepler import OrbitalElements
+from repro.orbits.tle import (
+    TLE,
+    format_tle,
+    format_tle_file,
+    parse_tle,
+    parse_tle_file,
+    tle_checksum,
+    tle_from_elements,
+)
+
+# A real ISS TLE (checksums valid).
+ISS_L1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+ISS_L2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+
+
+def test_checksum_of_real_tle():
+    assert tle_checksum(ISS_L1) == 7
+    assert tle_checksum(ISS_L2) == 7
+
+
+def test_parse_real_tle_fields():
+    tle = parse_tle(ISS_L1, ISS_L2, name="ISS (ZARYA)")
+    assert tle.catalog_number == 25544
+    assert tle.classification == "U"
+    assert tle.inclination_deg == pytest.approx(51.6416)
+    assert tle.raan_deg == pytest.approx(247.4627)
+    assert tle.eccentricity == pytest.approx(0.0006703)
+    assert tle.arg_perigee_deg == pytest.approx(130.5360)
+    assert tle.mean_anomaly_deg == pytest.approx(325.0288)
+    assert tle.mean_motion_rev_day == pytest.approx(15.72125391)
+    assert tle.revolution_number == 56353
+    assert tle.name == "ISS (ZARYA)"
+
+
+def test_parse_recovers_iss_altitude():
+    tle = parse_tle(ISS_L1, ISS_L2)
+    altitude_km = (tle.semi_major_m - 6_371_000.0) / 1000.0
+    assert 330 < altitude_km < 380  # ISS orbits around ~350 km (2008)
+
+
+def test_parse_bstar_implied_decimal():
+    tle = parse_tle(ISS_L1, ISS_L2)
+    assert tle.bstar == pytest.approx(-0.11606e-4)
+
+
+def test_bad_checksum_rejected():
+    corrupted = ISS_L1[:-1] + "9"
+    with pytest.raises(TLEError, match="checksum"):
+        parse_tle(corrupted, ISS_L2)
+
+
+def test_bad_line_number_rejected():
+    with pytest.raises(TLEError):
+        parse_tle(ISS_L2, ISS_L1)
+
+
+def test_short_line_rejected():
+    with pytest.raises(TLEError, match="69"):
+        parse_tle("1 25544U", ISS_L2)
+
+
+def test_catalog_mismatch_rejected():
+    other = "2 25545  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563538"
+    other = other[:68] + str(tle_checksum(other))
+    with pytest.raises(TLEError, match="catalog"):
+        parse_tle(ISS_L1, other)
+
+
+def test_roundtrip_through_format():
+    elements = OrbitalElements.circular(550e3, 53.0, 123.4567, 78.9012)
+    tle = tle_from_elements("STARLINK-TEST", 44123, elements, epoch_campaign_s=86_400.0)
+    line1, line2 = format_tle(tle)
+    reparsed = parse_tle(line1, line2, name="STARLINK-TEST")
+    assert reparsed.catalog_number == 44123
+    assert reparsed.inclination_deg == pytest.approx(53.0, abs=1e-3)
+    assert reparsed.raan_deg == pytest.approx(123.4567, abs=1e-3)
+    assert reparsed.mean_anomaly_deg == pytest.approx(78.9012, abs=1e-3)
+    assert reparsed.mean_motion_rev_day == pytest.approx(
+        tle.mean_motion_rev_day, rel=1e-7
+    )
+    assert reparsed.epoch_campaign_s == pytest.approx(86_400.0, abs=1.0)
+
+
+def test_roundtrip_elements_to_elements():
+    elements = OrbitalElements.circular(550e3, 53.0, 10.0, 20.0)
+    tle = tle_from_elements("X", 1, elements)
+    recovered = tle.to_elements()
+    assert recovered.semi_major_m == pytest.approx(elements.semi_major_m, rel=1e-6)
+    assert recovered.inclination_rad == pytest.approx(elements.inclination_rad, abs=1e-6)
+
+
+def test_parse_tle_file_three_line_format():
+    text = "ISS (ZARYA)\n" + ISS_L1 + "\n" + ISS_L2 + "\n"
+    tles = parse_tle_file(text)
+    assert len(tles) == 1
+    assert tles[0].name == "ISS (ZARYA)"
+
+
+def test_parse_tle_file_two_line_format():
+    text = ISS_L1 + "\n" + ISS_L2 + "\n"
+    tles = parse_tle_file(text)
+    assert len(tles) == 1
+    assert tles[0].name == "SAT-25544"
+
+
+def test_format_tle_file_roundtrip_multi():
+    elements = [
+        OrbitalElements.circular(550e3, 53.0, raan, ma)
+        for raan, ma in ((0.0, 0.0), (120.0, 45.0), (240.0, 315.0))
+    ]
+    tles = [tle_from_elements(f"SAT-{i}", 100 + i, el) for i, el in enumerate(elements)]
+    text = format_tle_file(tles)
+    reparsed = parse_tle_file(text)
+    assert [t.name for t in reparsed] == ["SAT-0", "SAT-1", "SAT-2"]
+    for original, recovered in zip(tles, reparsed):
+        assert recovered.raan_deg == pytest.approx(original.raan_deg, abs=1e-3)
+
+
+def test_formatted_lines_are_69_chars():
+    tle = tle_from_elements("X", 99999, OrbitalElements.circular(550e3, 53.0, 359.9999, 0.0))
+    line1, line2 = format_tle(tle)
+    assert len(line1) == 69
+    assert len(line2) == 69
+
+
+def test_formatted_lines_have_valid_checksums():
+    tle = tle_from_elements("X", 7, OrbitalElements.circular(600e3, 70.0, 45.0, 90.0))
+    for line in format_tle(tle):
+        assert int(line[68]) == tle_checksum(line)

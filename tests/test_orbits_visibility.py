@@ -1,0 +1,101 @@
+"""Visibility and pass-prediction tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import STARLINK_MAX_SLANT_RANGE_M
+from repro.geo.cities import city
+from repro.orbits.constellation import starlink_shell1
+from repro.orbits.visibility import (
+    Pass,
+    all_samples,
+    distance_series,
+    passes,
+    visible_satellites,
+)
+
+
+@pytest.fixture(scope="module")
+def shell():
+    return starlink_shell1(n_planes=24, sats_per_plane=12)
+
+
+@pytest.fixture(scope="module")
+def london():
+    return city("london").location
+
+
+def test_some_satellites_visible_over_london(shell, london):
+    visible = visible_satellites(shell, london, 0.0)
+    assert len(visible) >= 1
+
+
+def test_visible_sorted_by_elevation(shell, london):
+    visible = visible_satellites(shell, london, 0.0)
+    elevations = [s.elevation_deg for s in visible]
+    assert elevations == sorted(elevations, reverse=True)
+
+
+def test_visible_respects_mask(shell, london):
+    for sample in visible_satellites(shell, london, 100.0, min_elevation_deg=40.0):
+        assert sample.elevation_deg >= 40.0
+
+
+def test_slant_range_bounded(shell, london):
+    for sample in visible_satellites(shell, london, 0.0):
+        # At a 25 deg mask the slant range stays below ~1123 km
+        # (spherical-Earth equivalent of the paper's 1089 km figure).
+        assert sample.slant_range_m <= STARLINK_MAX_SLANT_RANGE_M * 1.05
+        assert sample.slant_range_m >= 540e3  # can't be closer than altitude
+
+
+def test_visible_subset_of_all_samples(shell, london):
+    visible_names = {s.satellite for s in visible_satellites(shell, london, 50.0)}
+    all_names = {s.satellite for s in all_samples(shell, london, 50.0)}
+    assert visible_names <= all_names
+    assert len(all_names) == len(shell)
+
+
+def test_no_visibility_from_pole_for_53deg_shell(shell):
+    from repro.geo.coordinates import GeoPoint
+
+    south_pole = GeoPoint(-89.9, 0.0)
+    assert visible_satellites(shell, south_pole, 0.0) == []
+
+
+def test_passes_have_positive_duration(shell, london):
+    found = passes(shell, london, 0.0, 1800.0, step_s=10.0)
+    assert found, "expected at least one pass in 30 minutes"
+    for p in found:
+        assert p.end_s >= p.start_s
+        assert p.max_elevation_deg >= 25.0
+
+
+def test_passes_duration_realistic(shell, london):
+    # A shell-1 satellite stays above a 25 deg mask for a few minutes.
+    found = passes(shell, london, 0.0, 3600.0, step_s=10.0)
+    durations = [p.duration_s for p in found if p.start_s > 0 and p.end_s < 3590]
+    if durations:
+        assert max(durations) < 12 * 60
+
+
+def test_distance_series_zero_when_invisible(shell, london):
+    visible_now = visible_satellites(shell, london, 0.0)
+    name = visible_now[0].satellite
+    series = distance_series(shell, london, [name], 0.0, 1200.0, 5.0)
+    values = series[name]
+    assert values[0] > 0  # visible at start
+    assert (values == 0.0).any(), "satellite should eventually leave LoS"
+    positive = values[values > 0]
+    assert positive.max() <= STARLINK_MAX_SLANT_RANGE_M * 1.05
+
+
+def test_distance_series_unknown_satellite(shell, london):
+    with pytest.raises(KeyError):
+        distance_series(shell, london, ["NOPE-1"], 0.0, 10.0)
+
+
+def test_distance_series_alignment(shell, london):
+    name = visible_satellites(shell, london, 0.0)[0].satellite
+    series = distance_series(shell, london, [name], 0.0, 100.0, 1.0)
+    assert len(series[name]) == 100

@@ -1,0 +1,63 @@
+"""Seed robustness: shape findings must not depend on RNG luck.
+
+Runs the cheap experiments across several seeds and validates each
+against the paper's shape expectations — guarding the calibration
+against overfitting to one random stream.
+"""
+
+import pytest
+
+from repro.analysis.validation import validate_or_raise
+from repro.experiments import run_experiment
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_table1_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("table1", seed=seed, scale=0.2))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_figure5_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("figure5", seed=seed, scale=0.5))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_figure6a_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("figure6a", seed=seed, scale=0.5))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_figure6b_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("figure6b", seed=seed))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_figure6c_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("figure6c", seed=seed, scale=0.5))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_figure7_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("figure7", seed=seed))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_table3_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("table3", seed=seed, scale=0.5))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ablation_cell_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("ablation_cell", seed=seed, scale=0.5))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_extension_isl_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("extension_isl", seed=seed, scale=0.4))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_figure2_shape_across_seeds(seed):
+    validate_or_raise(run_experiment("figure2", seed=seed))

@@ -1,0 +1,110 @@
+"""Capacity / diurnal-contention model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.starlink.capacity import (
+    CityServicePlan,
+    DEFAULT_PLANS,
+    ServiceCapacityModel,
+    diurnal_utilization,
+)
+from repro.units import bps_to_mbps
+
+
+def test_diurnal_bounds():
+    hours = np.linspace(0, 24, 200)
+    values = [diurnal_utilization(float(h)) for h in hours]
+    assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_diurnal_evening_peak_overnight_trough():
+    assert diurnal_utilization(20.5) > 0.9
+    assert diurnal_utilization(3.5) < 0.3
+    assert diurnal_utilization(20.5) > diurnal_utilization(13.0) > diurnal_utilization(3.5)
+
+
+def test_diurnal_wraps_midnight():
+    assert diurnal_utilization(23.9) == pytest.approx(diurnal_utilization(-0.1), rel=0.05)
+
+
+def test_paper_locations_have_plans():
+    for name in (
+        "london",
+        "seattle",
+        "sydney",
+        "toronto",
+        "warsaw",
+        "barcelona",
+        "wiltshire",
+        "north_carolina",
+    ):
+        assert name in DEFAULT_PLANS
+
+
+def test_barcelona_richer_than_north_carolina():
+    barcelona = DEFAULT_PLANS["barcelona"]
+    nc = DEFAULT_PLANS["north_carolina"]
+    assert barcelona.cell_dl_mbps > 2 * nc.cell_dl_mbps
+    assert barcelona.wireless_queue_mean_ms < nc.wireless_queue_mean_ms
+
+
+def test_unknown_city_needs_explicit_plan():
+    with pytest.raises(ConfigurationError):
+        ServiceCapacityModel("atlantis")
+    model = ServiceCapacityModel("atlantis".replace("atlantis", "london"))
+    assert model.plan is DEFAULT_PLANS["london"]
+
+
+def test_explicit_plan_override():
+    plan = CityServicePlan(100.0, 10.0)
+    model = ServiceCapacityModel("london", plan=plan)
+    assert model.plan is plan
+
+
+def test_capacity_night_exceeds_evening():
+    model = ServiceCapacityModel("wiltshire", seed=1)
+    # 03:00 local vs 20:30 local (UTC+1).
+    night = model.capacity_bps(2 * 3600.0, noisy=False)
+    evening = model.capacity_bps(19.5 * 3600.0, noisy=False)
+    assert night > 1.8 * evening
+
+
+def test_capacity_deterministic_when_not_noisy():
+    model = ServiceCapacityModel("london", seed=1)
+    assert model.capacity_bps(100.0, noisy=False) == model.capacity_bps(100.0, noisy=False)
+
+
+def test_noisy_capacity_varies():
+    model = ServiceCapacityModel("london", seed=1)
+    draws = {round(model.capacity_bps(100.0)) for _ in range(8)}
+    assert len(draws) > 1
+
+
+def test_capacity_capped_at_peak_multiplier():
+    model = ServiceCapacityModel("london", seed=1)
+    plan = model.plan
+    draws = [bps_to_mbps(model.capacity_bps(2 * 3600.0)) for _ in range(500)]
+    assert max(draws) <= plan.peak_multiplier * plan.cell_dl_mbps + 1e-9
+
+
+def test_uplink_smaller_than_downlink():
+    model = ServiceCapacityModel("london", seed=1)
+    assert model.capacity_bps(100.0, downlink=False, noisy=False) < model.capacity_bps(
+        100.0, downlink=True, noisy=False
+    )
+
+
+def test_queueing_sampler_load_coupled():
+    model = ServiceCapacityModel("london", seed=1)
+    sampler = model.wireless_queueing_sampler()
+    night = np.mean([sampler(2 * 3600.0) for _ in range(3000)])
+    evening = np.mean([sampler(19.5 * 3600.0) for _ in range(3000)])
+    assert evening > 1.5 * night
+
+
+def test_transit_sampler_positive():
+    model = ServiceCapacityModel("london", seed=1)
+    sampler = model.transit_queueing_sampler()
+    assert all(sampler(0.0) >= 0 for _ in range(100))

@@ -1,0 +1,85 @@
+"""Emergent cell-contention model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.starlink.cell import (
+    CellConfig,
+    CellScheduler,
+    NODE_CELLS,
+    node_cell_scheduler,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        CellConfig(0.0, 10)
+    with pytest.raises(ConfigurationError):
+        CellConfig(1000.0, 0)
+    with pytest.raises(ConfigurationError):
+        CellConfig(1000.0, 10, base_activity=0.0)
+
+
+def test_node_cells_reflect_availability_timeline():
+    assert (
+        NODE_CELLS["north_carolina"].n_subscribers
+        > NODE_CELLS["wiltshire"].n_subscribers
+        > NODE_CELLS["barcelona"].n_subscribers
+    )
+
+
+def test_unknown_city_rejected():
+    with pytest.raises(ConfigurationError):
+        node_cell_scheduler("atlantis")
+
+
+def test_activity_diurnal():
+    scheduler = node_cell_scheduler("wiltshire", seed=1)
+    evening = scheduler.activity_probability(19.5 * 3600.0)  # 20:30 local
+    night = scheduler.activity_probability(2.0 * 3600.0)  # 03:00 local
+    assert evening > 2 * night
+    assert 0.0 < night < evening <= 1.0
+
+
+def test_throughput_bounded_by_cap_and_floor():
+    scheduler = node_cell_scheduler("barcelona", seed=2)
+    for t in np.linspace(0, 86_400, 48):
+        mbps = scheduler.per_user_throughput_bps(float(t)) / 1e6
+        config = scheduler.config
+        assert mbps <= config.terminal_cap_mbps * 1.5  # cap + lognormal tail
+        assert mbps >= config.min_share_mbps * 0.5
+
+
+def test_more_subscribers_less_throughput():
+    times = np.linspace(0, 2 * 86_400, 96)
+    sparse = CellScheduler(CellConfig(1300.0, 8), "wiltshire", seed=3)
+    dense = CellScheduler(CellConfig(1300.0, 90), "wiltshire", seed=3)
+    assert np.median(sparse.throughput_series_mbps(times)) > 2 * np.median(
+        dense.throughput_series_mbps(times)
+    )
+
+
+def test_congested_cell_has_diurnal_swing():
+    scheduler = node_cell_scheduler("north_carolina", seed=4)
+    times = np.arange(0, 4 * 86_400, 1800.0)
+    series = scheduler.throughput_series_mbps(times)
+    hours = np.array([scheduler.city.local_hour(float(t)) for t in times])
+    night = np.median(series[(hours >= 0) & (hours < 6)])
+    evening = np.median(series[(hours >= 18) & (hours < 24)])
+    assert night > 1.5 * evening
+
+
+def test_scheduler_deterministic_per_seed():
+    a = node_cell_scheduler("wiltshire", seed=9)
+    b = node_cell_scheduler("wiltshire", seed=9)
+    times = np.linspace(0, 86_400, 10)
+    assert np.allclose(a.throughput_series_mbps(times), b.throughput_series_mbps(times))
+
+
+def test_ablation_cell_experiment_shape():
+    from repro.analysis.validation import validate_or_raise
+    from repro.experiments import run_experiment
+
+    result = run_experiment("ablation_cell", seed=0, scale=0.5)
+    validate_or_raise(result)

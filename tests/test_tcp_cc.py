@@ -1,0 +1,295 @@
+"""Unit tests for the five congestion-control algorithms."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tcp.cc import CC_REGISTRY, make_cc
+from repro.tcp.cc.base import AckSample
+from repro.tcp.cc.bbr import Bbr
+from repro.tcp.cc.cubic import Cubic
+from repro.tcp.cc.reno import Reno
+from repro.tcp.cc.vegas import Vegas
+from repro.tcp.cc.veno import Veno
+
+
+def _sample(
+    now=1.0,
+    rtt=0.05,
+    newly=1,
+    delivered=100_000,
+    rate=None,
+    in_flight=10,
+    mss=1448,
+    in_recovery=False,
+):
+    return AckSample(
+        now_s=now,
+        rtt_s=rtt,
+        min_rtt_s=0.04,
+        newly_acked=newly,
+        delivered_bytes=delivered,
+        delivery_rate_bps=rate,
+        in_flight=in_flight,
+        mss_bytes=mss,
+        in_recovery=in_recovery,
+    )
+
+
+def test_registry_has_paper_algorithms():
+    from repro.tcp.cc import PAPER_CCAS
+
+    assert set(PAPER_CCAS) <= set(CC_REGISTRY)
+    assert "bbr-leo" in CC_REGISTRY  # this repo's future-work extension
+
+
+def test_make_cc_case_insensitive():
+    assert isinstance(make_cc("BBR"), Bbr)
+    assert isinstance(make_cc("Cubic"), Cubic)
+
+
+def test_make_cc_unknown():
+    with pytest.raises(ConfigurationError):
+        make_cc("hybla")
+
+
+# --- Reno ---------------------------------------------------------------
+
+
+def test_reno_slow_start_doubles():
+    reno = Reno(initial_cwnd=10)
+    for _ in range(10):
+        reno.on_ack(_sample(newly=1))
+    assert reno.cwnd == pytest.approx(20.0)
+
+
+def test_reno_congestion_avoidance_linear():
+    reno = Reno(initial_cwnd=10, ssthresh=10)
+    start = reno.cwnd
+    for _ in range(10):
+        reno.on_ack(_sample(newly=1))
+    assert reno.cwnd == pytest.approx(start + 1.0, rel=0.05)
+
+
+def test_reno_halves_on_loss():
+    reno = Reno(initial_cwnd=20, ssthresh=10)
+    reno.on_loss(1.0, 20)
+    assert reno.cwnd == pytest.approx(10.0)
+    assert reno.ssthresh == pytest.approx(10.0)
+
+
+def test_reno_timeout_collapses():
+    reno = Reno(initial_cwnd=20)
+    reno.on_timeout(1.0)
+    assert reno.cwnd == 1.0
+    assert reno.ssthresh == pytest.approx(10.0)
+
+
+def test_reno_frozen_in_recovery():
+    reno = Reno(initial_cwnd=10)
+    reno.on_ack(_sample(in_recovery=True))
+    assert reno.cwnd == 10.0
+
+
+def test_reno_floor_of_two():
+    reno = Reno(initial_cwnd=2)
+    reno.on_loss(1.0, 2)
+    assert reno.cwnd >= 2.0
+
+
+# --- CUBIC ---------------------------------------------------------------
+
+
+def test_cubic_slow_start():
+    cubic = Cubic(initial_cwnd=10)
+    for _ in range(10):
+        cubic.on_ack(_sample())
+    assert cubic.cwnd == pytest.approx(20.0)
+
+
+def test_cubic_reduces_by_beta():
+    cubic = Cubic(initial_cwnd=100)
+    cubic.ssthresh = 50  # out of slow start
+    cubic.on_loss(1.0, 100)
+    assert cubic.cwnd == pytest.approx(70.0)
+    assert cubic.w_max == pytest.approx(100.0)
+
+
+def test_cubic_fast_convergence():
+    cubic = Cubic(initial_cwnd=100)
+    cubic.w_max = 150.0
+    cubic.on_loss(1.0, 100)
+    # cwnd below previous w_max: w_max shrinks below the old cwnd.
+    assert cubic.w_max < 100.0
+
+
+def test_cubic_grows_back_toward_wmax():
+    cubic = Cubic(initial_cwnd=100)
+    cubic.ssthresh = 50
+    cubic.on_loss(0.0, 100)
+    reduced = cubic.cwnd
+    now = 0.0
+    for i in range(4000):
+        now += 0.01
+        cubic.on_ack(_sample(now=now, newly=1))
+    assert cubic.cwnd > reduced
+    assert cubic.cwnd >= 0.9 * cubic.w_max
+
+
+def test_cubic_frozen_in_recovery():
+    cubic = Cubic(initial_cwnd=30)
+    cubic.on_ack(_sample(in_recovery=True))
+    assert cubic.cwnd == 30.0
+
+
+# --- Vegas ---------------------------------------------------------------
+
+
+def test_vegas_tracks_base_rtt():
+    vegas = Vegas()
+    vegas.on_ack(_sample(rtt=0.08))
+    vegas.on_ack(_sample(rtt=0.05))
+    vegas.on_ack(_sample(rtt=0.09))
+    assert vegas.base_rtt_s == pytest.approx(0.05)
+
+
+def test_vegas_increments_when_queue_small():
+    vegas = Vegas(initial_cwnd=10)
+    vegas.ssthresh = 5  # out of slow start
+    # RTT == base RTT -> diff 0 < alpha -> +1 per RTT period.
+    delivered = 0
+    start = vegas.cwnd
+    for i in range(40):
+        delivered += 1448
+        vegas.on_ack(_sample(rtt=0.05, delivered=delivered))
+    assert vegas.cwnd > start
+
+
+def test_vegas_decrements_when_queue_large():
+    vegas = Vegas(initial_cwnd=50)
+    vegas.ssthresh = 5
+    vegas.base_rtt_s = 0.02
+    delivered = 0
+    start = vegas.cwnd
+    for i in range(300):
+        delivered += 1448
+        vegas.on_ack(_sample(rtt=0.08, delivered=delivered))  # heavy queueing
+    assert vegas.cwnd < start
+
+
+def test_vegas_gentle_loss_response():
+    vegas = Vegas(initial_cwnd=40)
+    vegas.on_loss(1.0, 40)
+    assert vegas.cwnd == pytest.approx(30.0)  # 0.75 factor
+
+
+# --- Veno ----------------------------------------------------------------
+
+
+def test_veno_random_loss_gentle():
+    veno = Veno(initial_cwnd=40)
+    veno.ssthresh = 10
+    veno.base_rtt_s = 0.05
+    veno._latest_rtt_s = 0.0505  # tiny backlog: random loss
+    veno.on_loss(1.0, 40)
+    assert veno.cwnd == pytest.approx(32.0)  # x0.8
+
+
+def test_veno_congestive_loss_halves():
+    veno = Veno(initial_cwnd=40)
+    veno.ssthresh = 10
+    veno.base_rtt_s = 0.05
+    veno._latest_rtt_s = 0.10  # backlog 20 packets >> beta
+    veno.on_loss(1.0, 40)
+    assert veno.cwnd == pytest.approx(20.0)
+
+
+def test_veno_half_rate_growth_when_backlogged():
+    fast = Veno(initial_cwnd=30)
+    slow = Veno(initial_cwnd=30)
+    for v in (fast, slow):
+        v.ssthresh = 10
+        v.base_rtt_s = 0.05
+    for _ in range(60):
+        fast.on_ack(_sample(rtt=0.05))   # no backlog -> full rate
+        slow.on_ack(_sample(rtt=0.12))   # backlogged -> half rate
+    assert (fast.cwnd - 30) > 1.8 * (slow.cwnd - 30)
+
+
+# --- BBR -----------------------------------------------------------------
+
+
+def test_bbr_starts_in_startup():
+    bbr = Bbr()
+    assert bbr.state == "STARTUP"
+    assert bbr.pacing_rate_bps(1448) is None  # no estimate yet
+
+
+def test_bbr_filters_track_max_and_min():
+    bbr = Bbr()
+    delivered = 0
+    for rate in (1e6, 5e6, 3e6):
+        delivered += 14480
+        bbr.on_ack(_sample(rate=rate, delivered=delivered, rtt=0.05))
+    assert bbr.btlbw_bps == pytest.approx(5e6)
+    bbr.on_ack(_sample(rate=2e6, delivered=delivered + 14480, rtt=0.03))
+    assert bbr.rtprop_s == pytest.approx(0.03)
+
+
+def test_bbr_exits_startup_when_bandwidth_plateaus():
+    bbr = Bbr()
+    delivered = 0
+    for i in range(20):
+        delivered += 144_800
+        bbr.on_ack(_sample(now=i * 0.05, rate=10e6, delivered=delivered))
+        if bbr.state != "STARTUP":
+            break
+    assert bbr.state in ("DRAIN", "PROBE_BW")
+
+
+def test_bbr_ignores_loss():
+    bbr = Bbr(initial_cwnd=50)
+    before = bbr.cwnd
+    bbr.on_loss(1.0, 50)
+    assert bbr.cwnd == before
+
+
+def test_bbr_cwnd_tracks_bdp():
+    bbr = Bbr()
+    delivered = 0
+    for i in range(30):
+        delivered += 144_800
+        bbr.on_ack(
+            _sample(now=i * 0.05, rate=20e6, delivered=delivered, rtt=0.05, in_flight=20)
+        )
+    bdp_packets = 20e6 * bbr.rtprop_s / (8 * 1448)
+    assert bbr.cwnd == pytest.approx(bbr.cwnd_gain * bdp_packets, rel=0.3)
+
+
+def test_bbr_pacing_rate_scales_with_gain():
+    bbr = Bbr()
+    delivered = 0
+    for i in range(30):
+        delivered += 144_800
+        bbr.on_ack(_sample(now=i * 0.05, rate=20e6, delivered=delivered))
+    rate = bbr.pacing_rate_bps(1448)
+    assert rate == pytest.approx(bbr.pacing_gain * bbr.btlbw_bps, rel=1e-6)
+
+
+def test_bbr_app_limited_samples_ignored():
+    bbr = Bbr()
+    bbr.on_ack(_sample(rate=50e6, delivered=14480))
+    high = bbr.btlbw_bps
+    bbr.on_ack(
+        AckSample(
+            now_s=2.0,
+            rtt_s=0.05,
+            min_rtt_s=0.04,
+            newly_acked=1,
+            delivered_bytes=28_960,
+            delivery_rate_bps=200e6,
+            in_flight=1,
+            mss_bytes=1448,
+            is_app_limited=True,
+        )
+    )
+    assert bbr.btlbw_bps == high  # app-limited spike not believed

@@ -1,0 +1,89 @@
+"""RTT estimator (RFC 6298) tests."""
+
+import pytest
+
+from repro.tcp.rtt import RttEstimator
+
+
+def test_first_sample_initialises():
+    est = RttEstimator()
+    est.on_measurement(0.1)
+    assert est.srtt_s == pytest.approx(0.1)
+    assert est.rttvar_s == pytest.approx(0.05)
+    assert est.min_rtt_s == pytest.approx(0.1)
+
+
+def test_rto_before_any_sample():
+    est = RttEstimator()
+    assert est.rto_s == pytest.approx(1.0)
+
+
+def test_rto_after_sample():
+    est = RttEstimator()
+    est.on_measurement(0.1)
+    assert est.rto_s == pytest.approx(0.1 + 4 * 0.05)
+
+
+def test_rto_min_clamp():
+    est = RttEstimator()
+    for _ in range(50):
+        est.on_measurement(0.001)
+    assert est.rto_s == pytest.approx(est.min_rto_s)
+
+
+def test_smoothing_converges():
+    est = RttEstimator()
+    for _ in range(200):
+        est.on_measurement(0.05)
+    assert est.srtt_s == pytest.approx(0.05, rel=1e-3)
+    assert est.rttvar_s == pytest.approx(0.0, abs=1e-3)
+
+
+def test_variance_grows_with_jitter():
+    stable = RttEstimator()
+    jittery = RttEstimator()
+    for i in range(100):
+        stable.on_measurement(0.05)
+        jittery.on_measurement(0.05 if i % 2 == 0 else 0.15)
+    assert jittery.rttvar_s > stable.rttvar_s
+    assert jittery.rto_s > stable.rto_s
+
+
+def test_min_rtt_tracks_minimum():
+    est = RttEstimator()
+    for rtt in (0.08, 0.05, 0.2, 0.06):
+        est.on_measurement(rtt)
+    assert est.min_rtt_s == pytest.approx(0.05)
+
+
+def test_backoff_doubles_rto():
+    est = RttEstimator()
+    est.on_measurement(0.1)
+    base = est.rto_s
+    est.on_timeout()
+    assert est.rto_s == pytest.approx(2 * base)
+    est.on_timeout()
+    assert est.rto_s == pytest.approx(4 * base)
+
+
+def test_measurement_resets_backoff():
+    est = RttEstimator()
+    est.on_measurement(0.1)
+    base = est.rto_s
+    est.on_timeout()
+    est.on_measurement(0.1)
+    assert est.rto_s == pytest.approx(base, rel=0.2)
+
+
+def test_rto_max_clamp():
+    est = RttEstimator()
+    est.on_measurement(10.0)
+    for _ in range(20):
+        est.on_timeout()
+    assert est.rto_s == est.max_rto_s
+
+
+def test_rejects_nonpositive_rtt():
+    est = RttEstimator()
+    with pytest.raises(ValueError):
+        est.on_measurement(0.0)

@@ -1,0 +1,85 @@
+"""Weather taxonomy and rain-fade tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.weather.conditions import WEATHER_CONDITIONS, WeatherCondition
+from repro.weather.rainfade import (
+    cloud_attenuation_db,
+    effective_path_km,
+    rain_attenuation_db,
+    specific_attenuation_db_km,
+    total_attenuation_db,
+)
+
+
+def test_seven_conditions_in_order():
+    assert len(WEATHER_CONDITIONS) == 7
+    assert WEATHER_CONDITIONS[0] is WeatherCondition.CLEAR_SKY
+    assert WEATHER_CONDITIONS[-1] is WeatherCondition.MODERATE_RAIN
+
+
+def test_severity_matches_order():
+    for index, condition in enumerate(WEATHER_CONDITIONS):
+        assert condition.severity == index
+
+
+def test_display_names_title_cased():
+    assert WeatherCondition.CLEAR_SKY.display_name == "Clear Sky"
+    assert WeatherCondition.MODERATE_RAIN.display_name == "Moderate Rain"
+
+
+def test_only_rain_conditions_have_rain():
+    for condition in WEATHER_CONDITIONS:
+        if "rain" in condition.value:
+            assert condition.profile.rain_rate_mm_h > 0
+        else:
+            assert condition.profile.rain_rate_mm_h == 0
+
+
+def test_cloud_cover_non_decreasing():
+    covers = [c.profile.cloud_cover_fraction for c in WEATHER_CONDITIONS]
+    assert covers == sorted(covers)
+
+
+def test_specific_attenuation_zero_without_rain():
+    assert specific_attenuation_db_km(0.0) == 0.0
+
+
+def test_specific_attenuation_rejects_negative():
+    with pytest.raises(ValueError):
+        specific_attenuation_db_km(-1.0)
+
+
+def test_specific_attenuation_superlinear():
+    # alpha > 1: doubling the rain rate more than doubles attenuation.
+    assert specific_attenuation_db_km(10.0) > 2.0 * specific_attenuation_db_km(5.0)
+
+
+def test_effective_path_shrinks_with_elevation():
+    assert effective_path_km(25.0) > effective_path_km(55.0) > effective_path_km(85.0)
+
+
+def test_effective_path_clamped_at_low_elevation():
+    assert effective_path_km(1.0) == effective_path_km(5.0)
+
+
+def test_total_attenuation_monotone_in_severity():
+    values = [total_attenuation_db(c) for c in WEATHER_CONDITIONS]
+    assert values == sorted(values)
+    assert values[0] == 0.0  # clear sky
+
+
+def test_rain_attenuation_increases_at_low_elevation():
+    assert rain_attenuation_db(7.0, 25.0) > rain_attenuation_db(7.0, 70.0)
+
+
+def test_cloud_attenuation_positive_for_clouds():
+    assert cloud_attenuation_db(WeatherCondition.OVERCAST_CLOUDS) > 0
+    assert cloud_attenuation_db(WeatherCondition.CLEAR_SKY) == 0.0
+
+
+@given(st.sampled_from(list(WeatherCondition)), st.floats(min_value=5.0, max_value=90.0))
+def test_total_attenuation_nonnegative_property(condition, elevation):
+    assert total_attenuation_db(condition, elevation) >= 0.0

@@ -1,0 +1,60 @@
+"""Weather-impairment mapping tests."""
+
+import pytest
+
+from repro.weather.conditions import WEATHER_CONDITIONS, WeatherCondition
+from repro.weather.impairment import impairment_for, impairment_from_attenuation
+
+
+def test_zero_attenuation_is_neutral():
+    impairment = impairment_from_attenuation(0.0)
+    assert impairment.latency_multiplier == 1.0
+    assert impairment.extra_loss_rate == 0.0
+    assert impairment.capacity_multiplier == 1.0
+
+
+def test_negative_attenuation_rejected():
+    with pytest.raises(ValueError):
+        impairment_from_attenuation(-0.5)
+
+
+def test_latency_multiplier_monotone():
+    multipliers = [
+        impairment_from_attenuation(a).latency_multiplier for a in (0, 0.5, 1.0, 2.0)
+    ]
+    assert multipliers == sorted(multipliers)
+
+
+def test_moderate_rain_roughly_doubles_latency():
+    impairment = impairment_for(WeatherCondition.MODERATE_RAIN)
+    assert 1.7 < impairment.latency_multiplier < 3.2
+
+
+def test_clear_sky_neutral():
+    impairment = impairment_for(WeatherCondition.CLEAR_SKY)
+    assert impairment.latency_multiplier == 1.0
+    assert impairment.extra_loss_rate == 0.0
+
+
+def test_loss_rate_bounded():
+    for condition in WEATHER_CONDITIONS:
+        impairment = impairment_for(condition, elevation_deg=25.0)
+        assert 0.0 <= impairment.extra_loss_rate <= 0.25
+
+
+def test_capacity_floor():
+    heavy = impairment_from_attenuation(20.0)
+    assert heavy.capacity_multiplier >= 0.2
+
+
+def test_ordering_across_conditions():
+    multipliers = [impairment_for(c).latency_multiplier for c in WEATHER_CONDITIONS]
+    assert multipliers == sorted(multipliers)
+    capacities = [impairment_for(c).capacity_multiplier for c in WEATHER_CONDITIONS]
+    assert capacities == sorted(capacities, reverse=True)
+
+
+def test_lower_elevation_hurts_more():
+    low = impairment_for(WeatherCondition.MODERATE_RAIN, elevation_deg=26.0)
+    high = impairment_for(WeatherCondition.MODERATE_RAIN, elevation_deg=80.0)
+    assert low.latency_multiplier > high.latency_multiplier

@@ -1,0 +1,137 @@
+"""Page-load simulator and browser speedtest tests."""
+
+import numpy as np
+import pytest
+
+from repro.rng import stream
+from repro.web.browser import PageLoadSimulator, StaticConnectionModel
+from repro.web.hosting import ServerKind, SiteHosting
+from repro.web.page import PageProfile
+from repro.web.speedtest import run_browser_speedtest
+from repro.web.tranco import Site
+
+
+def _connection(rtt=0.030, jitter=0.0, bw=100e6, loss=0.0, seed=0):
+    return StaticConnectionModel(
+        base_rtt_s=rtt,
+        jitter_mean_s=jitter,
+        bandwidth=bw,
+        loss=loss,
+        rng=stream(seed, "conn"),
+    )
+
+
+def _hosting(one_way=0.002, think=0.03):
+    return SiteHosting(
+        kind=ServerKind.CDN_EDGE,
+        server_one_way_s=one_way,
+        server_think_s=think,
+        cross_continent=False,
+    )
+
+
+def _page(size=60_000, redirects=0):
+    return PageProfile(
+        site=Site(100, "example.com"),
+        document_bytes=size,
+        n_redirects=redirects,
+        dom_work_s=0.25,
+        render_work_s=0.10,
+    )
+
+
+def test_ptt_scales_with_rtt():
+    rng_slow, rng_fast = stream(1, "a"), stream(1, "a")
+    slow = PageLoadSimulator(_connection(rtt=0.120), connection_reuse_rate=0.0)
+    fast = PageLoadSimulator(_connection(rtt=0.010), connection_reuse_rate=0.0)
+    ptts_slow = [slow.load(_page(), _hosting(), 0.0, rng_slow).ptt_ms for _ in range(60)]
+    ptts_fast = [fast.load(_page(), _hosting(), 0.0, rng_fast).ptt_ms for _ in range(60)]
+    assert np.median(ptts_slow) > 3 * np.median(ptts_fast)
+
+
+def test_redirects_add_latency():
+    simulator = PageLoadSimulator(_connection(), connection_reuse_rate=0.0)
+    rng = stream(2, "r")
+    direct = np.median(
+        [simulator.load(_page(redirects=0), _hosting(), 0.0, rng).ptt_ms for _ in range(80)]
+    )
+    redirected = np.median(
+        [simulator.load(_page(redirects=2), _hosting(), 0.0, rng).ptt_ms for _ in range(80)]
+    )
+    assert redirected > direct + 50
+
+
+def test_large_documents_take_longer():
+    simulator = PageLoadSimulator(_connection(bw=20e6), connection_reuse_rate=0.0)
+    rng = stream(3, "d")
+    small = np.median(
+        [simulator.load(_page(size=10_000), _hosting(), 0.0, rng).ptt_ms for _ in range(60)]
+    )
+    large = np.median(
+        [simulator.load(_page(size=1_500_000), _hosting(), 0.0, rng).ptt_ms for _ in range(60)]
+    )
+    assert large > small + 300  # serialisation + slow-start rounds
+
+
+def test_loss_adds_heavy_tail():
+    clean = PageLoadSimulator(_connection(loss=0.0), connection_reuse_rate=0.0)
+    lossy = PageLoadSimulator(_connection(loss=0.05, seed=9), connection_reuse_rate=0.0)
+    rng_a, rng_b = stream(4, "x"), stream(4, "x")
+    clean_p95 = np.percentile(
+        [clean.load(_page(), _hosting(), 0.0, rng_a).ptt_ms for _ in range(150)], 95
+    )
+    lossy_p95 = np.percentile(
+        [lossy.load(_page(), _hosting(), 0.0, rng_b).ptt_ms for _ in range(150)], 95
+    )
+    assert lossy_p95 > clean_p95 + 150  # SYN retransmit / recovery stalls
+
+
+def test_connection_reuse_lowers_median():
+    reuse = PageLoadSimulator(_connection(rtt=0.08), connection_reuse_rate=1.0)
+    cold = PageLoadSimulator(_connection(rtt=0.08), connection_reuse_rate=0.0)
+    rng_a, rng_b = stream(5, "y"), stream(5, "y")
+    reused = np.median(
+        [reuse.load(_page(), _hosting(), 0.0, rng_a).ptt_ms for _ in range(80)]
+    )
+    fresh = np.median(
+        [cold.load(_page(), _hosting(), 0.0, rng_b).ptt_ms for _ in range(80)]
+    )
+    assert reused < fresh - 100
+
+
+def test_reused_connection_reports_zero_handshakes():
+    simulator = PageLoadSimulator(_connection(), connection_reuse_rate=1.0)
+    timing = simulator.load(_page(), _hosting(), 0.0, stream(6, "z"))
+    assert timing.connect_s == 0.0
+    assert timing.tls_s == 0.0
+
+
+def test_device_multiplier_affects_plt_not_ptt():
+    simulator = PageLoadSimulator(_connection())
+    rng_a, rng_b = stream(7, "w"), stream(7, "w")
+    slow_device = simulator.load(_page(), _hosting(), 0.0, rng_a, device_multiplier=4.0)
+    fast_device = simulator.load(_page(), _hosting(), 0.0, rng_b, device_multiplier=0.5)
+    assert slow_device.page_transit_time_s == pytest.approx(
+        fast_device.page_transit_time_s
+    )
+    assert slow_device.page_load_time_s > fast_device.page_load_time_s
+
+
+def test_speedtest_near_capacity_when_close():
+    rng = stream(8, "st")
+    result = run_browser_speedtest(0.0, 100e6, 10e6, rtt_s=0.02, rng=rng)
+    assert 80.0 < result.download_mbps < 105.0
+    assert 8.0 < result.upload_mbps < 11.0  # 0.93 efficiency + noise
+
+
+def test_speedtest_window_limited_on_long_fat_path():
+    rng = stream(9, "st")
+    result = run_browser_speedtest(0.0, 2e9, 10e6, rtt_s=0.3, rng=rng)
+    # 6 streams x 1.5 MB at 300 ms RTT caps well under 2 Gbps.
+    assert result.download_mbps < 300.0
+
+
+def test_speedtest_ping_tracks_rtt():
+    rng = stream(10, "st")
+    result = run_browser_speedtest(0.0, 100e6, 10e6, rtt_s=0.150, rng=rng)
+    assert result.ping_ms == pytest.approx(150.0, rel=0.2)
