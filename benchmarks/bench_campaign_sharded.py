@@ -1,0 +1,64 @@
+"""Sharded campaign engine: identity with serial plus the speedup.
+
+Times a scaled Table-1-style campaign serially and with the
+``n_workers=4`` worker pool, asserts the two datasets are bit-for-bit
+identical (the engine's determinism contract), and — on machines with
+at least 4 cores — asserts the >= 2.5x speedup target.  On smaller
+machines the speedup is reported but not asserted: a 1-core runner
+cannot demonstrate parallelism, while the identity check always holds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.extension.campaign import CampaignConfig, ExtensionCampaign
+
+#: A campaign big enough that per-user work dwarfs pool/rebuild overhead.
+SCALED = dict(
+    seed=0,
+    duration_s=42 * 86_400.0,
+    request_fraction=0.6,
+    cities=("london", "seattle", "sydney"),
+)
+
+SPEEDUP_TARGET = 2.5
+MIN_CORES_FOR_TARGET = 4
+
+
+def _run(n_workers: int):
+    campaign = ExtensionCampaign(CampaignConfig(**SCALED, n_workers=n_workers))
+    started = time.perf_counter()
+    dataset = campaign.run()
+    return dataset, time.perf_counter() - started, campaign.last_run_stats
+
+
+def test_sharded_campaign_identity_and_speedup(benchmark):
+    serial_dataset, serial_s, _ = _run(1)
+
+    def sharded():
+        return _run(4)
+
+    sharded_dataset, sharded_s, stats = benchmark.pedantic(
+        sharded, rounds=1, iterations=1
+    )
+
+    # Identity: the acceptance criterion that holds on any machine.
+    assert sharded_dataset.page_loads == serial_dataset.page_loads
+    assert sharded_dataset.speedtests == serial_dataset.speedtests
+    assert stats.n_records == len(serial_dataset.page_loads) + len(
+        serial_dataset.speedtests
+    )
+
+    speedup = serial_s / sharded_s if sharded_s > 0 else float("inf")
+    print(
+        f"\nserial {serial_s:.2f}s, sharded(4) {sharded_s:.2f}s, "
+        f"speedup {speedup:.2f}x on {os.cpu_count()} core(s)\n"
+        f"{stats.summary()}"
+    )
+    if (os.cpu_count() or 1) >= MIN_CORES_FOR_TARGET:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"sharded speedup {speedup:.2f}x below the {SPEEDUP_TARGET}x "
+            f"target on a {os.cpu_count()}-core machine"
+        )

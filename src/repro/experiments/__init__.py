@@ -63,25 +63,40 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 """All runnable experiments, keyed by paper artefact id."""
 
 
-def run_experiment(experiment_id: str, seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def run_experiment(
+    experiment_id: str, seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Run one experiment by id.
+
+    ``n_workers`` is forwarded to experiments that run campaigns (they
+    shard the user population via :mod:`repro.runtime`); experiments
+    without campaign work ignore it.
 
     Raises:
         ConfigurationError: for unknown ids.
     """
+    import inspect
+
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(seed=seed, scale=scale)
+    kwargs = {"seed": seed, "scale": scale}
+    if "n_workers" in inspect.signature(runner).parameters:
+        kwargs["n_workers"] = n_workers
+    return runner(**kwargs)
 
 
-def run_all(seed: int = 0, scale: float = 1.0) -> dict[str, ExperimentResult]:
+def run_all(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> dict[str, ExperimentResult]:
     """Run every experiment; returns id -> result."""
     return {
-        experiment_id: run_experiment(experiment_id, seed=seed, scale=scale)
+        experiment_id: run_experiment(
+            experiment_id, seed=seed, scale=scale, n_workers=n_workers
+        )
         for experiment_id in EXPERIMENTS
     }
 

@@ -28,6 +28,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for campaign experiments (same output as serial)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--dump-series",
@@ -50,7 +56,9 @@ def main(argv: list[str] | None = None) -> int:
     any_failed = False
     for experiment_id in ids:
         started = time.time()
-        result = run_experiment(experiment_id, seed=args.seed, scale=args.scale)
+        result = run_experiment(
+            experiment_id, seed=args.seed, scale=args.scale, n_workers=args.workers
+        )
         print(result.render())
         if args.validate:
             from repro.analysis.validation import validate

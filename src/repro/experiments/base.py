@@ -59,3 +59,20 @@ class ExperimentResult:
 def scaled(value: float, scale: float, minimum: float = 1) -> int:
     """Scale a sample count, clamped below at ``minimum``."""
     return max(int(minimum), int(round(value * scale)))
+
+
+def campaign_metrics(campaign) -> dict[str, float]:
+    """Throughput metrics of a campaign's last run, for result reports.
+
+    Surfaces the :class:`repro.runtime.shard.CampaignRunStats` counters
+    (worker count, wall time, records/s) so sharded experiment runs
+    show their per-shard timing next to the paper numbers.
+    """
+    stats = getattr(campaign, "last_run_stats", None)
+    if stats is None:
+        return {}
+    return {
+        "campaign_n_workers": float(stats.n_workers),
+        "campaign_wall_s": float(stats.wall_s),
+        "campaign_records_per_s": float(stats.records_per_s),
+    }

@@ -14,14 +14,14 @@ import numpy as np
 
 from repro.analysis.aschange import detect_as_switch_time, split_around
 from repro.analysis.stats import ecdf, median
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, campaign_metrics
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
 from repro.timeline import LONDON_AS_SWITCH_T, SYDNEY_AS_SWITCH_T
 
 CITIES = ("london", "sydney")
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResult:
     """Run a campaign spanning both AS migrations and split the CDFs."""
     duration_s = 130 * 86_400.0  # Dec 1 -> ~Apr 10, covers both switches
     config = CampaignConfig(
@@ -29,8 +29,10 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
         duration_s=duration_s,
         request_fraction=0.12 * scale,
         cities=CITIES,
+        n_workers=n_workers,
     )
-    dataset = ExtensionCampaign(config).run()
+    campaign = ExtensionCampaign(config)
+    dataset = campaign.run()
 
     headers = ["city", "class", "AS era", "n", "median PTT (ms)", "p90 (ms)"]
     rows = []
@@ -64,6 +66,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
             if google and spacex:
                 metrics[f"{city_name}_{klass}_spacex_over_google"] = spacex / google
 
+    metrics.update(campaign_metrics(campaign))
     result = ExperimentResult(
         experiment_id="figure3",
         title="PTT CDFs: popular vs unpopular, before/after the AS switch",

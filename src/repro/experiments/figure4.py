@@ -11,19 +11,20 @@ conditions (rain-fade physics: raindrop size matters).
 from __future__ import annotations
 
 from repro.analysis.weatherjoin import ptt_by_condition
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, campaign_metrics
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
 from repro.weather.conditions import WeatherCondition
 from repro.web.tranco import GOOGLE_SERVICE_DOMAINS
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResult:
     """Run a London campaign and bucket Google-service PTT by weather."""
     config = CampaignConfig(
         seed=seed,
         duration_s=60 * 86_400.0,
         request_fraction=0.5 * scale,
         cities=("london",),
+        n_workers=n_workers,
     )
     campaign = ExtensionCampaign(config)
     dataset = campaign.run()
@@ -46,6 +47,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     if clear and rain:
         metrics["moderate_rain_over_clear"] = rain / clear
 
+    metrics.update(campaign_metrics(campaign))
     return ExperimentResult(
         experiment_id="figure4",
         title="Weather conditions vs PTT (Google services, London Starlink)",

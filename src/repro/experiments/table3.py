@@ -19,7 +19,7 @@ London UL roughly twice Seattle/Toronto.
 from __future__ import annotations
 
 from repro.errors import DatasetError
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, campaign_metrics
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
 
 CITIES = ("london", "seattle", "toronto", "warsaw")
@@ -32,7 +32,7 @@ PAPER = {
 }
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResult:
     """Collect in-browser speedtests in the four cities."""
     config = CampaignConfig(
         seed=seed,
@@ -40,8 +40,10 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
         request_fraction=0.02,  # page loads are irrelevant here
         cities=CITIES,
         speedtest_boost=60.0 * max(scale, 0.1),
+        n_workers=n_workers,
     )
-    dataset = ExtensionCampaign(config).run()
+    campaign = ExtensionCampaign(config)
+    dataset = campaign.run()
 
     headers = ["city", "n tests", "DL median (Mbps)", "UL median (Mbps)"]
     rows = []
@@ -61,6 +63,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
         metrics["london_dl_mbps"] / metrics["toronto_dl_mbps"]
     )
 
+    metrics.update(campaign_metrics(campaign))
     return ExperimentResult(
         experiment_id="table3",
         title="Browser speedtest medians (Starlink users, to Iowa)",

@@ -9,24 +9,34 @@ the Iowa server, and the privacy-preserving dataset.
 A full six-month campaign reproduces the scale of the paper's ~50k
 readings in about a minute; tests and quick examples shrink
 ``duration_s`` and ``request_fraction``.
+
+Execution is organised per user: every record a user contributes is a
+pure function of ``(CampaignConfig, user)`` — sessions, connection
+draws, page profiles and capacity noise all come from RNG streams
+keyed by the root seed plus user-scoped labels.  That contract is what
+lets :mod:`repro.runtime` shard the population across worker processes
+(``CampaignConfig.n_workers``) and still produce a dataset bit-for-bit
+identical to the serial run.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
+from repro.errors import ConfigurationError
 from repro.extension.connection import connection_for_user
 from repro.extension.ipinfo import lookup_isp
 from repro.extension.records import PageLoadRecord, SpeedtestRecord
 from repro.extension.sessions import EventKind, SessionGenerator
 from repro.extension.storage import Dataset
-from repro.extension.users import UserPopulation
+from repro.extension.users import User, UserPopulation
 from repro.geo.cities import city
 from repro.orbits.constellation import WalkerShell, starlink_shell1
 from repro.rng import stream
 from repro.starlink.access import terrestrial_delay_s
 from repro.starlink.asn import AsPlan
-from repro.starlink.bentpipe import BentPipeModel
+from repro.starlink.bentpipe import BentPipeModel, ServingGeometryCache
 from repro.starlink.pop import pop_for_city
 from repro.timeline import CAMPAIGN_DURATION_S
 from repro.weather.history import WeatherHistory
@@ -53,6 +63,9 @@ class CampaignConfig:
         speedtest_boost: Multiplier on the (rare) speedtest rate, used
             by speedtest-focused experiments to gather enough samples
             without inflating page-load volume.
+        n_workers: Worker processes for :meth:`ExtensionCampaign.run`.
+            1 runs serially in-process; any value produces the same
+            dataset (the per-user determinism contract).
     """
 
     seed: int = 0
@@ -62,6 +75,13 @@ class CampaignConfig:
     shell_sats_per_plane: int = 18
     cities: tuple[str, ...] | None = None
     speedtest_boost: float = 1.0
+    n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
 
 
 class ExtensionCampaign:
@@ -84,67 +104,150 @@ class ExtensionCampaign:
                 u for u in self.population.users if u.city_name in cfg.cities
             ]
         self._bentpipes: dict[str, BentPipeModel] = {}
+        self._geometry_caches: dict[str, ServingGeometryCache] = {}
+        #: Timing/throughput counters of the most recent :meth:`run`.
+        self.last_run_stats = None
+
+    def geometry_cache_for_city(self, city_name: str) -> ServingGeometryCache:
+        """The epoch-keyed serving-geometry cache shared by a city.
+
+        Every bent-pipe model of a city (the legacy shared one and all
+        per-user ones) has identical geometry inputs, so they share one
+        cache and each scheduler epoch is scanned at most once per
+        process.
+        """
+        if city_name not in self._geometry_caches:
+            self._geometry_caches[city_name] = ServingGeometryCache()
+        return self._geometry_caches[city_name]
+
+    def geometry_caches(self) -> list[ServingGeometryCache]:
+        """All per-city geometry caches created so far."""
+        return list(self._geometry_caches.values())
 
     def bentpipe_for_city(self, city_name: str) -> BentPipeModel:
         """The (shared) bent-pipe model of a city's Starlink users."""
         if city_name not in self._bentpipes:
-            pop = pop_for_city(city_name)
-            self._bentpipes[city_name] = BentPipeModel(
-                self.shell,
-                city(city_name).location,
-                pop.gateway,
-                city_name,
-                weather=self.weather,
-                seed=self.config.seed,
-            )
+            self._bentpipes[city_name] = self._build_bentpipe(city_name)
         return self._bentpipes[city_name]
 
+    def bentpipe_for_user(self, user: User) -> BentPipeModel:
+        """A per-user bent-pipe model with user-keyed noise streams.
+
+        Geometry (and its cache) is shared with every other model of
+        the user's city; only the stochastic draws — wireless queueing
+        and capacity noise — are keyed to the user, so the user's
+        record stream does not depend on who else ran before them.
+        """
+        return self._build_bentpipe(user.city_name, user_key=user.user_id)
+
+    def _build_bentpipe(
+        self, city_name: str, user_key: str | None = None
+    ) -> BentPipeModel:
+        pop = pop_for_city(city_name)
+        return BentPipeModel(
+            self.shell,
+            city(city_name).location,
+            pop.gateway,
+            city_name,
+            weather=self.weather,
+            seed=self.config.seed,
+            user_key=user_key,
+            geometry_cache=self.geometry_cache_for_city(city_name),
+        )
+
     def run(self) -> Dataset:
-        """Execute the campaign and return the collected dataset."""
-        cfg = self.config
+        """Execute the campaign and return the collected dataset.
+
+        With ``config.n_workers > 1`` the population is sharded across
+        worker processes by :mod:`repro.runtime`; the result is
+        identical to the serial run.  Either way
+        :attr:`last_run_stats` afterwards holds per-shard
+        timing/throughput counters.
+        """
+        from repro.runtime.shard import CampaignRunStats, ShardStats
+
+        if self.config.n_workers > 1:
+            from repro.runtime.pool import run_campaign_sharded
+
+            dataset, stats = run_campaign_sharded(
+                self.config, self.population.users, self.config.n_workers
+            )
+            self.last_run_stats = stats
+            return dataset
+
+        started = time.perf_counter()
         dataset = Dataset()
-        iowa = city("iowa")
+        shard_stats = ShardStats(shard_id=0, n_users=len(self.population.users))
         for user in self.population.users:
-            if not user.shares_data:
-                continue
-            user_city = city(user.city_name)
-            bentpipe = (
-                self.bentpipe_for_city(user.city_name) if user.isp.is_starlink else None
-            )
-            connection = connection_for_user(user, bentpipe, self.as_plan, cfg.seed)
-            simulator = PageLoadSimulator(connection)
-            rng = stream(cfg.seed, "campaign", user.user_id)
-            # Scale activity without changing the population definition.
-            scaled_user = replace(
-                user, pages_per_day=user.pages_per_day * cfg.request_fraction
-            )
-            events = SessionGenerator(
-                scaled_user,
-                seed=cfg.seed,
-                details_tab_daily_rate=0.08 * cfg.request_fraction,
-                speedtest_daily_rate=0.05
-                * max(cfg.request_fraction, 0.2)
-                * cfg.speedtest_boost,
-            ).events(0.0, cfg.duration_s)
-            iowa_extra_s = terrestrial_delay_s(user_city.location, iowa.location)
-            for event in events:
-                if event.kind is EventKind.SPEEDTEST:
-                    self._record_speedtest(
-                        dataset, user, connection, event.t_s, iowa_extra_s, rng
-                    )
-                    continue
-                sites = (
-                    self.tranco.details_tab_sample(rng)
-                    if event.kind is EventKind.DETAILS_TAB
-                    else [self.tranco.organic_site(rng)]
-                )
-                for site in sites:
-                    self._record_page_load(dataset, user, connection, simulator, site, event.t_s, rng)
+            page_loads, speedtests = self.run_user(user)
+            dataset.page_loads.extend(page_loads)
+            dataset.speedtests.extend(speedtests)
+            shard_stats.n_page_loads += len(page_loads)
+            shard_stats.n_speedtests += len(speedtests)
+        shard_stats.wall_s = time.perf_counter() - started
+        for cache in self.geometry_caches():
+            shard_stats.geometry_scans += cache.misses
+            shard_stats.geometry_hits += cache.hits
+        self.last_run_stats = CampaignRunStats(
+            n_workers=1, wall_s=shard_stats.wall_s, shards=[shard_stats]
+        )
         return dataset
 
-    def _record_page_load(
-        self, dataset, user, connection, simulator, site, t_s, rng
-    ) -> None:
+    def run_user(
+        self, user: User
+    ) -> tuple[list[PageLoadRecord], list[SpeedtestRecord]]:
+        """Produce one user's records (the sharding unit of work).
+
+        Pure in the determinism-contract sense: depends only on the
+        campaign config and the user, never on which other users ran
+        in this process before.
+        """
+        page_loads: list[PageLoadRecord] = []
+        speedtests: list[SpeedtestRecord] = []
+        if not user.shares_data:
+            return page_loads, speedtests
+        cfg = self.config
+        iowa = city("iowa")
+        user_city = city(user.city_name)
+        bentpipe = self.bentpipe_for_user(user) if user.isp.is_starlink else None
+        connection = connection_for_user(user, bentpipe, self.as_plan, cfg.seed)
+        simulator = PageLoadSimulator(connection)
+        rng = stream(cfg.seed, "campaign", user.user_id)
+        # Scale activity without changing the population definition.
+        scaled_user = replace(
+            user, pages_per_day=user.pages_per_day * cfg.request_fraction
+        )
+        events = SessionGenerator(
+            scaled_user,
+            seed=cfg.seed,
+            details_tab_daily_rate=0.08 * cfg.request_fraction,
+            speedtest_daily_rate=0.05
+            * max(cfg.request_fraction, 0.2)
+            * cfg.speedtest_boost,
+        ).events(0.0, cfg.duration_s)
+        iowa_extra_s = terrestrial_delay_s(user_city.location, iowa.location)
+        for event in events:
+            if event.kind is EventKind.SPEEDTEST:
+                speedtests.append(
+                    self._speedtest_record(user, connection, event.t_s, iowa_extra_s, rng)
+                )
+                continue
+            sites = (
+                self.tranco.details_tab_sample(rng)
+                if event.kind is EventKind.DETAILS_TAB
+                else [self.tranco.organic_site(rng)]
+            )
+            for site in sites:
+                page_loads.append(
+                    self._page_load_record(
+                        user, connection, simulator, site, event.t_s, rng
+                    )
+                )
+        return page_loads, speedtests
+
+    def _page_load_record(
+        self, user, connection, simulator, site, t_s, rng
+    ) -> PageLoadRecord:
         user_city = city(user.city_name)
         hosting = self.hosting.resolve(site.domain, site.rank, user_city.region)
         profile = self.pages.draw(site, rng)
@@ -152,25 +255,23 @@ class ExtensionCampaign:
             profile, hosting, t_s, rng, device_multiplier=user.device_multiplier
         )
         info = lookup_isp(user, t_s, self.as_plan)
-        dataset.add_page_load(
-            PageLoadRecord(
-                user_id=user.user_id,
-                city=info.city_name,
-                region=info.region,
-                isp=user.isp.value,
-                is_starlink=info.is_starlink,
-                exit_asn=info.asn,
-                t_s=t_s,
-                domain=site.domain,
-                rank=site.rank,
-                is_popular=site.is_popular,
-                timing=timing,
-            )
+        return PageLoadRecord(
+            user_id=user.user_id,
+            city=info.city_name,
+            region=info.region,
+            isp=user.isp.value,
+            is_starlink=info.is_starlink,
+            exit_asn=info.asn,
+            t_s=t_s,
+            domain=site.domain,
+            rank=site.rank,
+            is_popular=site.is_popular,
+            timing=timing,
         )
 
-    def _record_speedtest(
-        self, dataset, user, connection, t_s, iowa_extra_s, rng
-    ) -> None:
+    def _speedtest_record(
+        self, user, connection, t_s, iowa_extra_s, rng
+    ) -> SpeedtestRecord:
         rtt = connection.rtt_sample_s(t_s) + 2.0 * iowa_extra_s
         result = run_browser_speedtest(
             t_s,
@@ -179,15 +280,13 @@ class ExtensionCampaign:
             rtt_s=rtt,
             rng=rng,
         )
-        dataset.add_speedtest(
-            SpeedtestRecord(
-                user_id=user.user_id,
-                city=user.city_name,
-                isp=user.isp.value,
-                is_starlink=user.isp.is_starlink,
-                t_s=t_s,
-                download_mbps=result.download_mbps,
-                upload_mbps=result.upload_mbps,
-                ping_ms=result.ping_ms,
-            )
+        return SpeedtestRecord(
+            user_id=user.user_id,
+            city=user.city_name,
+            isp=user.isp.value,
+            is_starlink=user.isp.is_starlink,
+            t_s=t_s,
+            download_mbps=result.download_mbps,
+            upload_mbps=result.upload_mbps,
+            ping_ms=result.ping_ms,
         )

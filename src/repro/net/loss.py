@@ -37,6 +37,9 @@ class NoLoss:
         """Always False."""
         return False
 
+    def reset(self) -> None:
+        """No state to clear."""
+
 
 @dataclass
 class BernoulliLoss:
@@ -54,6 +57,9 @@ class BernoulliLoss:
         if self.rate == 0.0:
             return False
         return bool(self.rng.random() < self.rate)
+
+    def reset(self) -> None:
+        """No state to clear (draws are i.i.d.)."""
 
 
 @dataclass
@@ -78,6 +84,7 @@ class GilbertElliottLoss:
     _in_bad: bool = field(default=False, init=False)
     _next_transition_s: float = field(default=0.0, init=False)
     _initialised: bool = field(default=False, init=False)
+    _last_now_s: float = field(default=float("-inf"), init=False)
 
     def __post_init__(self) -> None:
         if self.mean_good_s <= 0 or self.mean_bad_s <= 0:
@@ -86,7 +93,25 @@ class GilbertElliottLoss:
             if not 0.0 <= probability <= 1.0:
                 raise ConfigurationError(f"loss probability out of range: {probability}")
 
+    def reset(self) -> None:
+        """Forget the Markov state so the model can serve a fresh run.
+
+        The chain restarts in the good state at the next ``should_drop``
+        call; the generator itself is not rewound (it was passed in, and
+        callers who need bit-identical replays pass a freshly seeded one).
+        """
+        self._in_bad = False
+        self._next_transition_s = 0.0
+        self._initialised = False
+        self._last_now_s = float("-inf")
+
     def _advance(self, now_s: float) -> None:
+        if now_s < self._last_now_s:
+            # Time went backwards (model reused across simulator runs
+            # without reset()): the cached state describes the future.
+            # Restart the chain rather than silently answering from it.
+            self.reset()
+        self._last_now_s = now_s
         if not self._initialised:
             self._initialised = True
             self._next_transition_s = now_s + self.rng.exponential(self.mean_good_s)
@@ -131,6 +156,7 @@ class HandoverBurstLoss:
     residual_loss: float = 0.0
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
     _cursor: int = field(default=0, init=False)
+    _last_now_s: float = field(default=float("-inf"), init=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.residual_loss <= 1.0:
@@ -145,10 +171,21 @@ class HandoverBurstLoss:
                 raise ConfigurationError(f"burst loss out of range: {probability}")
             previous_start = start
 
+    def reset(self) -> None:
+        """Rewind the window cursor so the model can serve a fresh run."""
+        self._cursor = 0
+        self._last_now_s = float("-inf")
+
     def loss_probability_at(self, now_s: float) -> float:
         """Effective loss probability at ``now_s``."""
         # Advance the cursor past windows that ended (packets arrive in
-        # time order on a link, so a moving cursor is sufficient).
+        # time order on a link, so a moving cursor is sufficient).  If
+        # time runs backwards — the model was reused across simulator
+        # runs without reset() — rewind instead of answering from a
+        # cursor that already skipped the windows covering ``now_s``.
+        if now_s < self._last_now_s:
+            self._cursor = 0
+        self._last_now_s = now_s
         while (
             self._cursor < len(self.burst_windows)
             and self.burst_windows[self._cursor][1] < now_s
@@ -229,3 +266,10 @@ class CompositeLoss:
         if self.extra_rate > 0.0 and self.rng.random() < self.extra_rate:
             return True
         return False
+
+    def reset(self) -> None:
+        """Reset every component that carries state."""
+        for model in self.models:
+            reset = getattr(model, "reset", None)
+            if reset is not None:
+                reset()

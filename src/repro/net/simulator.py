@@ -100,14 +100,17 @@ class Simulator:
                 entry = self._heap[0]
                 if until is not None and entry.time_s > until:
                     break
-                heapq.heappop(self._heap)
                 if entry.event.cancelled:
+                    heapq.heappop(self._heap)
                     continue
+                # Check *before* executing: the guard must stop at exactly
+                # max_events callbacks, leaving the excess event queued.
+                if executed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                heapq.heappop(self._heap)
                 self._now = entry.time_s
                 entry.event.callback(*entry.event.args)
                 executed += 1
-                if executed > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
             if until is not None and self._now < until:
                 self._now = until
         finally:

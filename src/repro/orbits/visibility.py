@@ -136,16 +136,26 @@ def passes(
     step_s: float = 5.0,
     min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
 ) -> list[Pass]:
-    """Visibility passes of all shell satellites over ``[start_s, end_s]``.
+    """Visibility passes of all shell satellites over ``[start_s, end_s)``.
 
-    Sampled at ``step_s`` resolution; windows shorter than one step may be
+    Sampled on the same ``numpy.arange(start_s, end_s, step_s)`` grid as
+    :func:`distance_series`; windows shorter than one step may be
     missed, which is irrelevant at shell-1 pass durations (minutes).
+    A satellite visible at sample ``t`` is credited with visibility over
+    ``[t, t + step_s)``, so a satellite seen at exactly one sample still
+    yields a pass of one ``step_s`` (clamped to the window end).
     """
-    n_steps = int(math.floor((end_s - start_s) / step_s)) + 1
+    times = np.arange(start_s, end_s, step_s)
     open_passes: dict[str, tuple[float, float]] = {}  # name -> (start, max_elev)
     finished: list[Pass] = []
-    for step_index in range(n_steps):
-        t = start_s + step_index * step_s
+
+    def close(name: str, last_visible_s: float) -> None:
+        pass_start, max_elev = open_passes.pop(name)
+        end = min(last_visible_s + step_s, end_s)
+        finished.append(Pass(name, pass_start, end, max_elev))
+
+    for t in times:
+        t = float(t)
         visible_now = {
             s.satellite: s.elevation_deg
             for s in all_samples(shell, observer, t)
@@ -159,10 +169,10 @@ def passes(
                 open_passes[name] = (t, elevation)
         for name in list(open_passes):
             if name not in visible_now:
-                pass_start, max_elev = open_passes.pop(name)
-                finished.append(Pass(name, pass_start, t - step_s, max_elev))
-    for name, (pass_start, max_elev) in open_passes.items():
-        finished.append(Pass(name, pass_start, start_s + (n_steps - 1) * step_s, max_elev))
+                close(name, t - step_s)
+    if len(times):
+        for name in list(open_passes):
+            close(name, float(times[-1]))
     finished.sort(key=lambda p: (p.start_s, p.satellite))
     return finished
 

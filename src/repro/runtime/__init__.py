@@ -1,0 +1,37 @@
+"""Deterministic parallel execution runtime.
+
+Scales the extension campaign past a single core without giving up
+reproducibility:
+
+* :mod:`repro.runtime.shard` — shard planning (balanced, deterministic)
+  and per-shard execution with timing/throughput counters.
+* :mod:`repro.runtime.pool` — the ``multiprocessing`` worker-pool
+  engine.
+* :mod:`repro.runtime.merge` — order-preserving recombination of
+  per-shard datasets.
+
+The engine's invariant: a campaign run with ``n_workers=N`` produces a
+``Dataset`` bit-for-bit identical to the serial run for every N.  This
+holds because every user's records are a pure function of
+``(CampaignConfig, user)``; see DESIGN.md for the RNG-keying contract.
+"""
+
+from repro.runtime.merge import merge_shard_results
+from repro.runtime.pool import run_campaign_sharded
+from repro.runtime.shard import (
+    CampaignRunStats,
+    ShardResult,
+    ShardStats,
+    plan_shards,
+    run_shard,
+)
+
+__all__ = [
+    "CampaignRunStats",
+    "ShardResult",
+    "ShardStats",
+    "merge_shard_results",
+    "plan_shards",
+    "run_campaign_sharded",
+    "run_shard",
+]

@@ -1,0 +1,37 @@
+"""Deterministic recombination of per-shard campaign results.
+
+The serial campaign appends each user's records in population order,
+page loads and speedtests in per-user event-time order.  The merge
+reproduces exactly that: concatenate every user's record lists by
+ascending user index, regardless of which shard produced them or when
+the shard finished.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatasetError
+from repro.extension.storage import Dataset
+from repro.runtime.shard import ShardResult
+
+
+def merge_shard_results(results: list[ShardResult]) -> Dataset:
+    """Merge shard results into one :class:`Dataset` in user order.
+
+    Raises:
+        DatasetError: if two shards report records for the same user
+            (the partition was not disjoint).
+    """
+    by_user: dict[int, tuple[list, list]] = {}
+    for result in results:
+        for index, records in result.user_records.items():
+            if index in by_user:
+                raise DatasetError(
+                    f"user index {index} produced by more than one shard"
+                )
+            by_user[index] = records
+    dataset = Dataset()
+    for index in sorted(by_user):
+        page_loads, speedtests = by_user[index]
+        dataset.page_loads.extend(page_loads)
+        dataset.speedtests.extend(speedtests)
+    return dataset

@@ -1,0 +1,81 @@
+"""The worker-pool campaign engine.
+
+Shards a campaign's user population across ``multiprocessing`` workers
+and merges the per-shard results back into one dataset, bit-for-bit
+identical to the serial run (see the determinism contract in
+:mod:`repro.runtime.shard` and DESIGN.md).
+
+Workers receive only ``(CampaignConfig, shard_id, user_indices)`` —
+cheap to pickle — and rebuild their own campaign state (shell, weather,
+per-city geometry caches); nothing stochastic crosses process
+boundaries except the finished records.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.errors import ConfigurationError
+from repro.extension.storage import Dataset
+from repro.runtime.merge import merge_shard_results
+from repro.runtime.shard import (
+    CampaignRunStats,
+    ShardResult,
+    _run_shard_task,
+    plan_shards,
+    run_shard,
+)
+
+
+def _pool_context():
+    """Pick the cheapest available multiprocessing start method."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_campaign_sharded(
+    config, users, n_workers: int
+) -> tuple[Dataset, CampaignRunStats]:
+    """Run a campaign sharded per-user over ``n_workers`` processes.
+
+    Args:
+        config: The :class:`~repro.extension.campaign.CampaignConfig`
+            (workers rebuild everything from it).
+        users: The campaign's (already city-filtered) user list; used
+            only for shard planning, never pickled.
+        n_workers: Worker-process count; 1 runs the shards in-process.
+
+    Returns:
+        ``(dataset, stats)`` — the merged dataset plus per-shard
+        timing/throughput counters.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    started = time.perf_counter()
+    n_shards = max(1, min(n_workers, len(users)))
+    shards = plan_shards([max(user.pages_per_day, 0.01) for user in users], n_shards)
+    tasks = [
+        (config, shard_id, indices)
+        for shard_id, indices in enumerate(shards)
+        if indices
+    ]
+    results: list[ShardResult]
+    if n_shards == 1 or n_workers == 1:
+        results = [run_shard(config, shard_id, indices) for _, shard_id, indices in tasks]
+    else:
+        context = _pool_context()
+        with context.Pool(processes=n_shards) as pool:
+            results = pool.map(_run_shard_task, tasks)
+    merge_started = time.perf_counter()
+    dataset = merge_shard_results(results)
+    finished = time.perf_counter()
+    stats = CampaignRunStats(
+        n_workers=n_workers,
+        wall_s=finished - started,
+        merge_s=finished - merge_started,
+        shards=sorted((r.stats for r in results), key=lambda s: s.shard_id),
+    )
+    return dataset, stats

@@ -1,0 +1,144 @@
+"""Shard planning and per-shard campaign execution.
+
+A *shard* is a subset of the campaign's user population, identified by
+indices into ``ExtensionCampaign.population.users``.  Each shard is
+executed by :func:`run_shard`, which rebuilds the campaign from its
+config (so shards are self-contained and cross-process safe) and runs
+the per-user pipeline for its users only.
+
+Determinism contract (see DESIGN.md): every record a user contributes
+is a pure function of ``(CampaignConfig, user)`` — all stochastic
+draws come from streams keyed by the root seed plus user-scoped labels
+— so any partition of users over any number of workers produces the
+same per-user record lists, and the order-preserving merge
+(:mod:`repro.runtime.merge`) reassembles the exact serial dataset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.extension.records import PageLoadRecord, SpeedtestRecord
+
+
+@dataclass
+class ShardStats:
+    """Timing/throughput counters of one shard's execution."""
+
+    shard_id: int
+    n_users: int
+    n_page_loads: int = 0
+    n_speedtests: int = 0
+    wall_s: float = 0.0
+    geometry_scans: int = 0
+    geometry_hits: int = 0
+
+    @property
+    def n_records(self) -> int:
+        """Total records the shard produced."""
+        return self.n_page_loads + self.n_speedtests
+
+    @property
+    def records_per_s(self) -> float:
+        """Shard throughput, records per wall-clock second."""
+        return self.n_records / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class CampaignRunStats:
+    """Aggregate counters of one campaign run (serial or sharded)."""
+
+    n_workers: int
+    wall_s: float = 0.0
+    merge_s: float = 0.0
+    shards: list[ShardStats] = field(default_factory=list)
+
+    @property
+    def n_records(self) -> int:
+        """Total records across all shards."""
+        return sum(s.n_records for s in self.shards)
+
+    @property
+    def records_per_s(self) -> float:
+        """End-to-end throughput, records per wall-clock second."""
+        return self.n_records / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable report for experiment notes."""
+        shard_part = ", ".join(
+            f"shard{s.shard_id}: {s.n_users}u/{s.n_records}rec/{s.wall_s:.2f}s"
+            for s in self.shards
+        )
+        return (
+            f"{self.n_workers} worker(s), {self.n_records} records in "
+            f"{self.wall_s:.2f}s ({self.records_per_s:.0f} rec/s; "
+            f"merge {self.merge_s * 1000.0:.0f} ms) [{shard_part}]"
+        )
+
+
+@dataclass
+class ShardResult:
+    """Everything a shard sends back to the merge step."""
+
+    shard_id: int
+    #: user index -> (page loads, speedtests), both in event-time order.
+    user_records: dict[int, tuple[list[PageLoadRecord], list[SpeedtestRecord]]]
+    stats: ShardStats
+
+
+def plan_shards(costs: list[float], n_shards: int) -> list[list[int]]:
+    """Partition item indices into ``n_shards`` balanced shards.
+
+    Greedy longest-processing-time assignment on the given per-item
+    cost estimates (for users: expected daily page volume).  Fully
+    deterministic: ties break on index, shards are returned with their
+    member indices sorted.  Shards may be empty when there are fewer
+    items than shards.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"need at least one shard, got {n_shards}")
+    shards: list[list[int]] = [[] for _ in range(n_shards)]
+    loads = [0.0] * n_shards
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    for index in order:
+        target = min(range(n_shards), key=lambda s: (loads[s], s))
+        shards[target].append(index)
+        loads[target] += costs[index]
+    for shard in shards:
+        shard.sort()
+    return shards
+
+
+def run_shard(config, shard_id: int, user_indices: list[int]) -> ShardResult:
+    """Execute one shard of a campaign and return its per-user records.
+
+    Rebuilds the campaign from ``config`` (forced serial so a worker
+    never recursively spawns workers); the population derives
+    deterministically from the config, so ``user_indices`` mean the
+    same users in every process.
+    """
+    from repro.extension.campaign import ExtensionCampaign
+
+    campaign = ExtensionCampaign(replace(config, n_workers=1))
+    users = campaign.population.users
+    stats = ShardStats(shard_id=shard_id, n_users=len(user_indices))
+    user_records: dict[int, tuple[list[PageLoadRecord], list[SpeedtestRecord]]] = {}
+    started = time.perf_counter()
+    for index in user_indices:
+        page_loads, speedtests = campaign.run_user(users[index])
+        user_records[index] = (page_loads, speedtests)
+        stats.n_page_loads += len(page_loads)
+        stats.n_speedtests += len(speedtests)
+    stats.wall_s = time.perf_counter() - started
+    for cache in campaign.geometry_caches():
+        stats.geometry_scans += cache.misses
+        stats.geometry_hits += cache.hits
+    return ShardResult(shard_id=shard_id, user_records=user_records, stats=stats)
+
+
+def _run_shard_task(args) -> ShardResult:
+    """`multiprocessing.Pool.map` entry point (must be a top-level callable)."""
+    config, shard_id, user_indices = args
+    return run_shard(config, shard_id, user_indices)

@@ -71,6 +71,48 @@ class ServingGeometry:
         return (self.terminal_range_m + self.gateway_range_m) / SPEED_OF_LIGHT_M_S
 
 
+_CACHE_MISS = object()
+"""Sentinel distinguishing "not cached" from a cached outage (None)."""
+
+
+class ServingGeometryCache:
+    """Epoch-keyed LRU cache of :class:`ServingGeometry` lookups.
+
+    The serving satellite is a pure function of (shell, terminal,
+    gateway, elevation mask, obstruction, epoch), so every
+    :class:`BentPipeModel` with identical geometry inputs — e.g. the
+    per-user models of one city in a sharded campaign — can share one
+    cache and avoid redoing identical ``visible_satellites`` scans.
+    Entries may be ``None`` (a cached outage).  Hit/miss counters feed
+    the campaign's per-shard throughput report.
+    """
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[int, ServingGeometry | None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, epoch: int):
+        """Cached geometry for an epoch, or the miss sentinel."""
+        if epoch in self._entries:
+            self._entries.move_to_end(epoch)
+            self.hits += 1
+            return self._entries[epoch]
+        self.misses += 1
+        return _CACHE_MISS
+
+    def put(self, epoch: int, geometry: ServingGeometry | None) -> None:
+        """Store an epoch's geometry, evicting the LRU entry if full."""
+        self._entries[epoch] = geometry
+        self._entries.move_to_end(epoch)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+
 class BentPipeModel:
     """The bent-pipe link for one terminal.
 
@@ -82,6 +124,17 @@ class BentPipeModel:
         weather: Weather history (None -> permanent clear sky).
         capacity: Capacity model (None -> built from the city's plan).
         seed: RNG root for queueing/loss draws.
+        user_key: Extra RNG-stream label isolating this model's
+            stochastic draws (queueing noise, capacity noise) to one
+            user.  The sharded campaign engine keys every per-user
+            model this way so record streams are independent of user
+            processing order; None keeps the legacy city-shared
+            streams.
+        geometry_cache: Optional shared :class:`ServingGeometryCache`.
+            Pass the same instance to every model with identical
+            (shell, terminal, gateway, mask, obstruction) inputs —
+            e.g. one per city — so they do not redo identical
+            ``visible_satellites`` scans.
     """
 
     def __init__(
@@ -95,6 +148,8 @@ class BentPipeModel:
         seed: int = 0,
         min_elevation_deg: float = STARLINK_MIN_ELEVATION_DEG,
         obstruction=None,
+        user_key: str | None = None,
+        geometry_cache: ServingGeometryCache | None = None,
     ) -> None:
         """``obstruction`` is an optional
         :class:`repro.starlink.obstruction.ObstructionMask`: satellites
@@ -108,12 +163,18 @@ class BentPipeModel:
         self.capacity = (
             capacity
             if capacity is not None
-            else ServiceCapacityModel(city_name, seed=seed)
+            else ServiceCapacityModel(city_name, seed=seed, user_key=user_key)
         )
         self.min_elevation_deg = min_elevation_deg
         self.obstruction = obstruction
-        self._rng = stream(seed, "bentpipe", city_name)
-        self._geometry_cache: OrderedDict[int, ServingGeometry | None] = OrderedDict()
+        self.user_key = user_key
+        rng_labels = ("bentpipe", city_name) + (
+            (user_key,) if user_key is not None else ()
+        )
+        self._rng = stream(seed, *rng_labels)
+        self._geometry_cache = (
+            geometry_cache if geometry_cache is not None else ServingGeometryCache()
+        )
         self._wireless_queue = self.capacity.wireless_queueing_sampler()
 
     # -- geometry ----------------------------------------------------------
@@ -127,9 +188,9 @@ class BentPipeModel:
         stateless, random-access form usable at arbitrary times.
         """
         epoch = int(t_s // STARLINK_RESCHEDULE_INTERVAL_S)
-        if epoch in self._geometry_cache:
-            self._geometry_cache.move_to_end(epoch)
-            return self._geometry_cache[epoch]
+        cached = self._geometry_cache.get(epoch)
+        if cached is not _CACHE_MISS:
+            return cached
         epoch_time = epoch * STARLINK_RESCHEDULE_INTERVAL_S
         candidates = visible_satellites(
             self.shell, self.terminal, epoch_time, self.min_elevation_deg
@@ -149,9 +210,7 @@ class BentPipeModel:
                 gateway_range_m=gateway_range,
                 elevation_deg=best.elevation_deg,
             )
-        self._geometry_cache[epoch] = geometry
-        if len(self._geometry_cache) > 8192:
-            self._geometry_cache.popitem(last=False)
+        self._geometry_cache.put(epoch, geometry)
         return geometry
 
     def is_outage(self, t_s: float) -> bool:

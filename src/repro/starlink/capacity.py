@@ -119,6 +119,12 @@ class ServiceCapacityModel:
         city_name: City whose plan and timezone to use.
         seed: Root RNG seed (noise draws come from a city-keyed stream).
         plan: Override the default plan.
+        user_key: Extra stream label isolating noise draws to one user.
+            City-keyed streams are shared by every consumer in a city,
+            so the draw a user sees depends on who drew before them;
+            per-user keying makes each user's draw sequence a pure
+            function of (seed, city, user), which the sharded campaign
+            engine relies on for order-independent determinism.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class ServiceCapacityModel:
         city_name: str,
         seed: int = 0,
         plan: CityServicePlan | None = None,
+        user_key: str | None = None,
     ) -> None:
         if plan is None:
             try:
@@ -136,7 +143,8 @@ class ServiceCapacityModel:
                 ) from None
         self.city: City = city(city_name)
         self.plan = plan
-        self._rng = stream(seed, "capacity", city_name)
+        labels = ("capacity", city_name) + ((user_key,) if user_key is not None else ())
+        self._rng = stream(seed, *labels)
 
     def utilization(self, t_s: float) -> float:
         """Cell utilisation at campaign time ``t_s`` (local diurnal)."""

@@ -155,3 +155,84 @@ def test_burst_probability_bounded_property(t):
         rng=np.random.default_rng(11),
     )
     assert 0.0 <= model.loss_probability_at(t) <= 1.0
+
+
+def test_handover_burst_rewinds_on_time_reversal():
+    """Reusing the model at earlier times must not skip past windows."""
+    model = HandoverBurstLoss(
+        burst_windows=[(10.0, 20.0, 0.8), (40.0, 45.0, 0.3)],
+        residual_loss=0.01,
+        rng=np.random.default_rng(12),
+    )
+    assert model.loss_probability_at(15.0) == pytest.approx(0.8)
+    assert model.loss_probability_at(50.0) == pytest.approx(0.01)
+    # Second simulator run re-offers packets from t=0: before the fix
+    # the cursor stayed past both windows and returned residual loss.
+    assert model.loss_probability_at(15.0) == pytest.approx(0.8)
+    assert model.loss_probability_at(42.0) == pytest.approx(0.3)
+
+
+def test_handover_burst_reset():
+    model = HandoverBurstLoss(
+        burst_windows=[(10.0, 20.0, 0.8)],
+        residual_loss=0.0,
+        rng=np.random.default_rng(13),
+    )
+    assert model.loss_probability_at(100.0) == 0.0
+    model.reset()
+    assert model._cursor == 0
+    assert model.loss_probability_at(15.0) == pytest.approx(0.8)
+
+
+def test_gilbert_elliott_reset_restarts_in_good_state():
+    model = GilbertElliottLoss(
+        mean_good_s=1.0,
+        mean_bad_s=1.0,
+        loss_good=0.0,
+        loss_bad=1.0,
+        rng=np.random.default_rng(14),
+    )
+    # Drive far into the future so the chain has toggled many times.
+    for t in np.linspace(0.0, 200.0, 500):
+        model.should_drop(_packet(), float(t))
+    model.reset()
+    assert model._in_bad is False
+    assert model._initialised is False
+    # Freshly reset, t=0 is in the initial good sojourn: never drops.
+    assert not model.should_drop(_packet(), 0.0)
+
+
+def test_gilbert_elliott_guards_non_monotonic_time():
+    """A time reversal restarts the chain instead of reusing future state."""
+    model = GilbertElliottLoss(
+        mean_good_s=0.1,
+        mean_bad_s=1000.0,
+        loss_good=0.0,
+        loss_bad=1.0,
+        rng=np.random.default_rng(15),
+    )
+    # March the chain into the (sticky) bad state.
+    dropped_late = any(
+        model.should_drop(_packet(), float(t)) for t in np.linspace(0.0, 50.0, 200)
+    )
+    assert dropped_late
+    assert model._in_bad
+    # Rewinding to t=0 (a fresh simulator run) must not inherit the bad
+    # state scheduled for the future.
+    model.should_drop(_packet(), 0.0)
+    assert model._last_now_s == 0.0
+    assert not model._in_bad
+
+
+def test_composite_reset_delegates():
+    gilbert = GilbertElliottLoss(
+        mean_good_s=1.0, mean_bad_s=1.0, rng=np.random.default_rng(16)
+    )
+    burst = HandoverBurstLoss(
+        burst_windows=[(0.0, 1.0, 0.5)], rng=np.random.default_rng(17)
+    )
+    composite = CompositeLoss(models=[NoLoss(), gilbert, burst])
+    composite.should_drop(_packet(), 10.0)
+    composite.reset()
+    assert burst._cursor == 0
+    assert gilbert._initialised is False

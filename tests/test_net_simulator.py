@@ -118,3 +118,36 @@ def test_pending_events_counter():
     assert sim.pending_events == 2
     sim.run()
     assert sim.pending_events == 0
+
+
+def test_max_events_stops_at_exact_boundary():
+    """The guard fires before executing event max_events + 1."""
+    sim = Simulator()
+    log = []
+
+    def forever():
+        log.append(sim.now)
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+    assert len(log) == 100  # exactly max_events callbacks ran
+    assert sim.pending_events == 1  # the excess event was never popped
+
+
+def test_max_events_exact_count_allowed():
+    """A run needing exactly max_events callbacks completes cleanly."""
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    assert sim.run(max_events=10) == 10
+
+
+def test_max_events_skips_cancelled_events():
+    """Cancelled events do not count against the budget."""
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None).cancel()
+    sim.schedule(10.0, lambda: None)
+    assert sim.run(max_events=1) == 1

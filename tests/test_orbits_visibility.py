@@ -99,3 +99,34 @@ def test_distance_series_alignment(shell, london):
     name = visible_satellites(shell, london, 0.0)[0].satellite
     series = distance_series(shell, london, [name], 0.0, 100.0, 1.0)
     assert len(series[name]) == 100
+
+
+def test_single_sample_pass_gets_one_step_duration(shell, london):
+    """A satellite seen at exactly one sample covers [t, t + step)."""
+    visible_now = visible_satellites(shell, london, 0.0)
+    name = visible_now[0].satellite
+    # A window exactly one step long contains a single sample (t=0).
+    found = [p for p in passes(shell, london, 0.0, 10.0, step_s=10.0) if p.satellite == name]
+    assert len(found) == 1
+    assert found[0].duration_s == pytest.approx(10.0)
+
+
+def test_passes_and_distance_series_share_grid(shell, london):
+    """passes() samples the same exclusive-end grid as distance_series()."""
+    name = visible_satellites(shell, london, 0.0)[0].satellite
+    start, end, step = 0.0, 600.0, 5.0
+    series = distance_series(shell, london, [name], start, end, step)
+    times = np.arange(start, end, step)
+    visible_mask = series[name] > 0
+    found = [p for p in passes(shell, london, start, end, step_s=step) if p.satellite == name]
+    # Every sample the series marks visible falls inside a pass window.
+    for t, visible in zip(times, visible_mask):
+        inside = any(p.start_s <= t < p.end_s for p in found)
+        assert inside == bool(visible)
+
+
+def test_pass_end_clamped_to_window(shell, london):
+    found = passes(shell, london, 0.0, 1800.0, step_s=10.0)
+    for p in found:
+        assert p.end_s <= 1800.0
+        assert p.duration_s > 0.0
