@@ -32,6 +32,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     for city_name in NODE_CITIES:
         node = MeasurementNode(city_name, shell=shell, weather=weather, seed=seed)
         times = cron_times(0.0, days * 86_400.0, 1800.0)
+        node.precompute_geometry(times)
         samples = [node.speedtest(t).download_mbps for t in times]
         rows.append(
             [

@@ -27,6 +27,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     node = MeasurementNode("wiltshire", shell=shell, weather=weather, seed=seed)
 
     times = cron_times(start, end, 1800.0)
+    node.precompute_geometry(times)
     samples = [(t, node.speedtest(t)) for t in times]
 
     night_dl, evening_dl = [], []

@@ -26,6 +26,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     node = MeasurementNode("wiltshire", shell=shell, weather=weather, seed=seed)
     rng = stream(seed, "figure6c")
     times = np.sort(rng.uniform(0.0, 9 * 86_400.0, n_tests))
+    node.precompute_geometry(times, horizon_s=10.0)
     losses = np.array([node.udp_loss_test(float(t)) * 100.0 for t in times])
 
     metrics = {

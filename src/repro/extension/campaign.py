@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, replace
 
+from repro.constants import STARLINK_RESCHEDULE_INTERVAL_S
 from repro.errors import ConfigurationError
 from repro.extension.connection import connection_for_user
 from repro.extension.ipinfo import lookup_isp
@@ -46,6 +47,13 @@ from repro.web.page import PageProfileGenerator
 from repro.web.speedtest import run_browser_speedtest
 from repro.web.tranco import TrancoList
 
+TIMELINE_AUTO_EPOCH_CAP = 100_000
+"""Auto-precompute serving timelines only up to this many scheduler
+epochs per city (~17 days at the 15 s epoch; ~2.8 MB of arrays).  Longer
+campaigns spend a noticeable up-front wall-clock slice on epochs the LRU
+cache would amortise anyway; force ``precompute_timelines=True`` to
+override."""
+
 
 @dataclass
 class CampaignConfig:
@@ -66,6 +74,14 @@ class CampaignConfig:
         n_workers: Worker processes for :meth:`ExtensionCampaign.run`.
             1 runs serially in-process; any value produces the same
             dataset (the per-user determinism contract).
+        precompute_timelines: Whether :meth:`ExtensionCampaign.run`
+            precomputes one per-city serving timeline up front (and,
+            when sharding, ships it to every worker).  None (default)
+            decides automatically: precompute for sharded runs whose
+            epoch count stays under
+            :data:`TIMELINE_AUTO_EPOCH_CAP`.  Timelines are
+            bit-identical to the on-demand scan path, so this knob
+            never changes the dataset — only how fast it is produced.
     """
 
     seed: int = 0
@@ -76,6 +92,7 @@ class CampaignConfig:
     cities: tuple[str, ...] | None = None
     speedtest_boost: float = 1.0
     n_workers: int = 1
+    precompute_timelines: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -105,6 +122,7 @@ class ExtensionCampaign:
             ]
         self._bentpipes: dict[str, BentPipeModel] = {}
         self._geometry_caches: dict[str, ServingGeometryCache] = {}
+        self._timelines: dict = {}
         #: Timing/throughput counters of the most recent :meth:`run`.
         self.last_run_stats = None
 
@@ -123,6 +141,50 @@ class ExtensionCampaign:
     def geometry_caches(self) -> list[ServingGeometryCache]:
         """All per-city geometry caches created so far."""
         return list(self._geometry_caches.values())
+
+    # -- serving timelines ------------------------------------------------
+
+    def timeline_for_city(self, city_name: str):
+        """The precomputed serving timeline of a city, building it on
+        first use (one vectorised pass over every scheduler epoch of
+        the campaign window — see :mod:`repro.starlink.timeline`)."""
+        if city_name not in self._timelines:
+            from repro.starlink.timeline import compute_serving_timeline
+
+            pop = pop_for_city(city_name)
+            self._timelines[city_name] = compute_serving_timeline(
+                self.shell,
+                city(city_name).location,
+                pop.gateway,
+                start_s=0.0,
+                end_s=self.config.duration_s,
+            )
+        return self._timelines[city_name]
+
+    def install_timelines(self, timelines: dict) -> None:
+        """Adopt precomputed per-city timelines (``{city: timeline}``).
+
+        The sharded engine calls this in each worker with the
+        timelines the parent computed, before any bent pipe is built.
+        """
+        self._timelines.update(timelines)
+
+    def timelines(self) -> list:
+        """All per-city serving timelines held by this campaign."""
+        return list(self._timelines.values())
+
+    def _starlink_cities(self) -> list[str]:
+        """Cities with Starlink users, in deterministic order."""
+        return sorted(
+            {u.city_name for u in self.population.users if u.isp.is_starlink}
+        )
+
+    def _should_precompute_timelines(self) -> bool:
+        cfg = self.config
+        if cfg.precompute_timelines is not None:
+            return cfg.precompute_timelines
+        n_epochs = cfg.duration_s / STARLINK_RESCHEDULE_INTERVAL_S
+        return cfg.n_workers > 1 and n_epochs <= TIMELINE_AUTO_EPOCH_CAP
 
     def bentpipe_for_city(self, city_name: str) -> BentPipeModel:
         """The (shared) bent-pipe model of a city's Starlink users."""
@@ -153,6 +215,7 @@ class ExtensionCampaign:
             seed=self.config.seed,
             user_key=user_key,
             geometry_cache=self.geometry_cache_for_city(city_name),
+            timeline=self._timelines.get(city_name),
         )
 
     def run(self) -> Dataset:
@@ -166,16 +229,31 @@ class ExtensionCampaign:
         """
         from repro.runtime.shard import CampaignRunStats, ShardStats
 
+        precompute = self._should_precompute_timelines()
         if self.config.n_workers > 1:
             from repro.runtime.pool import run_campaign_sharded
 
+            timelines = None
+            if precompute:
+                # One vectorised pass per city in the parent; workers
+                # receive the finished arrays and never scan an epoch.
+                timelines = {
+                    name: self.timeline_for_city(name)
+                    for name in self._starlink_cities()
+                }
             dataset, stats = run_campaign_sharded(
-                self.config, self.population.users, self.config.n_workers
+                self.config,
+                self.population.users,
+                self.config.n_workers,
+                timelines,
             )
             self.last_run_stats = stats
             return dataset
 
         started = time.perf_counter()
+        if precompute:
+            for name in self._starlink_cities():
+                self.timeline_for_city(name)
         dataset = Dataset()
         shard_stats = ShardStats(shard_id=0, n_users=len(self.population.users))
         for user in self.population.users:
@@ -188,6 +266,8 @@ class ExtensionCampaign:
         for cache in self.geometry_caches():
             shard_stats.geometry_scans += cache.misses
             shard_stats.geometry_hits += cache.hits
+        for timeline in self.timelines():
+            shard_stats.timeline_hits += timeline.hits
         self.last_run_stats = CampaignRunStats(
             n_workers=1, wall_s=shard_stats.wall_s, shards=[shard_stats]
         )

@@ -259,13 +259,22 @@ class CompositeLoss:
             raise ConfigurationError(f"extra rate out of range: {self.extra_rate}")
 
     def should_drop(self, packet: Packet, now_s: float) -> bool:
-        """Drop when any component (or the extra rate) says so."""
+        """Drop when any component (or the extra rate) says so.
+
+        Every component is consulted on every packet — no
+        short-circuiting — so stateful models (e.g. Gilbert-Elliott
+        chains) advance their clocks even when an earlier component
+        already dropped the packet.  Otherwise a drop by component A
+        would freeze component B's state evolution, making B's burst
+        pattern depend on A's drops.
+        """
+        dropped = False
         for model in self.models:
             if model.should_drop(packet, now_s):
-                return True
-        if self.extra_rate > 0.0 and self.rng.random() < self.extra_rate:
+                dropped = True
+        if dropped:
             return True
-        return False
+        return self.extra_rate > 0.0 and self.rng.random() < self.extra_rate
 
     def reset(self) -> None:
         """Reset every component that carries state."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import STARLINK_RESCHEDULE_INTERVAL_S
 from repro.errors import ConfigurationError
 from repro.geo.cities import NEAREST_GCP, city
 from repro.nodes.iperf import IperfResult, analytic_udp_loss_fraction, run_iperf_tcp
@@ -84,6 +85,40 @@ class MeasurementNode:
         )
         self.dish = Dish(self.bentpipe)
         self._rng = stream(seed, "node", city_name)
+
+    def precompute_geometry(self, times, horizon_s: float = 0.0):
+        """Precompute serving geometry for a planned sample schedule.
+
+        Builds a sparse :class:`~repro.starlink.timeline.ServingTimeline`
+        covering exactly the scheduler epochs the samples will touch —
+        each ``t`` in ``times`` plus ``horizon_s`` of look-ahead (UDP
+        loss tests query ``[t, t + duration)``) — and attaches it to the
+        node's bent pipe, so per-sample ``serving_geometry`` calls
+        become O(1) array lookups instead of per-epoch scans.  Results
+        are bit-identical to the on-demand path; epochs outside the
+        schedule still fall back to the scan.
+        """
+        interval = STARLINK_RESCHEDULE_INTERVAL_S
+        times = np.asarray(times, dtype=np.float64)
+        first = np.floor(times / interval).astype(np.int64)
+        if horizon_s > 0.0:
+            last = np.floor((times + horizon_s) / interval).astype(np.int64)
+            spans = [np.arange(lo, hi + 1) for lo, hi in zip(first, last)]
+            epochs = np.unique(np.concatenate(spans)) if spans else first
+        else:
+            epochs = np.unique(first)
+        from repro.starlink.timeline import compute_serving_timeline
+
+        timeline = compute_serving_timeline(
+            self.bentpipe.shell,
+            self.bentpipe.terminal,
+            self.bentpipe.gateway,
+            epochs=epochs,
+            min_elevation_deg=self.bentpipe.min_elevation_deg,
+            obstruction=self.bentpipe.obstruction,
+        )
+        self.bentpipe.attach_timeline(timeline)
+        return timeline
 
     # -- analytic cron measurements -------------------------------------------
 

@@ -156,6 +156,7 @@ class WalkerShell:
         self._radius_m = EARTH_RADIUS_M + self.altitude_m
         self._inclination_rad = math.radians(self.inclination_deg)
         self._by_name = {s.name: s for s in self.satellites}
+        self._index_by_name = {s.name: i for i, s in enumerate(self.satellites)}
 
     # -- queries ----------------------------------------------------------
 
@@ -171,6 +172,14 @@ class WalkerShell:
         """Look up a satellite by name."""
         try:
             return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no satellite named {name!r} in shell") from None
+
+    def satellite_index(self, name: str) -> int:
+        """Index of a satellite in :attr:`satellites` (and in every
+        row of the batched position/geometry arrays)."""
+        try:
+            return self._index_by_name[name]
         except KeyError:
             raise KeyError(f"no satellite named {name!r} in shell") from None
 
@@ -195,6 +204,50 @@ class WalkerShell:
         x_ecef = cos_t * x_eci + sin_t * y_eci
         y_ecef = -sin_t * x_eci + cos_t * y_eci
         return np.column_stack([x_ecef, y_ecef, z_eci])
+
+    def positions_ecef_batch(
+        self, t_array: np.ndarray, chunk: int = 256
+    ) -> np.ndarray:
+        """ECEF positions at every time of ``t_array`` as a (T, N, 3) array.
+
+        One vectorised propagation over the whole time grid, chunked so
+        the working set stays cache-resident.  Each row is bit-identical
+        to :meth:`positions_ecef` at that time: the per-element
+        expressions are the same numpy ufuncs, evaluated in the same
+        order, and ufuncs are elementwise (shape-independent), so
+        batching cannot change a single bit (tested).
+        """
+        times = np.asarray(t_array, dtype=np.float64)
+        if times.ndim != 1:
+            raise ConfigurationError(
+                f"t_array must be one-dimensional, got shape {times.shape}"
+            )
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+        n_times = len(times)
+        n_sats = len(self.satellites)
+        cos_i = math.cos(self._inclination_rad)
+        sin_i = math.sin(self._inclination_rad)
+        out = np.empty((n_times, n_sats, 3))
+        for lo in range(0, n_times, chunk):
+            hi = min(n_times, lo + chunk)
+            dt = times[lo:hi] - self.epoch_s
+            raan = self._raan0[None, :] + (self._raan_dot * dt)[:, None]
+            arg_lat = self._arg_lat0[None, :] + (self._arg_lat_dot * dt)[:, None]
+            cos_u, sin_u = np.cos(arg_lat), np.sin(arg_lat)
+            cos_raan, sin_raan = np.cos(raan), np.sin(raan)
+            x_eci = self._radius_m * (cos_raan * cos_u - sin_raan * sin_u * cos_i)
+            y_eci = self._radius_m * (sin_raan * cos_u + cos_raan * sin_u * cos_i)
+            out[lo:hi, :, 2] = self._radius_m * (sin_u * sin_i)
+            cos_t = np.empty(hi - lo)
+            sin_t = np.empty(hi - lo)
+            for k in range(hi - lo):
+                theta = gmst_rad(float(times[lo + k]))
+                cos_t[k] = math.cos(theta)
+                sin_t[k] = math.sin(theta)
+            out[lo:hi, :, 0] = cos_t[:, None] * x_eci + sin_t[:, None] * y_eci
+            out[lo:hi, :, 1] = (-sin_t)[:, None] * x_eci + cos_t[:, None] * y_eci
+        return out
 
     def to_tle_file(self) -> str:
         """Export the shell as a named TLE file body."""

@@ -10,6 +10,7 @@ tracker reports every handover with its cause.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -22,7 +23,7 @@ from repro.constants import (
 from repro.errors import ConfigurationError
 from repro.geo.coordinates import GeoPoint
 from repro.orbits.constellation import WalkerShell
-from repro.orbits.visibility import visible_satellites
+from repro.orbits.visibility import _enu_components, geometry_grid_chunks
 
 
 class HandoverReason(Enum):
@@ -85,6 +86,7 @@ class SatelliteTracker:
     reschedule_interval_s: float = STARLINK_RESCHEDULE_INTERVAL_S
     policy: SelectionPolicy = SelectionPolicy.MAX_ELEVATION
     _serving: str | None = field(default=None, init=False)
+    _serving_index: int = field(default=-1, init=False)
     _last_epoch: int = field(default=-1, init=False)
 
     def __post_init__(self) -> None:
@@ -93,44 +95,74 @@ class SatelliteTracker:
                 f"reschedule interval must be positive: {self.reschedule_interval_s}"
             )
 
-    def _select(self, t_s: float) -> str | None:
-        candidates = visible_satellites(
-            self.shell, self.observer, t_s, self.min_elevation_deg
-        )
-        if not candidates:
-            return None
+    def _select_from_row(
+        self, east: np.ndarray, north: np.ndarray, up: np.ndarray, elevation: np.ndarray
+    ) -> int:
+        """Index of the satellite the scheduler picks, or -1 (outage)."""
+        visible_idx = np.nonzero(elevation >= self.min_elevation_deg)[0]
+        if len(visible_idx) == 0:
+            return -1
         if self.policy is SelectionPolicy.MIN_RANGE:
-            return min(candidates, key=lambda s: s.slant_range_m).satellite
-        return candidates[0].satellite  # already sorted by elevation
+            e, n, u = east[visible_idx], north[visible_idx], up[visible_idx]
+            slant = np.sqrt(e * e + n * n + u * u)
+            # Ties (never observed in practice) go to the higher
+            # elevation, then the lower index — the order the legacy
+            # elevation-sorted candidate list presented to min().
+            order = sorted(
+                range(len(visible_idx)), key=lambda k: float(elevation[visible_idx[k]]),
+                reverse=True,
+            )
+            best = min(order, key=lambda k: float(slant[k]))
+            return int(visible_idx[best])
+        best_i = -1
+        best_elev = -math.inf
+        for i in visible_idx:
+            if elevation[i] > best_elev:
+                best_i = int(i)
+                best_elev = float(elevation[i])
+        return best_i
 
     def _geometry_of(self, name: str, t_s: float) -> tuple[float, float]:
         """(elevation_deg, slant_range_m) of a named satellite at t."""
-        from repro.geo.coordinates import elevation_azimuth_range
+        i = self.shell.satellite_index(name)
+        positions = self.shell.positions_ecef(t_s)
+        east, north, up = _enu_components(self.observer, positions)
+        horizontal = np.hypot(east[i], north[i])
+        elevation = np.degrees(np.arctan2(up[i], horizontal))
+        slant = math.sqrt(east[i] * east[i] + north[i] * north[i] + up[i] * up[i])
+        return float(elevation), float(slant)
 
-        satellite = self.shell.satellite(name)
-        position = satellite.position_ecef(t_s)
-        elevation, _, slant = elevation_azimuth_range(self.observer, position)
-        return elevation, slant
+    def _step_from_row(
+        self,
+        t_s: float,
+        east: np.ndarray,
+        north: np.ndarray,
+        up: np.ndarray,
+        elevation: np.ndarray,
+    ) -> tuple[TrackingSample, HandoverEvent | None]:
+        """The scheduler state machine, fed one row of batch geometry.
 
-    def step(self, t_s: float) -> tuple[TrackingSample, HandoverEvent | None]:
-        """Advance the tracker to ``t_s`` and return (sample, event?).
-
-        Must be called with non-decreasing timestamps.  An event is
-        returned only when the serving satellite changes at this step.
+        Both :meth:`step` and :meth:`track` route through here, so a
+        sweep and a loop of single steps are identical by construction.
         """
         epoch = int(t_s // self.reschedule_interval_s)
         event: HandoverEvent | None = None
         previous = self._serving
+        previous_idx = self._serving_index
 
         serving_visible = False
         if previous is not None:
-            elevation, _ = self._geometry_of(previous, t_s)
-            serving_visible = elevation >= self.min_elevation_deg
+            serving_visible = bool(
+                elevation[previous_idx] >= self.min_elevation_deg
+            )
 
         if epoch != self._last_epoch:
             # Scheduler epoch boundary: free reassignment.
             self._last_epoch = epoch
-            chosen = self._select(t_s)
+            chosen_idx = self._select_from_row(east, north, up, elevation)
+            chosen = (
+                self.shell.satellites[chosen_idx].name if chosen_idx >= 0 else None
+            )
             if chosen != previous:
                 if chosen is None:
                     reason = HandoverReason.OUTAGE
@@ -142,27 +174,61 @@ class SatelliteTracker:
                     reason = HandoverReason.RESCHEDULE
                 event = HandoverEvent(t_s, previous, chosen, reason)
                 self._serving = chosen
+                self._serving_index = chosen_idx
         elif previous is not None and not serving_visible:
             # Mid-epoch loss of line of sight: link breaks immediately.
             event = HandoverEvent(t_s, previous, None, HandoverReason.LOS_LOST)
             self._serving = None
+            self._serving_index = -1
 
         if self._serving is None:
             sample = TrackingSample(t_s, None, float("-inf"), 0.0)
         else:
-            elevation, slant = self._geometry_of(self._serving, t_s)
-            sample = TrackingSample(t_s, self._serving, elevation, slant)
+            i = self._serving_index
+            slant = math.sqrt(
+                east[i] * east[i] + north[i] * north[i] + up[i] * up[i]
+            )
+            sample = TrackingSample(
+                t_s, self._serving, float(elevation[i]), float(slant)
+            )
         return sample, event
+
+    def step(self, t_s: float) -> tuple[TrackingSample, HandoverEvent | None]:
+        """Advance the tracker to ``t_s`` and return (sample, event?).
+
+        Must be called with non-decreasing timestamps.  An event is
+        returned only when the serving satellite changes at this step.
+        """
+        positions = self.shell.positions_ecef(t_s)
+        east, north, up = _enu_components(self.observer, positions)
+        horizontal = np.hypot(east, north)
+        elevation = np.degrees(np.arctan2(up, horizontal))
+        return self._step_from_row(t_s, east, north, up, elevation)
 
     def track(
         self, start_s: float, end_s: float, step_s: float = 1.0
     ) -> tuple[list[TrackingSample], list[HandoverEvent]]:
-        """Run the tracker over a window; returns samples and handovers."""
+        """Run the tracker over a window; returns samples and handovers.
+
+        Geometry for the whole sweep comes from the chunked batch
+        kernel (one propagation per chunk instead of one per sample);
+        results are identical to calling :meth:`step` per sample.
+        """
         samples: list[TrackingSample] = []
         events: list[HandoverEvent] = []
-        for t in np.arange(start_s, end_s, step_s):
-            sample, event = self.step(float(t))
-            samples.append(sample)
-            if event is not None:
-                events.append(event)
+        times = np.arange(start_s, end_s, step_s)
+        for offset, east, north, up, elevation in geometry_grid_chunks(
+            self.shell, self.observer, times
+        ):
+            for r in range(elevation.shape[0]):
+                sample, event = self._step_from_row(
+                    float(times[offset + r]),
+                    east[r],
+                    north[r],
+                    up[r],
+                    elevation[r],
+                )
+                samples.append(sample)
+                if event is not None:
+                    events.append(event)
         return samples, events

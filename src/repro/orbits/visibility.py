@@ -52,24 +52,59 @@ class Pass:
 def _enu_components(
     observer: GeoPoint, positions_ecef: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Vectorised ENU components of many ECEF positions at an observer."""
+    """Vectorised ENU components of many ECEF positions at an observer.
+
+    ``positions_ecef`` is any ``(..., 3)`` array — one satellite row
+    (N, 3) or a whole batched time grid (T, N, 3); the rotation applies
+    elementwise over the leading axes.
+    """
     lat = math.radians(observer.latitude_deg)
     lon = math.radians(observer.longitude_deg)
     delta = positions_ecef - observer.ecef()
     sin_lat, cos_lat = math.sin(lat), math.cos(lat)
     sin_lon, cos_lon = math.sin(lon), math.cos(lon)
-    east = -sin_lon * delta[:, 0] + cos_lon * delta[:, 1]
+    east = -sin_lon * delta[..., 0] + cos_lon * delta[..., 1]
     north = (
-        -sin_lat * cos_lon * delta[:, 0]
-        - sin_lat * sin_lon * delta[:, 1]
-        + cos_lat * delta[:, 2]
+        -sin_lat * cos_lon * delta[..., 0]
+        - sin_lat * sin_lon * delta[..., 1]
+        + cos_lat * delta[..., 2]
     )
     up = (
-        cos_lat * cos_lon * delta[:, 0]
-        + cos_lat * sin_lon * delta[:, 1]
-        + sin_lat * delta[:, 2]
+        cos_lat * cos_lon * delta[..., 0]
+        + cos_lat * sin_lon * delta[..., 1]
+        + sin_lat * delta[..., 2]
     )
     return east, north, up
+
+
+DEFAULT_GRID_CHUNK = 64
+"""Time-grid rows per batched-geometry chunk (keeps arrays in cache)."""
+
+
+def geometry_grid_chunks(
+    shell: WalkerShell,
+    observer: GeoPoint,
+    times: np.ndarray,
+    chunk: int = DEFAULT_GRID_CHUNK,
+):
+    """Batched observer geometry over a time grid, one chunk at a time.
+
+    Yields ``(offset, east, north, up, elevation_deg)`` where the
+    arrays are ``(C, N)`` rows covering ``times[offset:offset + C]``.
+    Each row is computed with exactly the ufunc expressions of
+    :func:`all_samples`/:func:`visible_satellites`, so per-element
+    values are bit-identical to the per-call path; chunking (rather
+    than one giant ``(T, N)`` allocation) keeps the working set inside
+    the CPU caches, which on memory-bandwidth-bound hosts is the
+    difference between a speedup and a slowdown.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    for lo in range(0, len(times), chunk):
+        positions = shell.positions_ecef_batch(times[lo : lo + chunk], chunk=chunk)
+        east, north, up = _enu_components(observer, positions)
+        horizontal = np.hypot(east, north)
+        elevation = np.degrees(np.arctan2(up, horizontal))
+        yield lo, east, north, up, elevation
 
 
 def all_samples(
@@ -146,33 +181,34 @@ def passes(
     yields a pass of one ``step_s`` (clamped to the window end).
     """
     times = np.arange(start_s, end_s, step_s)
-    open_passes: dict[str, tuple[float, float]] = {}  # name -> (start, max_elev)
+    n_times = len(times)
+    if n_times == 0:
+        return []
+    elevations = np.empty((n_times, len(shell.satellites)))
+    for offset, _, _, _, elevation in geometry_grid_chunks(shell, observer, times):
+        elevations[offset : offset + elevation.shape[0]] = elevation
+    visible = elevations >= min_elevation_deg
     finished: list[Pass] = []
-
-    def close(name: str, last_visible_s: float) -> None:
-        pass_start, max_elev = open_passes.pop(name)
-        end = min(last_visible_s + step_s, end_s)
-        finished.append(Pass(name, pass_start, end, max_elev))
-
-    for t in times:
-        t = float(t)
-        visible_now = {
-            s.satellite: s.elevation_deg
-            for s in all_samples(shell, observer, t)
-            if s.elevation_deg >= min_elevation_deg
-        }
-        for name, elevation in visible_now.items():
-            if name in open_passes:
-                pass_start, max_elev = open_passes[name]
-                open_passes[name] = (pass_start, max(max_elev, elevation))
+    for j in np.flatnonzero(visible.any(axis=0)):
+        edges = np.diff(visible[:, j].astype(np.int8), prepend=0, append=0)
+        run_starts = np.flatnonzero(edges == 1)
+        run_ends = np.flatnonzero(edges == -1) - 1  # inclusive sample index
+        name = shell.satellites[j].name
+        for i0, i1 in zip(run_starts, run_ends):
+            if i1 < n_times - 1:
+                # The scan closed this pass at the first invisible
+                # sample, crediting visibility up to (t - step) + step.
+                end = min((float(times[i1 + 1]) - step_s) + step_s, end_s)
             else:
-                open_passes[name] = (t, elevation)
-        for name in list(open_passes):
-            if name not in visible_now:
-                close(name, t - step_s)
-    if len(times):
-        for name in list(open_passes):
-            close(name, float(times[-1]))
+                end = min(float(times[-1]) + step_s, end_s)
+            finished.append(
+                Pass(
+                    name,
+                    float(times[i0]),
+                    end,
+                    float(np.max(elevations[i0 : i1 + 1, j])),
+                )
+            )
     finished.sort(key=lambda p: (p.start_s, p.satellite))
     return finished
 
@@ -200,16 +236,18 @@ def distance_series(
     missing = wanted - set(name_to_index)
     if missing:
         raise KeyError(f"satellites not in shell: {sorted(missing)}")
-    for t_index, t in enumerate(times):
-        positions = shell.positions_ecef(float(t))
-        east, north, up = _enu_components(observer, positions)
-        for name in satellites:
-            sat_index = name_to_index[name]
-            elevation = math.degrees(
-                math.atan2(up[sat_index], math.hypot(east[sat_index], north[sat_index]))
-            )
-            if elevation >= min_elevation_deg:
-                series[name][t_index] = math.sqrt(
-                    east[sat_index] ** 2 + north[sat_index] ** 2 + up[sat_index] ** 2
-                )
+    columns = np.array([name_to_index[name] for name in satellites], dtype=np.intp)
+    for offset, east, north, up, elevation in geometry_grid_chunks(
+        shell, observer, times
+    ):
+        east = east[:, columns]
+        north = north[:, columns]
+        up = up[:, columns]
+        ranges = np.where(
+            elevation[:, columns] >= min_elevation_deg,
+            np.sqrt(east * east + north * north + up * up),
+            0.0,
+        )
+        for k, name in enumerate(satellites):
+            series[name][offset : offset + ranges.shape[0]] = ranges[:, k]
     return series

@@ -5,10 +5,11 @@ and merges the per-shard results back into one dataset, bit-for-bit
 identical to the serial run (see the determinism contract in
 :mod:`repro.runtime.shard` and DESIGN.md).
 
-Workers receive only ``(CampaignConfig, shard_id, user_indices)`` —
-cheap to pickle — and rebuild their own campaign state (shell, weather,
-per-city geometry caches); nothing stochastic crosses process
-boundaries except the finished records.
+Workers receive ``(CampaignConfig, shard_id, user_indices)`` — cheap
+to pickle — plus optionally the parent's precomputed per-city serving
+timelines (compact numpy arrays), and rebuild the rest of their
+campaign state (shell, weather, per-city geometry caches); nothing
+stochastic crosses process boundaries except the finished records.
 """
 
 from __future__ import annotations
@@ -37,7 +38,7 @@ def _pool_context():
 
 
 def run_campaign_sharded(
-    config, users, n_workers: int
+    config, users, n_workers: int, timelines=None
 ) -> tuple[Dataset, CampaignRunStats]:
     """Run a campaign sharded per-user over ``n_workers`` processes.
 
@@ -47,6 +48,11 @@ def run_campaign_sharded(
         users: The campaign's (already city-filtered) user list; used
             only for shard planning, never pickled.
         n_workers: Worker-process count; 1 runs the shards in-process.
+        timelines: Optional ``{city: ServingTimeline}`` precomputed by
+            the parent; shipped to every worker (timelines are plain
+            numpy arrays, so they pickle cheaply and fork-started
+            workers mostly share the pages copy-on-write) so shards
+            stop redoing identical serving-geometry scans.
 
     Returns:
         ``(dataset, stats)`` — the merged dataset plus per-shard
@@ -58,13 +64,13 @@ def run_campaign_sharded(
     n_shards = max(1, min(n_workers, len(users)))
     shards = plan_shards([max(user.pages_per_day, 0.01) for user in users], n_shards)
     tasks = [
-        (config, shard_id, indices)
+        (config, shard_id, indices, timelines)
         for shard_id, indices in enumerate(shards)
         if indices
     ]
     results: list[ShardResult]
     if n_shards == 1 or n_workers == 1:
-        results = [run_shard(config, shard_id, indices) for _, shard_id, indices in tasks]
+        results = [run_shard(*task) for task in tasks]
     else:
         context = _pool_context()
         with context.Pool(processes=n_shards) as pool:

@@ -34,6 +34,7 @@ class ShardStats:
     wall_s: float = 0.0
     geometry_scans: int = 0
     geometry_hits: int = 0
+    timeline_hits: int = 0
 
     @property
     def n_records(self) -> int:
@@ -111,17 +112,32 @@ def plan_shards(costs: list[float], n_shards: int) -> list[list[int]]:
     return shards
 
 
-def run_shard(config, shard_id: int, user_indices: list[int]) -> ShardResult:
+def run_shard(
+    config, shard_id: int, user_indices: list[int], timelines=None
+) -> ShardResult:
     """Execute one shard of a campaign and return its per-user records.
 
     Rebuilds the campaign from ``config`` (forced serial so a worker
     never recursively spawns workers); the population derives
     deterministically from the config, so ``user_indices`` mean the
     same users in every process.
+
+    ``timelines`` optionally maps city name to a precomputed
+    :class:`repro.starlink.timeline.ServingTimeline` computed once by
+    the campaign parent; installing it means this worker never redoes
+    the serving-geometry scans every sibling would otherwise repeat.
+    The timeline is bit-identical to the scan path, so the shard's
+    records are unchanged either way.
     """
     from repro.extension.campaign import ExtensionCampaign
 
-    campaign = ExtensionCampaign(replace(config, n_workers=1))
+    worker_config = replace(config, n_workers=1)
+    if hasattr(worker_config, "precompute_timelines"):
+        # The parent already decided; workers only consume what they get.
+        worker_config = replace(worker_config, precompute_timelines=False)
+    campaign = ExtensionCampaign(worker_config)
+    if timelines:
+        campaign.install_timelines(timelines)
     users = campaign.population.users
     stats = ShardStats(shard_id=shard_id, n_users=len(user_indices))
     user_records: dict[int, tuple[list[PageLoadRecord], list[SpeedtestRecord]]] = {}
@@ -135,10 +151,12 @@ def run_shard(config, shard_id: int, user_indices: list[int]) -> ShardResult:
     for cache in campaign.geometry_caches():
         stats.geometry_scans += cache.misses
         stats.geometry_hits += cache.hits
+    for timeline in campaign.timelines():
+        stats.timeline_hits += timeline.hits
     return ShardResult(shard_id=shard_id, user_records=user_records, stats=stats)
 
 
 def _run_shard_task(args) -> ShardResult:
     """`multiprocessing.Pool.map` entry point (must be a top-level callable)."""
-    config, shard_id, user_indices = args
-    return run_shard(config, shard_id, user_indices)
+    config, shard_id, user_indices, timelines = args
+    return run_shard(config, shard_id, user_indices, timelines)

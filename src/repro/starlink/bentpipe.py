@@ -25,6 +25,7 @@ into :class:`repro.net.link.Link` for traceroute/iperf/TCP experiments).
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -36,10 +37,10 @@ from repro.constants import (
     STARLINK_RESCHEDULE_INTERVAL_S,
 )
 from repro.errors import VisibilityError
-from repro.geo.coordinates import GeoPoint, elevation_azimuth_range
+from repro.geo.coordinates import GeoPoint
 from repro.orbits.constellation import WalkerShell
 from repro.orbits.tracking import SatelliteTracker
-from repro.orbits.visibility import visible_satellites
+from repro.orbits.visibility import _enu_components
 from repro.rng import stream
 from repro.starlink.capacity import ServiceCapacityModel
 from repro.weather.history import WeatherHistory
@@ -135,6 +136,13 @@ class BentPipeModel:
             (shell, terminal, gateway, mask, obstruction) inputs —
             e.g. one per city — so they do not redo identical
             ``visible_satellites`` scans.
+        timeline: Optional precomputed
+            :class:`repro.starlink.timeline.ServingTimeline` for the
+            same geometry inputs.  Epochs it covers are answered by
+            O(1) array lookup; everything else falls back to the LRU
+            cache and the on-demand scan.  (The timeline is computed
+            bit-identically to the scan, so attaching one never
+            changes results — see ``compute_serving_timeline``.)
     """
 
     def __init__(
@@ -150,6 +158,7 @@ class BentPipeModel:
         obstruction=None,
         user_key: str | None = None,
         geometry_cache: ServingGeometryCache | None = None,
+        timeline=None,
     ) -> None:
         """``obstruction`` is an optional
         :class:`repro.starlink.obstruction.ObstructionMask`: satellites
@@ -175,9 +184,31 @@ class BentPipeModel:
         self._geometry_cache = (
             geometry_cache if geometry_cache is not None else ServingGeometryCache()
         )
+        self.timeline = timeline
         self._wireless_queue = self.capacity.wireless_queueing_sampler()
 
     # -- geometry ----------------------------------------------------------
+
+    def attach_timeline(self, timeline) -> None:
+        """Adopt a precomputed serving timeline (see ``timeline`` arg)."""
+        self.timeline = timeline
+
+    def build_timeline(self, start_s: float, end_s: float):
+        """Precompute, attach and return this model's serving timeline
+        for every scheduler epoch touching ``[start_s, end_s)``."""
+        from repro.starlink.timeline import compute_serving_timeline
+
+        timeline = compute_serving_timeline(
+            self.shell,
+            self.terminal,
+            self.gateway,
+            start_s=start_s,
+            end_s=end_s,
+            min_elevation_deg=self.min_elevation_deg,
+            obstruction=self.obstruction,
+        )
+        self.timeline = timeline
+        return timeline
 
     def serving_geometry(self, t_s: float) -> ServingGeometry | None:
         """Geometry via the serving satellite at ``t_s`` (None = outage).
@@ -186,32 +217,64 @@ class BentPipeModel:
         (max-elevation selection at the epoch start), matching
         :class:`repro.orbits.tracking.SatelliteTracker` behaviour in a
         stateless, random-access form usable at arbitrary times.
+
+        Lookup order: precomputed timeline (O(1) array access), shared
+        LRU cache, then the on-demand single-epoch scan.
         """
         epoch = int(t_s // STARLINK_RESCHEDULE_INTERVAL_S)
+        if self.timeline is not None:
+            found = self.timeline.lookup(epoch)
+            if found is not _CACHE_MISS:
+                return found
         cached = self._geometry_cache.get(epoch)
         if cached is not _CACHE_MISS:
             return cached
-        epoch_time = epoch * STARLINK_RESCHEDULE_INTERVAL_S
-        candidates = visible_satellites(
-            self.shell, self.terminal, epoch_time, self.min_elevation_deg
-        )
-        if self.obstruction is not None:
-            candidates = self.obstruction.filter_visible(candidates)
-        geometry: ServingGeometry | None = None
-        if candidates:
-            best = candidates[0]
-            satellite = self.shell.satellite(best.satellite)
-            _, _, gateway_range = elevation_azimuth_range(
-                self.gateway, satellite.position_ecef(epoch_time)
-            )
-            geometry = ServingGeometry(
-                satellite=best.satellite,
-                terminal_range_m=best.slant_range_m,
-                gateway_range_m=gateway_range,
-                elevation_deg=best.elevation_deg,
-            )
+        geometry = self._scan_epoch(epoch)
         self._geometry_cache.put(epoch, geometry)
         return geometry
+
+    def _scan_epoch(self, epoch: int) -> ServingGeometry | None:
+        """Scan one scheduler epoch for the serving satellite.
+
+        This is the reference implementation the batch kernel in
+        :mod:`repro.starlink.timeline` replicates bit-for-bit: one
+        shell propagation, ENU/elevation via the same numpy ufuncs,
+        ``math.atan2`` azimuths for the obstruction test, max-elevation
+        selection with ties to the lowest satellite index, and
+        explicit-product slant ranges for terminal and gateway off the
+        same position row.
+        """
+        epoch_time = epoch * STARLINK_RESCHEDULE_INTERVAL_S
+        positions = self.shell.positions_ecef(epoch_time)
+        east, north, up = _enu_components(self.terminal, positions)
+        horizontal = np.hypot(east, north)
+        elevation = np.degrees(np.arctan2(up, horizontal))
+        visible_idx = np.nonzero(elevation >= self.min_elevation_deg)[0]
+        obstruction = self.obstruction
+        best_i = -1
+        best_elev = -math.inf
+        for i in visible_idx:
+            if obstruction is not None:
+                azimuth = math.degrees(math.atan2(east[i], north[i])) % 360.0
+                if obstruction.blocks(azimuth, float(elevation[i])):
+                    continue
+            if elevation[i] > best_elev:
+                best_i = int(i)
+                best_elev = float(elevation[i])
+        if best_i < 0:
+            return None
+        e, n, u = east[best_i], north[best_i], up[best_i]
+        ge, gn, gu = _enu_components(
+            self.gateway, positions[best_i : best_i + 1]
+        )
+        return ServingGeometry(
+            satellite=self.shell.satellites[best_i].name,
+            terminal_range_m=float(math.sqrt(e * e + n * n + u * u)),
+            gateway_range_m=float(
+                math.sqrt(ge[0] * ge[0] + gn[0] * gn[0] + gu[0] * gu[0])
+            ),
+            elevation_deg=best_elev,
+        )
 
     def is_outage(self, t_s: float) -> bool:
         """Whether no satellite is usable at ``t_s``."""

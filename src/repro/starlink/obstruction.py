@@ -73,6 +73,27 @@ class ObstructionMask:
             for wedge in self.wedges
         )
 
+    def blocks_array(
+        self, azimuth_deg: np.ndarray, elevation_deg: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`blocks` over aligned direction arrays.
+
+        Pure comparisons (no rounding), so each element agrees exactly
+        with the scalar method on the same inputs.
+        """
+        azimuth = np.asarray(azimuth_deg) % 360.0
+        elevation = np.asarray(elevation_deg)
+        blocked = np.zeros(azimuth.shape, dtype=bool)
+        for wedge in self.wedges:
+            start = wedge.azimuth_start_deg % 360.0
+            end = wedge.azimuth_end_deg % 360.0
+            if start <= end:
+                inside = (azimuth >= start) & (azimuth <= end)
+            else:
+                inside = (azimuth >= start) | (azimuth <= end)
+            blocked |= inside & (elevation < wedge.horizon_elevation_deg)
+        return blocked
+
     def filter_visible(self, samples: list[VisibilitySample]) -> list[VisibilitySample]:
         """Drop samples whose direction is obstructed."""
         return [
@@ -90,14 +111,11 @@ class ObstructionMask:
         """
         azimuths = np.linspace(0.0, 360.0, resolution, endpoint=False)
         elevations = np.linspace(min_elevation_deg, 90.0, 32)
-        blocked = 0
-        total = 0
-        for azimuth in azimuths:
-            for elevation in elevations:
-                total += 1
-                if self.blocks(float(azimuth), float(elevation)):
-                    blocked += 1
-        return blocked / total if total else 0.0
+        if len(azimuths) == 0 or len(elevations) == 0:
+            return 0.0
+        az_grid, el_grid = np.meshgrid(azimuths, elevations, indexing="ij")
+        blocked = self.blocks_array(az_grid, el_grid)
+        return float(np.count_nonzero(blocked)) / blocked.size
 
     @classmethod
     def generate(
@@ -149,15 +167,31 @@ def obstruction_outage_fraction(
     This is the obstruction-induced outage the dishy app reports after
     its sky scan: instants where satellites exist above the mask but
     every one of them sits behind a blocked wedge.
+
+    The whole sweep rides the chunked batch-geometry kernel — one
+    vectorised propagation per chunk instead of one
+    ``visible_satellites`` scan per epoch; the per-epoch outage
+    decision (and hence the returned fraction) is unchanged.
     """
-    from repro.orbits.visibility import visible_satellites
+    import math
+
+    from repro.orbits.visibility import geometry_grid_chunks
 
     times = np.arange(0.0, duration_s, step_s)
     outages = 0
-    for t in times:
-        visible = visible_satellites(shell, observer, float(t), min_elevation_deg)
-        if visible and not mask.filter_visible(visible):
-            outages += 1
-        elif not visible:
-            outages += 1
+    for _, east, north, up, elevation in geometry_grid_chunks(
+        shell, observer, times
+    ):
+        visible = elevation >= min_elevation_deg
+        for r in range(elevation.shape[0]):
+            visible_idx = np.flatnonzero(visible[r])
+            if len(visible_idx) == 0:
+                outages += 1
+                continue
+            for i in visible_idx:
+                azimuth = math.degrees(math.atan2(east[r, i], north[r, i])) % 360.0
+                if not mask.blocks(azimuth, float(elevation[r, i])):
+                    break
+            else:
+                outages += 1
     return outages / len(times)

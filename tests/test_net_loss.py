@@ -224,6 +224,42 @@ def test_gilbert_elliott_guards_non_monotonic_time():
     assert not model._in_bad
 
 
+def test_composite_advances_stateful_components_behind_drops():
+    """An earlier component's drop must not freeze later components.
+
+    Regression: ``should_drop`` used to short-circuit on the first
+    dropping component, so a Gilbert-Elliott chain sitting behind a
+    bursty component stopped advancing its clock (and consuming its
+    RNG draws) during every burst, making its burst pattern depend on
+    the other component's drops.
+    """
+
+    def chain():
+        return GilbertElliottLoss(
+            mean_good_s=0.5,
+            mean_bad_s=0.5,
+            loss_good=0.0,
+            loss_bad=1.0,
+            rng=np.random.default_rng(42),
+        )
+
+    behind_dropper = chain()
+    standalone = chain()
+    composite = CompositeLoss(
+        models=[BernoulliLoss(1.0, np.random.default_rng(18)), behind_dropper]
+    )
+    drive = [float(t) for t in np.linspace(0.0, 20.0, 400)]
+    for t in drive:
+        assert composite.should_drop(_packet(), t)
+        standalone.should_drop(_packet(), t)
+    # Both chains saw the same packet times, so their state and RNG
+    # streams must line up exactly from here on.
+    follow = [float(t) for t in np.linspace(20.0, 40.0, 400)]
+    assert [behind_dropper.should_drop(_packet(), t) for t in follow] == [
+        standalone.should_drop(_packet(), t) for t in follow
+    ]
+
+
 def test_composite_reset_delegates():
     gilbert = GilbertElliottLoss(
         mean_good_s=1.0, mean_bad_s=1.0, rng=np.random.default_rng(16)

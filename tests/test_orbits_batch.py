@@ -1,0 +1,157 @@
+"""Equivalence of the batched orbital-geometry kernels with per-call paths.
+
+The batch kernels (``WalkerShell.positions_ecef_batch``,
+``geometry_grid_chunks`` and the ``passes``/``distance_series``
+rewrites on top of them) promise *bitwise* equality with the scalar
+per-epoch code they replaced — not approximate agreement.  These tests
+pin that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.cities import city
+from repro.orbits.constellation import starlink_shell1
+from repro.orbits.visibility import (
+    _enu_components,
+    all_samples,
+    distance_series,
+    geometry_grid_chunks,
+    passes,
+    visible_satellites,
+)
+
+
+@pytest.fixture(scope="module")
+def shell():
+    return starlink_shell1(n_planes=24, sats_per_plane=12)
+
+
+@pytest.fixture(scope="module")
+def london():
+    return city("london").location
+
+
+def test_positions_batch_matches_per_call_bitwise(shell):
+    times = np.array([0.0, 15.0, 61.7, 3600.0, 86_399.0, 123_456.789])
+    batch = shell.positions_ecef_batch(times)
+    assert batch.shape == (len(times), len(shell), 3)
+    for k, t in enumerate(times):
+        single = shell.positions_ecef(float(t))
+        assert np.array_equal(batch[k], single)
+
+
+def test_positions_batch_chunking_invariant(shell):
+    times = np.linspace(0.0, 7200.0, 23)
+    reference = shell.positions_ecef_batch(times)
+    for chunk in (1, 2, 7, 1024):
+        assert np.array_equal(
+            shell.positions_ecef_batch(times, chunk=chunk), reference
+        )
+
+
+def test_positions_batch_validates_input(shell):
+    with pytest.raises(ConfigurationError):
+        shell.positions_ecef_batch(np.zeros((2, 2)))
+    with pytest.raises(ConfigurationError):
+        shell.positions_ecef_batch(np.zeros(3), chunk=0)
+
+
+def test_positions_batch_empty(shell):
+    batch = shell.positions_ecef_batch(np.empty(0))
+    assert batch.shape == (0, len(shell), 3)
+
+
+def test_geometry_grid_matches_enu_per_time(shell, london):
+    times = np.arange(0.0, 300.0, 15.0)
+    offset_seen = 0
+    for offset, east, north, up, elevation in geometry_grid_chunks(
+        shell, london, times, chunk=5
+    ):
+        for r in range(east.shape[0]):
+            t = float(times[offset + r])
+            positions = shell.positions_ecef(t)
+            e, n, u = _enu_components(london, positions)
+            assert np.array_equal(east[r], e)
+            assert np.array_equal(north[r], n)
+            assert np.array_equal(up[r], u)
+            horizontal = np.hypot(e, n)
+            assert np.array_equal(
+                elevation[r], np.degrees(np.arctan2(u, horizontal))
+            )
+        offset_seen += east.shape[0]
+    assert offset_seen == len(times)
+
+
+def test_grid_elevation_matches_visible_satellites(shell, london):
+    """The grid's visibility decision agrees with the legacy scalar API."""
+    times = np.arange(0.0, 600.0, 30.0)
+    for offset, _, _, _, elevation in geometry_grid_chunks(shell, london, times):
+        for r in range(elevation.shape[0]):
+            t = float(times[offset + r])
+            legacy = {s.satellite for s in visible_satellites(shell, london, t)}
+            grid = {
+                shell.satellites[j].name
+                for j in np.flatnonzero(elevation[r] >= 25.0)
+            }
+            assert grid == legacy
+
+
+def test_passes_matches_scalar_reference(shell, london):
+    """``passes`` on the batched grid == a naive per-sample scan."""
+    start, end, step = 0.0, 5400.0, 15.0
+    got = passes(shell, london, start, end, step_s=step)
+
+    # Naive reference: sample every time with the legacy scalar API and
+    # stitch runs of visibility per satellite.
+    times = np.arange(start, end, step)
+    visible_at = [
+        {s.satellite: s.elevation_deg for s in visible_satellites(shell, london, float(t))}
+        for t in times
+    ]
+    expected = []
+    for sat in (s.name for s in shell.satellites):
+        run = None
+        for k, snapshot in enumerate(visible_at):
+            if sat in snapshot:
+                if run is None:
+                    run = [k, k]
+                else:
+                    run[1] = k
+            elif run is not None:
+                expected.append((sat, run))
+                run = None
+        if run is not None:
+            expected.append((sat, run))
+    assert len(got) == len(expected)
+    by_key = {(p.satellite, round(p.start_s, 6)): p for p in got}
+    for sat, (i0, i1) in expected:
+        p = by_key[(sat, round(float(times[i0]), 6))]
+        max_elev = max(visible_at[k][sat] for k in range(i0, i1 + 1))
+        assert p.max_elevation_deg == max_elev
+        assert p.end_s <= end
+
+
+def test_passes_sorted_and_clipped(shell, london):
+    results = passes(shell, london, 120.0, 3600.0, step_s=10.0)
+    keys = [(p.start_s, p.satellite) for p in results]
+    assert keys == sorted(keys)
+    for p in results:
+        assert 120.0 <= p.start_s < 3600.0
+        assert p.end_s <= 3600.0
+
+
+def test_distance_series_matches_scalar_reference(shell, london):
+    names = [shell.satellites[i].name for i in (0, 5, 100)]
+    start, end, step = 0.0, 900.0, 1.0
+    series = distance_series(shell, london, names, start, end, step)
+    times = np.arange(start, end, step)
+    for name in names:
+        assert series[name].shape == times.shape
+    for k, t in enumerate(times):
+        snapshot = {s.satellite: s.slant_range_m for s in all_samples(shell, london, float(t))}
+        visible = {s.satellite for s in visible_satellites(shell, london, float(t))}
+        for name in names:
+            expected = snapshot[name] if name in visible else 0.0
+            assert series[name][k] == expected

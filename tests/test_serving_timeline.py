@@ -1,0 +1,180 @@
+"""ServingTimeline: bit-identity with on-demand scans, lookup semantics.
+
+The timeline precompute (``repro.starlink.timeline``) must reproduce
+``BentPipeModel.serving_geometry`` *exactly* — same serving satellite,
+same float ranges and elevations — across outages, obstruction masks
+and sparse epoch sets, because the sharded campaign's determinism
+contract rides on it.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.constants import STARLINK_RESCHEDULE_INTERVAL_S
+from repro.errors import ConfigurationError
+from repro.geo.cities import city
+from repro.orbits.constellation import starlink_shell1
+from repro.starlink.bentpipe import _CACHE_MISS, BentPipeModel
+from repro.starlink.obstruction import ObstructionMask
+from repro.starlink.pop import pop_for_city
+from repro.starlink.timeline import ServingTimeline, compute_serving_timeline
+
+
+def _model(city_name="london", shell=None, obstruction=None):
+    shell = shell if shell is not None else starlink_shell1(
+        n_planes=24, sats_per_plane=12
+    )
+    pop = pop_for_city(city_name)
+    return BentPipeModel(
+        shell,
+        city(city_name).location,
+        pop.gateway,
+        city_name,
+        obstruction=obstruction,
+    )
+
+
+def _timeline_for(model, **kwargs):
+    return compute_serving_timeline(
+        model.shell,
+        model.terminal,
+        model.gateway,
+        min_elevation_deg=model.min_elevation_deg,
+        obstruction=model.obstruction,
+        **kwargs,
+    )
+
+
+def _assert_matches_scan(model, timeline):
+    """Every timeline epoch equals the on-demand scan, field for field."""
+    mismatches = 0
+    for epoch in timeline.epochs:
+        expected = model._scan_epoch(int(epoch))
+        got = timeline.lookup(int(epoch))
+        if expected is None:
+            mismatches += got is not None
+            continue
+        if got is None:
+            mismatches += 1
+            continue
+        same = (
+            got.satellite == expected.satellite
+            and got.terminal_range_m == expected.terminal_range_m
+            and got.gateway_range_m == expected.gateway_range_m
+            and got.elevation_deg == expected.elevation_deg
+        )
+        mismatches += not same
+    assert mismatches == 0
+
+
+def test_timeline_matches_scan_over_multi_hour_window():
+    model = _model()
+    timeline = _timeline_for(model, start_s=0.0, end_s=6 * 3600.0)
+    assert len(timeline) == 6 * 3600 // 15
+    _assert_matches_scan(model, timeline)
+
+
+def test_timeline_matches_scan_with_obstruction_and_outages():
+    mask = ObstructionMask.generate(seed=3, severity="bad")
+    model = _model("seattle", obstruction=mask)
+    timeline = _timeline_for(model, start_s=0.0, end_s=4 * 3600.0)
+    _assert_matches_scan(model, timeline)
+    # A bad mask must actually produce outage epochs, or the test
+    # exercises nothing.
+    assert np.count_nonzero(timeline.sat_index < 0) > 0
+
+
+def test_sparse_shell_has_outages_and_matches():
+    model = _model(shell=starlink_shell1(n_planes=8, sats_per_plane=4))
+    timeline = _timeline_for(model, start_s=0.0, end_s=3 * 3600.0)
+    assert np.count_nonzero(timeline.sat_index < 0) > 0
+    _assert_matches_scan(model, timeline)
+
+
+def test_sparse_epoch_set_matches_scan():
+    model = _model("barcelona")
+    rng = np.random.default_rng(7)
+    epochs = np.unique(rng.integers(0, 20_000, size=300))
+    timeline = _timeline_for(model, epochs=epochs)
+    assert len(timeline) == len(epochs)
+    _assert_matches_scan(model, timeline)
+
+
+def test_chunking_invariant():
+    model = _model()
+    reference = _timeline_for(model, start_s=0.0, end_s=3600.0)
+    for chunk in (1, 17, 10_000):
+        other = _timeline_for(model, start_s=0.0, end_s=3600.0, chunk_epochs=chunk)
+        assert np.array_equal(other.sat_index, reference.sat_index)
+        assert np.array_equal(other.terminal_range_m, reference.terminal_range_m)
+        assert np.array_equal(other.gateway_range_m, reference.gateway_range_m)
+        assert np.array_equal(other.elevation_deg, reference.elevation_deg)
+
+
+def test_serving_geometry_uses_attached_timeline():
+    model = _model()
+    timeline = _timeline_for(model, start_s=0.0, end_s=3600.0)
+    expected = [model.serving_geometry(t) for t in np.arange(0.0, 3600.0, 7.5)]
+    model.attach_timeline(timeline)
+    got = [model.serving_geometry(t) for t in np.arange(0.0, 3600.0, 7.5)]
+    assert got == expected
+    assert timeline.hits == len(got)
+
+
+def test_lookup_outside_window_is_cache_miss_and_scan_fallback():
+    model = _model()
+    timeline = model.build_timeline(0.0, 600.0)
+    assert timeline.lookup(10**6) is _CACHE_MISS
+    # serving_geometry falls back to the scan outside the window.
+    far = 10**6 * STARLINK_RESCHEDULE_INTERVAL_S
+    assert model.serving_geometry(far) == model._scan_epoch(10**6)
+
+
+def test_timeline_pickle_roundtrip():
+    model = _model()
+    timeline = _timeline_for(model, start_s=0.0, end_s=1800.0)
+    clone = pickle.loads(pickle.dumps(timeline))
+    assert isinstance(clone, ServingTimeline)
+    assert np.array_equal(clone.epochs, timeline.epochs)
+    assert clone.geometries() == timeline.geometries()
+    assert clone.covers(int(timeline.epochs[0]))
+
+
+def test_timeline_validates_inputs():
+    model = _model()
+    with pytest.raises(ConfigurationError):
+        _timeline_for(model)  # neither epochs nor a window
+    with pytest.raises(ConfigurationError):
+        _timeline_for(model, start_s=100.0, end_s=100.0)
+    with pytest.raises(ConfigurationError):
+        _timeline_for(model, epochs=np.array([3, 2, 1]))
+    with pytest.raises(ConfigurationError):
+        _timeline_for(model, start_s=0.0, end_s=600.0, chunk_epochs=0)
+
+
+def test_nbytes_is_compact():
+    model = _model()
+    timeline = _timeline_for(model, start_s=0.0, end_s=86_400.0)
+    per_epoch = timeline.nbytes / len(timeline)
+    assert per_epoch <= 36.0  # ~28 bytes of payload + the epoch index
+
+
+def test_campaign_precompute_counts_timeline_hits():
+    from repro.extension.campaign import CampaignConfig, ExtensionCampaign
+
+    config = CampaignConfig(
+        seed=5,
+        duration_s=2 * 86_400.0,
+        request_fraction=0.2,
+        cities=("london",),
+        shell_planes=24,
+        shell_sats_per_plane=12,
+        precompute_timelines=True,
+    )
+    campaign = ExtensionCampaign(config)
+    campaign.run()
+    stats = campaign.last_run_stats
+    assert stats is not None
+    assert sum(shard.timeline_hits for shard in stats.shards) > 0
