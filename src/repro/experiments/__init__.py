@@ -1,104 +1,54 @@
 """Experiment registry: every table and figure of the paper.
 
-``EXPERIMENTS`` maps experiment id to its ``run(seed, scale)``
-callable.  Run one from Python::
+``EXPERIMENTS`` (defined in :mod:`repro.experiments.base`) maps
+experiment id to its uniform ``run(seed, scale, n_workers)`` callable;
+each module below registers itself with ``@register(id)`` at import
+time, and this package imports them in canonical artefact order so the
+registry (and ``--list``) is stable.  Run one from Python::
 
     from repro.experiments import run_experiment
-    print(run_experiment("table1", scale=0.3).render())
+    print(run_experiment("table1", scale=0.3, n_workers=2).render())
 
 or from the command line::
 
-    python -m repro.experiments table1 --scale 0.3
+    python -m repro.experiments table1 --scale 0.3 --workers 2
     python -m repro.experiments all
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from repro.experiments.base import (
+    EXPERIMENTS,
+    ExperimentResult,
+    register,
+    run_all,
+    run_experiment,
+)
 
-from repro.errors import ConfigurationError
-from repro.experiments import (
-    ablations,
-    extensions,
+# Import order defines registry order: the paper's artefact order,
+# then ablations and extensions.
+from repro.experiments import (  # noqa: F401  (registration imports)
+    table1,
     figure1,
     figure2,
     figure3,
     figure4,
     figure5,
+    table2,
+    table3,
     figure6a,
     figure6b,
     figure6c,
     figure7,
     figure8,
-    table1,
-    table2,
-    table3,
+    ablations,
+    extensions,
 )
-from repro.experiments.base import ExperimentResult
 
-EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "table1": table1.run,
-    "figure1": figure1.run,
-    "figure2": figure2.run,
-    "figure3": figure3.run,
-    "figure4": figure4.run,
-    "figure5": figure5.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "figure6a": figure6a.run,
-    "figure6b": figure6b.run,
-    "figure6c": figure6c.run,
-    "figure7": figure7.run,
-    "figure8": figure8.run,
-    "ablation_loss": ablations.run_loss_model_ablation,
-    "ablation_cdn": ablations.run_cdn_ablation,
-    "ablation_queueing": ablations.run_queueing_ablation,
-    "ablation_ptt": extensions.run_ptt_ablation,
-    "ablation_cell": extensions.run_cell_ablation,
-    "extension_isl": extensions.run_isl_extension,
-    "extension_geo": extensions.run_geo_extension,
-    "extension_transport": extensions.run_transport_extension,
-    "extension_quic": extensions.run_quic_extension,
-}
-"""All runnable experiments, keyed by paper artefact id."""
-
-
-def run_experiment(
-    experiment_id: str, seed: int = 0, scale: float = 1.0, n_workers: int = 1
-) -> ExperimentResult:
-    """Run one experiment by id.
-
-    ``n_workers`` is forwarded to experiments that run campaigns (they
-    shard the user population via :mod:`repro.runtime`); experiments
-    without campaign work ignore it.
-
-    Raises:
-        ConfigurationError: for unknown ids.
-    """
-    import inspect
-
-    try:
-        runner = EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
-        ) from None
-    kwargs = {"seed": seed, "scale": scale}
-    if "n_workers" in inspect.signature(runner).parameters:
-        kwargs["n_workers"] = n_workers
-    return runner(**kwargs)
-
-
-def run_all(
-    seed: int = 0, scale: float = 1.0, n_workers: int = 1
-) -> dict[str, ExperimentResult]:
-    """Run every experiment; returns id -> result."""
-    return {
-        experiment_id: run_experiment(
-            experiment_id, seed=seed, scale=scale, n_workers=n_workers
-        )
-        for experiment_id in EXPERIMENTS
-    }
-
-
-__all__ = ["EXPERIMENTS", "ExperimentResult", "run_all", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "register",
+    "run_all",
+    "run_experiment",
+]

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.stats import median
-from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.base import ExperimentResult, register, scaled
 from repro.net.loss import BernoulliLoss, HandoverBurstLoss
 from repro.rng import stream
 from repro.web.hosting import HostingModel, ServerKind
@@ -24,7 +24,10 @@ from repro.web.browser import PageLoadSimulator, StaticConnectionModel
 from repro.web.tranco import TrancoList
 
 
-def run_loss_model_ablation(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("ablation_loss")
+def run_loss_model_ablation(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Burst vs i.i.d. loss at equal mean: clumping statistics."""
     rng = stream(seed, "ablation-loss")
     window_s = 600.0
@@ -79,7 +82,10 @@ def run_loss_model_ablation(seed: int = 0, scale: float = 1.0) -> ExperimentResu
     )
 
 
-def run_cdn_ablation(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("ablation_cdn")
+def run_cdn_ablation(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Popularity-aware vs uniform hosting: the Figure 3 gap."""
     n_visits = scaled(3000, scale, minimum=500)
     tranco = TrancoList()
@@ -133,13 +139,16 @@ def run_cdn_ablation(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     )
 
 
-def run_queueing_ablation(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("ablation_queueing")
+def run_queueing_ablation(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Where queueing lives: bent pipe vs transit, via the estimator."""
     from repro.analysis.queueing import max_min_queueing, segment_queueing
     from repro.geo.cities import city
     from repro.net.trace import traceroute
     from repro.orbits.constellation import starlink_shell1
-    from repro.starlink.access import build_starlink_path
+    from repro.starlink.access import AccessConfig, Scenario
     from repro.starlink.bentpipe import BentPipeModel
     from repro.starlink.pop import pop_for_city
 
@@ -151,14 +160,15 @@ def run_queueing_ablation(seed: int = 0, scale: float = 1.0) -> ExperimentResult
         bentpipe = BentPipeModel(
             shell, london.location, pop_for_city("london").gateway, "london", seed=seed
         )
-        path = build_starlink_path(
-            bentpipe,
-            city("n_virginia").location,
+        config = AccessConfig(
             time_offset_s=12 * 3600.0,
             stochastic_wireless_queueing=stochastic_wireless,
             seed=seed,
             transit_queue_mean_s=transit_mean_s,
         )
+        scenario = Scenario.starlink(bentpipe, city("n_virginia").location, config)
+        scenario.precompute(duration_s=60.0)  # traceroute probe window
+        path = scenario.build()
         trace = traceroute(
             path.network, path.client, path.server, probes_per_hop=cycles
         )

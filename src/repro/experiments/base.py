@@ -1,19 +1,98 @@
 """Experiment framework: one runnable unit per paper table/figure.
 
-Each experiment module exposes ``run(seed=0, scale=1.0) ->
-ExperimentResult``.  ``scale`` shrinks sample counts for quick runs
-(benchmarks use ~0.3, tests less); the *shape* targets hold at any
-reasonable scale.  Results carry both the measured rows and the paper's
-reference values so the harness prints them side by side, and a
-``metrics`` dict that tests and EXPERIMENTS.md key on.
+Each experiment module registers its runner with :func:`register`;
+every runner has the uniform signature ``run(seed=0, scale=1.0,
+n_workers=1) -> ExperimentResult``.  ``scale`` shrinks sample counts
+for quick runs (benchmarks use ~0.3, tests less); the *shape* targets
+hold at any reasonable scale.  ``n_workers`` shards campaign-backed
+experiments over worker processes (bit-identical datasets, less
+wall-clock); experiments without campaign work accept and ignore it.
+Results carry both the measured rows and the paper's reference values
+so the harness prints them side by side, and a ``metrics`` dict that
+tests and EXPERIMENTS.md key on.
+
+:data:`EXPERIMENTS` is the central registry — ``python -m
+repro.experiments <id>``, :func:`run_experiment`, :func:`run_all` and
+the report generator all resolve through it.  (Importing
+``repro.experiments`` populates it: the package ``__init__`` imports
+every experiment module in canonical artefact order.)
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+
+REQUIRED_RUN_PARAMS = ("seed", "scale", "n_workers")
+"""Parameters every registered experiment runner must accept."""
+
+EXPERIMENTS: dict[str, Callable[..., "ExperimentResult"]] = {}
+"""All runnable experiments, keyed by paper artefact id, in
+registration (= canonical artefact) order."""
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment runner in :data:`EXPERIMENTS`.
+
+    Enforces the uniform ``run(seed, scale, n_workers)`` signature at
+    import time — a registered runner missing one of
+    :data:`REQUIRED_RUN_PARAMS` (or reusing a taken id) is a
+    configuration error, not a latent CLI crash.
+    """
+
+    def decorate(runner: Callable[..., "ExperimentResult"]):
+        params = inspect.signature(runner).parameters
+        missing = [name for name in REQUIRED_RUN_PARAMS if name not in params]
+        if missing:
+            raise ConfigurationError(
+                f"experiment {experiment_id!r} runner is missing the uniform "
+                f"parameters {missing}; every runner takes "
+                f"{REQUIRED_RUN_PARAMS}"
+            )
+        if experiment_id in EXPERIMENTS:
+            raise ConfigurationError(
+                f"experiment id {experiment_id!r} registered twice"
+            )
+        EXPERIMENTS[experiment_id] = runner
+        return runner
+
+    return decorate
+
+
+def run_experiment(
+    experiment_id: str, seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> "ExperimentResult":
+    """Run one experiment by id.
+
+    ``n_workers`` is forwarded to every runner (the registry enforces
+    the uniform signature); experiments without campaign work ignore it.
+
+    Raises:
+        ConfigurationError: for unknown ids.
+    """
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(seed=seed, scale=scale, n_workers=n_workers)
+
+
+def run_all(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> dict[str, "ExperimentResult"]:
+    """Run every experiment; returns id -> result."""
+    return {
+        experiment_id: run_experiment(
+            experiment_id, seed=seed, scale=scale, n_workers=n_workers
+        )
+        for experiment_id in EXPERIMENTS
+    }
 
 
 @dataclass

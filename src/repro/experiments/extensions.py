@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.base import ExperimentResult, register, scaled
 from repro.geo.cities import city
 from repro.rng import stream
 
 
-def run_isl_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("extension_isl")
+def run_isl_extension(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """ISL space paths vs terrestrial fibre vs bent pipe + fibre."""
     from repro.orbits.constellation import starlink_shell1
     from repro.orbits.isl import IslNetwork
@@ -98,15 +101,14 @@ def run_isl_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     )
 
 
-def run_geo_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("extension_geo")
+def run_geo_extension(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """GEO vs Starlink vs broadband RTT (the introduction's contrast)."""
     from repro.net.ping import ping
     from repro.orbits.constellation import starlink_shell1
-    from repro.starlink.access import (
-        build_broadband_path,
-        build_geo_path,
-        build_starlink_path,
-    )
+    from repro.starlink.access import AccessConfig, Scenario
     from repro.starlink.bentpipe import BentPipeModel
     from repro.starlink.pop import pop_for_city
 
@@ -116,10 +118,16 @@ def run_geo_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     shell = starlink_shell1(n_planes=36, sats_per_plane=18)
     bentpipe = BentPipeModel(shell, london, pop_for_city("london").gateway, "london", seed=seed)
 
+    starlink = Scenario.starlink(
+        bentpipe, virginia, AccessConfig(time_offset_s=3600.0, seed=seed)
+    )
+    starlink.precompute(duration_s=60.0)  # ping window
     paths = {
-        "broadband": build_broadband_path(london, virginia, seed=seed),
-        "starlink": build_starlink_path(bentpipe, virginia, time_offset_s=3600.0, seed=seed),
-        "geo": build_geo_path(london, virginia, seed=seed),
+        "broadband": Scenario.broadband(
+            london, virginia, AccessConfig(seed=seed)
+        ).build(),
+        "starlink": starlink.build(),
+        "geo": Scenario.geo(london, virginia, AccessConfig(seed=seed)).build(),
     }
     headers = ["technology", "median RTT (ms)"]
     rows = []
@@ -147,7 +155,10 @@ def run_geo_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     )
 
 
-def run_transport_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("extension_transport")
+def run_transport_extension(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """BBR vs BBR-LEO on the Figure 8 blackout-heavy Starlink link."""
     from repro.experiments.figure8 import LINK_RATE_BPS, _starlink_path
     from repro.nodes.iperf import run_iperf_tcp, run_udp_burst
@@ -160,6 +171,9 @@ def run_transport_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResu
     weather = WeatherHistory(seed=seed, duration_s=2 * 86_400.0)
     node = MeasurementNode("wiltshire", shell=shell, weather=weather, seed=seed)
     t_start = 4 * 3600.0
+    # Same schedule as figure8: one precompute (shared via the node
+    # timeline cache when both run in-process) covers every CCA run.
+    node.precompute_geometry([t_start], horizon_s=duration_s + 30.0)
 
     udp = run_udp_burst(
         _starlink_path(node, t_start, duration_s, seed, with_epoch_gaps=False),
@@ -194,7 +208,10 @@ def run_transport_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResu
     )
 
 
-def run_ptt_ablation(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("ablation_ptt")
+def run_ptt_ablation(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Why PTT exists: PLT comparisons are confounded by device speed."""
     from repro.web.browser import PageLoadSimulator, StaticConnectionModel
     from repro.web.hosting import HostingModel
@@ -263,7 +280,10 @@ def run_ptt_ablation(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     )
 
 
-def run_quic_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("extension_quic")
+def run_quic_extension(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """HTTP/3 (QUIC) vs HTTP/2 (TCP+TLS) page loads on Starlink.
 
     The paper's related work notes QUIC was investigated for GEO
@@ -335,7 +355,10 @@ def run_quic_extension(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     )
 
 
-def run_cell_ablation(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("ablation_cell")
+def run_cell_ablation(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Closed-form capacity plan vs emergent cell contention.
 
     The calibrated per-city plans encode the paper's density hypothesis

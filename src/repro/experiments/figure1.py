@@ -8,12 +8,15 @@ class.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, register
 from repro.extension.users import UserPopulation
 from repro.geo.cities import city
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("figure1")
+def run(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Generate the user-location map data."""
     population = UserPopulation(seed=seed)
     headers = ["city", "region", "lat", "lon", "starlink users", "other users"]

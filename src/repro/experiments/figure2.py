@@ -12,7 +12,7 @@ schematic exists and is wired together.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, register
 from repro.geo.cities import NEAREST_GCP, city
 from repro.geo.coordinates import great_circle_distance_m
 from repro.nodes.rpi import NODE_CITIES, MeasurementNode
@@ -25,7 +25,10 @@ CRON_JOBS = (("speedtest", 300.0), ("iperf3", 1800.0), ("mtr", 21_600.0))
 states the speedtest utility runs every 5 minutes."""
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("figure2")
+def run(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Instantiate all three nodes and tabulate the Figure 2 wiring."""
     shell = starlink_shell1(n_planes=36, sats_per_plane=18)
     weather = WeatherHistory(seed=seed, duration_s=86_400.0)

@@ -14,13 +14,14 @@ import numpy as np
 
 from repro.analysis.aschange import detect_as_switch_time, split_around
 from repro.analysis.stats import ecdf, median
-from repro.experiments.base import ExperimentResult, campaign_metrics
+from repro.experiments.base import ExperimentResult, campaign_metrics, register
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
 from repro.timeline import LONDON_AS_SWITCH_T, SYDNEY_AS_SWITCH_T
 
 CITIES = ("london", "sydney")
 
 
+@register("figure3")
 def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResult:
     """Run a campaign spanning both AS migrations and split the CDFs."""
     duration_s = 130 * 86_400.0  # Dec 1 -> ~Apr 10, covers both switches

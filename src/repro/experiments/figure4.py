@@ -11,12 +11,13 @@ conditions (rain-fade physics: raindrop size matters).
 from __future__ import annotations
 
 from repro.analysis.weatherjoin import ptt_by_condition
-from repro.experiments.base import ExperimentResult, campaign_metrics
+from repro.experiments.base import ExperimentResult, campaign_metrics, register
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
 from repro.weather.conditions import WeatherCondition
 from repro.web.tranco import GOOGLE_SERVICE_DOMAINS
 
 
+@register("figure4")
 def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResult:
     """Run a London campaign and bucket Google-service PTT by weather."""
     config = CampaignConfig(

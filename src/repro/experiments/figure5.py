@@ -12,21 +12,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.base import ExperimentResult, register, scaled
 from repro.geo.cities import city
 from repro.net.trace import traceroute
 from repro.orbits.constellation import starlink_shell1
-from repro.starlink.access import (
-    build_broadband_path,
-    build_cellular_path,
-    build_starlink_path,
-)
+from repro.starlink.access import AccessConfig, Scenario
 from repro.starlink.bentpipe import BentPipeModel
 from repro.starlink.pop import pop_for_city
 from repro.weather.history import WeatherHistory
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("figure5")
+def run(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Traceroute the three access paths and tabulate per-hop medians."""
     runs = scaled(20, scale, minimum=5)
     london = city("london")
@@ -43,12 +42,19 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     )
     t_offset = 12 * 3600.0  # midday local
 
+    config = AccessConfig(time_offset_s=t_offset, seed=seed)
+    starlink = Scenario.starlink(bentpipe, virginia.location, config)
+    # Traceroute probes land in the first simulated minutes; precompute
+    # that window once so per-probe geometry queries are O(1) lookups.
+    starlink.precompute(duration_s=600.0)
     paths = {
-        "starlink": build_starlink_path(
-            bentpipe, virginia.location, time_offset_s=t_offset, seed=seed
-        ),
-        "broadband": build_broadband_path(london.location, virginia.location, seed=seed),
-        "cellular": build_cellular_path(london.location, virginia.location, seed=seed),
+        "starlink": starlink.build(),
+        "broadband": Scenario.broadband(
+            london.location, virginia.location, AccessConfig(seed=seed)
+        ).build(),
+        "cellular": Scenario.cellular(
+            london.location, virginia.location, AccessConfig(seed=seed)
+        ).build(),
     }
 
     headers = ["technology", "hop", "responder", "median RTT (ms)"]

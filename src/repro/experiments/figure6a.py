@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.stats import ecdf, percentile
-from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.base import ExperimentResult, register, scaled
 from repro.nodes.cron import cron_times
 from repro.nodes.rpi import NODE_CITIES, MeasurementNode
 from repro.orbits.constellation import starlink_shell1
@@ -20,7 +20,10 @@ from repro.weather.history import WeatherHistory
 PAPER_MEDIANS = {"barcelona": 147.0, "wiltshire": 100.0, "north_carolina": 34.3}
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("figure6a")
+def run(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Half-hourly download tests over several days, per node."""
     days = max(2.0, 8.0 * scale)
     shell = starlink_shell1(n_planes=36, sats_per_plane=18)

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.stats import median
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, register
 from repro.nodes.cron import cron_times
 from repro.nodes.rpi import MeasurementNode
 from repro.orbits.constellation import starlink_shell1
@@ -18,7 +18,10 @@ from repro.timeline import FIGURE_6B_START_T, t_to_isoformat
 from repro.weather.history import WeatherHistory
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("figure6b")
+def run(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Generate the 3-day half-hourly throughput series."""
     start = FIGURE_6B_START_T
     end = start + 3 * 86_400.0

@@ -11,14 +11,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.stats import ccdf, ccdf_at
-from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.base import ExperimentResult, register, scaled
 from repro.nodes.rpi import MeasurementNode
 from repro.orbits.constellation import starlink_shell1
 from repro.rng import stream
 from repro.weather.history import WeatherHistory
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("figure6c")
+def run(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Run many UDP loss tests and compute the loss CCDF."""
     n_tests = scaled(400, scale, minimum=80)
     shell = starlink_shell1(n_planes=36, sats_per_plane=18)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, register
 from repro.nodes.rpi import MeasurementNode
 from repro.orbits.constellation import starlink_shell1
 from repro.orbits.visibility import distance_series
@@ -23,7 +23,10 @@ WINDOW_S = 720.0
 PROBE_RATE_PPS = 1000.0
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("figure7")
+def run(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Produce the per-second loss series and satellite-range tracks."""
     shell = starlink_shell1(n_planes=36, sats_per_plane=18)
     weather = WeatherHistory(seed=seed, duration_s=2 * 86_400.0)

@@ -16,7 +16,7 @@ Sydney's medians well above (roughly 2x) London's.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, campaign_metrics
+from repro.experiments.base import ExperimentResult, campaign_metrics, register
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
 
 CITIES = ("london", "seattle", "sydney")
@@ -28,6 +28,7 @@ PAPER = {
 }
 
 
+@register("table1")
 def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResult:
     """Run the campaign and compute the Table 1 cells.
 

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.analysis.queueing import max_min_queueing
 from repro.analysis.stats import median
-from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.base import ExperimentResult, register, scaled
 from repro.nodes.rpi import NODE_CITIES, MeasurementNode
 from repro.orbits.constellation import starlink_shell1
 from repro.weather.history import WeatherHistory
@@ -39,7 +39,10 @@ PAPER = {
 }
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+@register("table2")
+def run(
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+) -> ExperimentResult:
     """Run repeated mtr campaigns per node and estimate queueing."""
     n_runs = scaled(10, scale, minimum=4)
     cycles = scaled(30, scale, minimum=10)

@@ -19,7 +19,7 @@ London UL roughly twice Seattle/Toronto.
 from __future__ import annotations
 
 from repro.errors import DatasetError
-from repro.experiments.base import ExperimentResult, campaign_metrics
+from repro.experiments.base import ExperimentResult, campaign_metrics, register
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
 
 CITIES = ("london", "seattle", "toronto", "warsaw")
@@ -32,6 +32,7 @@ PAPER = {
 }
 
 
+@register("table3")
 def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResult:
     """Collect in-browser speedtests in the four cities."""
     config = CampaignConfig(

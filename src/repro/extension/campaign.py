@@ -166,8 +166,15 @@ class ExtensionCampaign:
 
         The sharded engine calls this in each worker with the
         timelines the parent computed, before any bent pipe is built.
+        Bent pipes built earlier (e.g. by a runner that touched
+        :meth:`bentpipe_for_city` before installing) adopt their
+        city's timeline too, so lookup order cannot change coverage.
         """
         self._timelines.update(timelines)
+        for city_name, bentpipe in self._bentpipes.items():
+            timeline = self._timelines.get(city_name)
+            if timeline is not None:
+                bentpipe.attach_timeline(timeline)
 
     def timelines(self) -> list:
         """All per-city serving timelines held by this campaign."""

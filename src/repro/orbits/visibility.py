@@ -49,6 +49,29 @@ class Pass:
         return self.end_s - self.start_s
 
 
+def max_visible_central_angle_rad(
+    observer_radius_m: float, shell_radius_m: float, min_elevation_rad: float
+) -> float:
+    """Largest Earth-central angle at which a shell satellite clears a mask.
+
+    From the observer/satellite/Earth-centre triangle (law of sines),
+    a satellite at radius ``R`` is at elevation ``el`` when the central
+    angle ``psi`` satisfies ``cos(el + psi) = (r/R) cos(el)``.
+    Elevation is strictly decreasing in ``psi`` (the satellite slides
+    down the sky as it moves away), so visibility above the mask is
+    exactly ``psi <= acos((r/R) cos el) - el``.  The identity holds for
+    any mask in (-90, 90] degrees — negative (obstruction-sweep) masks
+    included; below -90 degrees every direction clears the mask and the
+    bound degenerates to ``pi`` (the caller should special-case it).
+    """
+    return (
+        math.acos(
+            (observer_radius_m / shell_radius_m) * math.cos(min_elevation_rad)
+        )
+        - min_elevation_rad
+    )
+
+
 def _enu_components(
     observer: GeoPoint, positions_ecef: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

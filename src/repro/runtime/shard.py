@@ -66,6 +66,16 @@ class CampaignRunStats:
         """End-to-end throughput, records per wall-clock second."""
         return self.n_records / self.wall_s if self.wall_s > 0 else 0.0
 
+    @property
+    def geometry_scans(self) -> int:
+        """Per-epoch serving-geometry scans done across all shards."""
+        return sum(s.geometry_scans for s in self.shards)
+
+    @property
+    def timeline_hits(self) -> int:
+        """Serving-geometry lookups answered by precomputed timelines."""
+        return sum(s.timeline_hits for s in self.shards)
+
     def summary(self) -> str:
         """One-line human-readable report for experiment notes."""
         shard_part = ", ".join(
@@ -75,7 +85,9 @@ class CampaignRunStats:
         return (
             f"{self.n_workers} worker(s), {self.n_records} records in "
             f"{self.wall_s:.2f}s ({self.records_per_s:.0f} rec/s; "
-            f"merge {self.merge_s * 1000.0:.0f} ms) [{shard_part}]"
+            f"merge {self.merge_s * 1000.0:.0f} ms; geometry: "
+            f"{self.timeline_hits} timeline hits, {self.geometry_scans} "
+            f"scans) [{shard_part}]"
         )
 
 

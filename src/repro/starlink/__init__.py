@@ -19,9 +19,13 @@ Starlink subscriber experiences:
 """
 
 from repro.starlink.access import (
+    AccessConfig,
+    AccessPath,
     AccessTechnology,
+    Scenario,
     build_broadband_path,
     build_cellular_path,
+    build_geo_path,
     build_starlink_path,
 )
 from repro.starlink.asn import AS_GOOGLE, AS_SPACEX, AsPlan
@@ -33,6 +37,8 @@ from repro.starlink.pop import PoP, pop_for_city
 __all__ = [
     "AS_GOOGLE",
     "AS_SPACEX",
+    "AccessConfig",
+    "AccessPath",
     "AccessTechnology",
     "AsPlan",
     "BentPipeModel",
@@ -41,9 +47,11 @@ __all__ = [
     "Dish",
     "DishyStatus",
     "PoP",
+    "Scenario",
     "ServiceCapacityModel",
     "build_broadband_path",
     "build_cellular_path",
+    "build_geo_path",
     "build_starlink_path",
     "pop_for_city",
 ]

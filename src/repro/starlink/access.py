@@ -1,11 +1,27 @@
-"""Topology builders for the three access technologies compared in Fig 5.
+"""Topology builders for the access technologies compared in Fig 5.
 
 Each builder assembles a :class:`repro.net.topology.Network` for one
 client behind a particular access technology — Starlink bent pipe,
 fixed broadband (Wi-Fi at a university, the paper's "best of class"
-baseline), or cellular — connected through an internet exchange and a
-transit chain to a measurement server (e.g. the N. Virginia VM the
-paper traceroutes to, or the per-node nearest Google Cloud site).
+baseline), cellular, or legacy GEO — connected through an internet
+exchange and a transit chain to a measurement server (e.g. the
+N. Virginia VM the paper traceroutes to, or the per-node nearest
+Google Cloud site).
+
+The public entry point is :class:`Scenario`: a small builder that owns
+the (bentpipe, timeline, config, locations) tuple and produces
+:class:`AccessPath` objects.  All tunables live in the frozen
+:class:`AccessConfig` dataclass; the ``build_*_path`` functions accept
+one (``build_starlink_path(bentpipe, server, AccessConfig(...))``) and
+keep a backwards-compatible keyword shim for the legacy flat-kwarg call
+style, which now emits a :class:`DeprecationWarning`.
+
+Starlink scenarios can precompute a
+:class:`repro.starlink.timeline.ServingTimeline` for the simulated
+window (``Scenario.precompute``), so every per-packet
+``serving_geometry`` query becomes an O(1) array lookup instead of an
+on-demand epoch scan.  Timelines are computed bit-identically to the
+scan (DESIGN.md §7), so attaching one never changes results.
 
 Terrestrial segments use great-circle distance with a 1.3 route-
 inflation factor at 2/3 c (standard fibre-path modelling); hop-level
@@ -16,12 +32,18 @@ technology actually queues.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+if TYPE_CHECKING:
+    from repro.starlink.timeline import ServingTimeline
+
 from repro.constants import SPEED_OF_LIGHT_M_S
+from repro.errors import ConfigurationError
 from repro.geo.coordinates import GeoPoint, great_circle_distance_m
 from repro.net.link import Link
 from repro.net.loss import LossModel
@@ -49,6 +71,47 @@ def terrestrial_delay_s(a: GeoPoint, b: GeoPoint) -> float:
     return great_circle_distance_m(a, b) * ROUTE_INFLATION / FIBRE_SPEED_M_S
 
 
+@dataclass(frozen=True)
+class AccessConfig:
+    """Tunables of one access path, shared by every technology.
+
+    ``None`` means "use the technology's default": rates fall back to
+    the bent pipe's capacity model (Starlink) or the calibrated consumer
+    plans (70/20 broadband, 45/12 cellular, 25/3 GEO, Mbps), and the
+    transit queueing mean falls back to the city plan (Starlink) or the
+    0.6 ms terrestrial default.  Fields a technology does not use are
+    ignored (e.g. ``loss_dl`` outside Starlink, ``wifi_delay_s`` outside
+    broadband).
+
+    Attributes:
+        dl_rate_bps / ul_rate_bps: Access-link rates, bits/s.
+        loss_dl / loss_ul: Loss models for the two bent-pipe directions
+            (e.g. a handover burst model).  Starlink only.
+        time_offset_s: Campaign time corresponding to simulation t=0.
+        stochastic_wireless_queueing: Inject load-coupled queueing
+            jitter on the bent pipe.  Enable for traceroute-style
+            experiments; disable for TCP dynamics (a FIFO does not
+            reorder, but a stochastic per-packet delay would).
+        queue_packets: Drop-tail queue size on the access link, packets.
+        seed: RNG root for the path's jitter samplers.
+        transit_queue_mean_s: Mean queueing delay per transit hop.
+        wifi_delay_s: Client-to-router Wi-Fi delay (broadband only).
+        ran_delay_s: Radio-access delay (cellular only).
+    """
+
+    dl_rate_bps: float | None = None
+    ul_rate_bps: float | None = None
+    loss_dl: LossModel | None = None
+    loss_ul: LossModel | None = None
+    time_offset_s: float = 0.0
+    stochastic_wireless_queueing: bool = True
+    queue_packets: int = 256
+    seed: int = 0
+    transit_queue_mean_s: float | None = None
+    wifi_delay_s: float = 0.002
+    ran_delay_s: float = 0.023
+
+
 @dataclass
 class AccessPath:
     """A built client-to-server path.
@@ -73,6 +136,138 @@ class AccessPath:
     bentpipe: BentPipeModel | None = None
     access_forward: Link | None = None
     access_reverse: Link | None = None
+
+
+@dataclass
+class Scenario:
+    """One client-to-server measurement scenario, ready to build.
+
+    The object experiments hand to the runtime: it owns the bent pipe
+    (for Starlink), the client/server locations, the
+    :class:`AccessConfig`, and an optional precomputed serving
+    timeline, and produces :class:`AccessPath` instances on demand.
+    Construct via the classmethods::
+
+        scenario = Scenario.starlink(bentpipe, server.location, config)
+        scenario.precompute(duration_s=600.0)   # O(1) geometry lookups
+        path = scenario.build()
+
+    ``build`` may be called repeatedly (e.g. one path per traceroute
+    batch); every call assembles a fresh network from the same inputs.
+    """
+
+    technology: AccessTechnology
+    server_location: GeoPoint
+    config: AccessConfig = field(default_factory=AccessConfig)
+    bentpipe: BentPipeModel | None = None
+    client_location: GeoPoint | None = None
+    timeline: ServingTimeline | None = None
+
+    @classmethod
+    def starlink(
+        cls,
+        bentpipe: BentPipeModel,
+        server_location: GeoPoint,
+        config: AccessConfig | None = None,
+        timeline=None,
+    ) -> Scenario:
+        """Starlink bent-pipe scenario.  ``timeline`` optionally attaches
+        a precomputed serving timeline to the bent pipe up front."""
+        scenario = cls(
+            technology=AccessTechnology.STARLINK,
+            server_location=server_location,
+            config=config if config is not None else AccessConfig(),
+            bentpipe=bentpipe,
+        )
+        if timeline is not None:
+            bentpipe.attach_timeline(timeline)
+            scenario.timeline = timeline
+        return scenario
+
+    @classmethod
+    def broadband(
+        cls,
+        client_location: GeoPoint,
+        server_location: GeoPoint,
+        config: AccessConfig | None = None,
+    ) -> Scenario:
+        """Fixed broadband over Wi-Fi (the paper's university connection)."""
+        return cls(
+            technology=AccessTechnology.BROADBAND,
+            server_location=server_location,
+            config=config if config is not None else AccessConfig(),
+            client_location=client_location,
+        )
+
+    @classmethod
+    def cellular(
+        cls,
+        client_location: GeoPoint,
+        server_location: GeoPoint,
+        config: AccessConfig | None = None,
+    ) -> Scenario:
+        """Cellular access: RAN + packet core before the exchange."""
+        return cls(
+            technology=AccessTechnology.CELLULAR,
+            server_location=server_location,
+            config=config if config is not None else AccessConfig(),
+            client_location=client_location,
+        )
+
+    @classmethod
+    def geo(
+        cls,
+        client_location: GeoPoint,
+        server_location: GeoPoint,
+        config: AccessConfig | None = None,
+    ) -> Scenario:
+        """Legacy GEO satellite access (HughesNet/ViaSat class)."""
+        return cls(
+            technology=AccessTechnology.GEO_SATELLITE,
+            server_location=server_location,
+            config=config if config is not None else AccessConfig(),
+            client_location=client_location,
+        )
+
+    def precompute(self, duration_s: float, start_s: float | None = None):
+        """Precompute (or reuse) a serving timeline for the simulated
+        window ``[start_s, start_s + duration_s)``.
+
+        ``start_s`` defaults to the config's ``time_offset_s`` — the
+        campaign time at simulation t=0, which is where the built
+        path's per-packet geometry queries land.  Reuses the bent
+        pipe's attached timeline when it already covers the window.
+        Only meaningful for Starlink scenarios (no-op otherwise).
+        """
+        if self.technology is not AccessTechnology.STARLINK:
+            return None
+        if start_s is None:
+            start_s = self.config.time_offset_s
+        self.timeline = self.bentpipe.ensure_timeline(
+            start_s, start_s + duration_s
+        )
+        return self.timeline
+
+    def build(self) -> AccessPath:
+        """Assemble the network for this scenario and return the path."""
+        if self.technology is AccessTechnology.STARLINK:
+            if self.bentpipe is None:
+                raise ConfigurationError("Starlink scenario needs a bentpipe")
+            if self.timeline is not None:
+                self.bentpipe.attach_timeline(self.timeline)
+            return _build_starlink_path(
+                self.bentpipe, self.server_location, self.config
+            )
+        if self.client_location is None:
+            raise ConfigurationError(
+                f"{self.technology.value} scenario needs a client_location"
+            )
+        builder = {
+            AccessTechnology.BROADBAND: _build_broadband_path,
+            AccessTechnology.CELLULAR: _build_cellular_path,
+            AccessTechnology.GEO_SATELLITE: _build_geo_path,
+        }[self.technology]
+        return builder(self.client_location, self.server_location, self.config)
 
 
 def _jitter_sampler(rng: np.random.Generator, mean_s: float):
@@ -121,18 +316,99 @@ def _add_transit_chain(
     return [ixp, transit_a, transit_b, server]
 
 
+# -- legacy flat-kwarg shim ------------------------------------------------
+
+_LEGACY_STARLINK_FIELDS = (
+    "dl_rate_bps",
+    "ul_rate_bps",
+    "loss_dl",
+    "loss_ul",
+    "time_offset_s",
+    "stochastic_wireless_queueing",
+    "queue_packets",
+    "seed",
+    "transit_queue_mean_s",
+)
+_LEGACY_BROADBAND_FIELDS = (
+    "dl_rate_bps",
+    "ul_rate_bps",
+    "wifi_delay_s",
+    "seed",
+    "transit_queue_mean_s",
+)
+_LEGACY_CELLULAR_FIELDS = (
+    "dl_rate_bps",
+    "ul_rate_bps",
+    "ran_delay_s",
+    "seed",
+)
+_LEGACY_GEO_FIELDS = ("dl_rate_bps", "ul_rate_bps", "seed")
+
+
+def _resolve_config(
+    builder: str,
+    fields: tuple[str, ...],
+    config,
+    legacy_args: tuple,
+    legacy_kwargs: dict,
+) -> AccessConfig:
+    """Fold a builder's legacy flat arguments into an AccessConfig.
+
+    ``fields`` is the builder's historical positional order, so old
+    positional calls keep their meaning.  Every legacy use emits one
+    :class:`DeprecationWarning` per call site (the standard warning
+    registry dedupes repeats); mixing a config with legacy arguments is
+    an error rather than a silent merge.
+    """
+    if config is not None and not isinstance(config, AccessConfig):
+        # Legacy positional call: the old first tunable (dl_rate_bps)
+        # landed in the config slot.
+        legacy_args = (config,) + legacy_args
+        config = None
+    if not legacy_args and not legacy_kwargs:
+        return config if config is not None else AccessConfig()
+    if config is not None:
+        raise ConfigurationError(
+            f"{builder}() takes an AccessConfig or legacy keyword "
+            "arguments, not both"
+        )
+    if len(legacy_args) > len(fields):
+        raise TypeError(
+            f"{builder}() takes at most {len(fields)} positional tunables "
+            f"({len(legacy_args)} given); pass an AccessConfig instead"
+        )
+    legacy = dict(zip(fields, legacy_args))
+    unknown = sorted(set(legacy_kwargs) - set(fields))
+    if unknown:
+        raise TypeError(
+            f"{builder}() got unexpected keyword argument(s) {unknown}"
+        )
+    duplicated = sorted(set(legacy) & set(legacy_kwargs))
+    if duplicated:
+        raise TypeError(
+            f"{builder}() got multiple values for argument(s) {duplicated}"
+        )
+    legacy.update(legacy_kwargs)
+    warnings.warn(
+        f"passing {sorted(legacy)} directly to {builder}() is deprecated; "
+        "build an AccessConfig with the same field names and pass that "
+        "(see repro.starlink.access.AccessConfig / Scenario)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return AccessConfig(**legacy)
+
+
+# -- Starlink ---------------------------------------------------------------
+
+
 def build_starlink_path(
     bentpipe: BentPipeModel,
     server_location: GeoPoint,
-    dl_rate_bps: float | None = None,
-    ul_rate_bps: float | None = None,
-    loss_dl: LossModel | None = None,
-    loss_ul: LossModel | None = None,
-    time_offset_s: float = 0.0,
-    stochastic_wireless_queueing: bool = True,
-    queue_packets: int = 256,
-    seed: int = 0,
-    transit_queue_mean_s: float | None = None,
+    config: AccessConfig | None = None,
+    *legacy_args,
+    timeline=None,
+    **legacy_kwargs,
 ) -> AccessPath:
     """Build client -> dish -> (bent pipe) -> PoP -> ... -> server.
 
@@ -140,32 +416,48 @@ def build_starlink_path(
         bentpipe: The terminal's bent-pipe model (defines geometry,
             weather and capacity).
         server_location: Where the measurement server lives.
-        dl_rate_bps / ul_rate_bps: Bent-pipe rates; default to the
-            capacity model's (noise-free) rates at ``time_offset_s``.
-        loss_dl / loss_ul: Loss models for the two bent-pipe directions
-            (e.g. a handover burst model).
-        time_offset_s: Campaign time corresponding to simulation t=0.
-        stochastic_wireless_queueing: Inject load-coupled queueing
-            jitter on the bent pipe.  Enable for traceroute-style
-            experiments; disable for TCP dynamics (a FIFO does not
-            reorder, but a stochastic per-packet delay would).
-        queue_packets: Drop-tail queue size on the bent pipe, packets.
+        config: The path's :class:`AccessConfig`.  Legacy flat keyword
+            arguments (``time_offset_s=...``, ``seed=...``, ...) are
+            still accepted, map 1:1 onto the config fields, and emit a
+            :class:`DeprecationWarning`.
+        timeline: Optional precomputed
+            :class:`repro.starlink.timeline.ServingTimeline`, attached
+            to the bent pipe before any geometry query so the build and
+            all per-packet lookups hit the O(1) fast path.
     """
+    config = _resolve_config(
+        "build_starlink_path",
+        _LEGACY_STARLINK_FIELDS,
+        config,
+        legacy_args,
+        legacy_kwargs,
+    )
+    if timeline is not None:
+        bentpipe.attach_timeline(timeline)
+    return _build_starlink_path(bentpipe, server_location, config)
+
+
+def _build_starlink_path(
+    bentpipe: BentPipeModel, server_location: GeoPoint, config: AccessConfig
+) -> AccessPath:
     network = Network()
-    rng = stream(seed, "access", "starlink", bentpipe.city_name)
+    rng = stream(config.seed, "access", "starlink", bentpipe.city_name)
     client, dish, pop = "client", "dish", "starlink-pop"
     network.add_node(client)
     network.add_node(dish, processing_delay_s=0.0005)
     network.add_node(pop, processing_delay_s=0.0005)
     network.connect(client, dish, rate_bps=1e9, delay=0.0005)
 
+    time_offset_s = config.time_offset_s
+    dl_rate_bps = config.dl_rate_bps
+    ul_rate_bps = config.ul_rate_bps
     if dl_rate_bps is None:
         dl_rate_bps = bentpipe.capacity_bps(time_offset_s, downlink=True, noisy=False)
     if ul_rate_bps is None:
         ul_rate_bps = bentpipe.capacity_bps(time_offset_s, downlink=False, noisy=False)
     extra = (
         bentpipe.wireless_extra_delay_provider(time_offset_s)
-        if stochastic_wireless_queueing
+        if config.stochastic_wireless_queueing
         else None
     )
     delay = bentpipe.link_delay_provider(time_offset_s)
@@ -175,8 +467,8 @@ def build_starlink_path(
         network.node(pop),
         rate_bps=ul_rate_bps,
         delay=delay,
-        queue=DropTailQueue(queue_packets * 1500),
-        loss=loss_ul,
+        queue=DropTailQueue(config.queue_packets * 1500),
+        loss=config.loss_ul,
         extra_delay=extra,
     )
     downlink = Link(
@@ -185,8 +477,8 @@ def build_starlink_path(
         network.node(dish),
         rate_bps=dl_rate_bps,
         delay=delay,
-        queue=DropTailQueue(queue_packets * 1500),
-        loss=loss_dl,
+        queue=DropTailQueue(config.queue_packets * 1500),
+        loss=config.loss_dl,
         extra_delay=extra,
     )
     network.node(dish).attach_link(uplink)
@@ -201,8 +493,8 @@ def build_starlink_path(
         server_location,
         rng,
         transit_queue_mean_s=(
-            transit_queue_mean_s
-            if transit_queue_mean_s is not None
+            config.transit_queue_mean_s
+            if config.transit_queue_mean_s is not None
             else plan.transit_queue_mean_ms / 1000.0 / 3.0
         ),
     )
@@ -221,18 +513,48 @@ def build_starlink_path(
     return path
 
 
+# -- broadband --------------------------------------------------------------
+
+
 def build_broadband_path(
     client_location: GeoPoint,
     server_location: GeoPoint,
-    dl_rate_bps: float = mbps_to_bps(70.0),
-    ul_rate_bps: float = mbps_to_bps(20.0),
-    wifi_delay_s: float = 0.002,
-    seed: int = 0,
-    transit_queue_mean_s: float = 0.0006,
+    config: AccessConfig | None = None,
+    *legacy_args,
+    **legacy_kwargs,
 ) -> AccessPath:
-    """Fixed broadband over Wi-Fi (the paper's university connection)."""
+    """Fixed broadband over Wi-Fi (the paper's university connection).
+
+    Rates default to the 70/20 Mbps consumer plan; pass an
+    :class:`AccessConfig` to override (legacy flat keywords still work
+    and emit a :class:`DeprecationWarning`).
+    """
+    config = _resolve_config(
+        "build_broadband_path",
+        _LEGACY_BROADBAND_FIELDS,
+        config,
+        legacy_args,
+        legacy_kwargs,
+    )
+    return _build_broadband_path(client_location, server_location, config)
+
+
+def _build_broadband_path(
+    client_location: GeoPoint, server_location: GeoPoint, config: AccessConfig
+) -> AccessPath:
+    dl_rate_bps = (
+        config.dl_rate_bps if config.dl_rate_bps is not None else mbps_to_bps(70.0)
+    )
+    ul_rate_bps = (
+        config.ul_rate_bps if config.ul_rate_bps is not None else mbps_to_bps(20.0)
+    )
+    transit_queue_mean_s = (
+        config.transit_queue_mean_s
+        if config.transit_queue_mean_s is not None
+        else 0.0006
+    )
     network = Network()
-    rng = stream(seed, "access", "broadband")
+    rng = stream(config.seed, "access", "broadband")
     client, wifi_router, isp_edge = "client", "wifi-router", "isp-edge"
     network.add_node(client)
     network.add_node(wifi_router, processing_delay_s=0.0003)
@@ -241,7 +563,7 @@ def build_broadband_path(
         client,
         wifi_router,
         rate_bps=300e6,
-        delay=wifi_delay_s,
+        delay=config.wifi_delay_s,
         extra_delay=_jitter_sampler(rng, 0.0002),
     )
     # Forward direction (wifi_router -> isp_edge) carries uploads; the
@@ -252,8 +574,8 @@ def build_broadband_path(
         rate_bps=ul_rate_bps,
         delay=0.0025,
         rate_bps_reverse=dl_rate_bps,
-        queue=DropTailQueue(256 * 1500),
-        queue_reverse=DropTailQueue(256 * 1500),
+        queue=DropTailQueue(config.queue_packets * 1500),
+        queue_reverse=DropTailQueue(config.queue_packets * 1500),
         extra_delay=_jitter_sampler(rng, 0.0004),
     )
     hops = _add_transit_chain(
@@ -276,23 +598,44 @@ def build_broadband_path(
     return path
 
 
+# -- cellular ---------------------------------------------------------------
+
+
 def build_cellular_path(
     client_location: GeoPoint,
     server_location: GeoPoint,
-    dl_rate_bps: float = mbps_to_bps(45.0),
-    ul_rate_bps: float = mbps_to_bps(12.0),
-    ran_delay_s: float = 0.023,
-    seed: int = 0,
+    config: AccessConfig | None = None,
+    *legacy_args,
+    **legacy_kwargs,
 ) -> AccessPath:
     """Cellular access: RAN + packet core (CGNAT) before the exchange.
 
     The radio segment carries both a high base delay and heavy jitter
     (scheduling grants, HARQ), which is why the paper's Figure 5 shows
     cellular per-hop RTTs well above both Starlink and broadband from
-    the very first hop.
+    the very first hop.  Rates default to a 45/12 Mbps plan.
     """
+    config = _resolve_config(
+        "build_cellular_path",
+        _LEGACY_CELLULAR_FIELDS,
+        config,
+        legacy_args,
+        legacy_kwargs,
+    )
+    return _build_cellular_path(client_location, server_location, config)
+
+
+def _build_cellular_path(
+    client_location: GeoPoint, server_location: GeoPoint, config: AccessConfig
+) -> AccessPath:
+    dl_rate_bps = (
+        config.dl_rate_bps if config.dl_rate_bps is not None else mbps_to_bps(45.0)
+    )
+    ul_rate_bps = (
+        config.ul_rate_bps if config.ul_rate_bps is not None else mbps_to_bps(12.0)
+    )
     network = Network()
-    rng = stream(seed, "access", "cellular")
+    rng = stream(config.seed, "access", "cellular")
     client, basestation, core = "client", "enodeb", "packet-core"
     network.add_node(client)
     network.add_node(basestation, processing_delay_s=0.001)
@@ -303,10 +646,10 @@ def build_cellular_path(
         client,
         basestation,
         rate_bps=ul_rate_bps,
-        delay=ran_delay_s,
+        delay=config.ran_delay_s,
         rate_bps_reverse=dl_rate_bps,
-        queue=DropTailQueue(256 * 1500),
-        queue_reverse=DropTailQueue(256 * 1500),
+        queue=DropTailQueue(config.queue_packets * 1500),
+        queue_reverse=DropTailQueue(config.queue_packets * 1500),
         extra_delay=_jitter_sampler(rng, 0.010),
     )
     network.connect(
@@ -330,6 +673,9 @@ def build_cellular_path(
     return path
 
 
+# -- GEO --------------------------------------------------------------------
+
+
 GEO_ALTITUDE_M = 35_786_000.0
 """Geostationary orbit altitude — the 35,000 km the paper's introduction
 contrasts with Starlink's 550 km."""
@@ -338,21 +684,40 @@ contrasts with Starlink's 550 km."""
 def build_geo_path(
     client_location: GeoPoint,
     server_location: GeoPoint,
-    dl_rate_bps: float = mbps_to_bps(25.0),
-    ul_rate_bps: float = mbps_to_bps(3.0),
-    seed: int = 0,
+    config: AccessConfig | None = None,
+    *legacy_args,
+    **legacy_kwargs,
 ) -> AccessPath:
     """Legacy GEO satellite access (HughesNet/ViaSat class).
 
     The baseline the paper's introduction motivates against: a
     geostationary bent pipe spans ~2x 35,786 km before touching ground,
     giving an irreducible ~480 ms of propagation RTT regardless of how
-    close the content is.  Rates reflect typical 2022 consumer GEO
-    plans.  Used by the ``extension_geo`` experiment to quantify the
-    LEO-vs-GEO claim.
+    close the content is.  Rates default to typical 2022 consumer GEO
+    plans (25/3 Mbps).  Used by the ``extension_geo`` experiment to
+    quantify the LEO-vs-GEO claim.
     """
+    config = _resolve_config(
+        "build_geo_path",
+        _LEGACY_GEO_FIELDS,
+        config,
+        legacy_args,
+        legacy_kwargs,
+    )
+    return _build_geo_path(client_location, server_location, config)
+
+
+def _build_geo_path(
+    client_location: GeoPoint, server_location: GeoPoint, config: AccessConfig
+) -> AccessPath:
+    dl_rate_bps = (
+        config.dl_rate_bps if config.dl_rate_bps is not None else mbps_to_bps(25.0)
+    )
+    ul_rate_bps = (
+        config.ul_rate_bps if config.ul_rate_bps is not None else mbps_to_bps(3.0)
+    )
     network = Network()
-    rng = stream(seed, "access", "geo")
+    rng = stream(config.seed, "access", "geo")
     client, terminal, teleport = "client", "geo-terminal", "geo-teleport"
     network.add_node(client)
     network.add_node(terminal, processing_delay_s=0.001)
@@ -368,8 +733,8 @@ def build_geo_path(
         rate_bps=ul_rate_bps,
         delay=one_way,
         rate_bps_reverse=dl_rate_bps,
-        queue=DropTailQueue(256 * 1500),
-        queue_reverse=DropTailQueue(256 * 1500),
+        queue=DropTailQueue(config.queue_packets * 1500),
+        queue_reverse=DropTailQueue(config.queue_packets * 1500),
         extra_delay=_jitter_sampler(rng, 0.004),
     )
     hops = _add_transit_chain(

@@ -106,6 +106,10 @@ class ServingGeometryCache:
         self.misses += 1
         return _CACHE_MISS
 
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
     def put(self, epoch: int, geometry: ServingGeometry | None) -> None:
         """Store an epoch's geometry, evicting the LRU entry if full."""
         self._entries[epoch] = geometry
@@ -209,6 +213,18 @@ class BentPipeModel:
         )
         self.timeline = timeline
         return timeline
+
+    def ensure_timeline(self, start_s: float, end_s: float):
+        """Timeline covering ``[start_s, end_s)``, reusing the attached
+        one when it already spans every scheduler epoch of the window
+        (the packet-level builders call this so repeated scenarios over
+        the same window share one precompute)."""
+        interval = STARLINK_RESCHEDULE_INTERVAL_S
+        first = int(math.floor(start_s / interval))
+        last = max(int(math.ceil(end_s / interval)), first + 1) - 1
+        if self.timeline is not None and self.timeline.covers_range(first, last):
+            return self.timeline
+        return self.build_timeline(start_s, end_s)
 
     def serving_geometry(self, t_s: float) -> ServingGeometry | None:
         """Geometry via the serving satellite at ``t_s`` (None = outage).

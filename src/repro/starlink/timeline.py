@@ -49,6 +49,7 @@ from repro.errors import ConfigurationError
 from repro.geo.coordinates import GeoPoint
 from repro.orbits.constellation import WalkerShell
 from repro.orbits.propagator import gmst_rad
+from repro.orbits.visibility import max_visible_central_angle_rad
 from repro.starlink.bentpipe import _CACHE_MISS, ServingGeometry
 
 DEFAULT_CHUNK_EPOCHS = 256
@@ -116,6 +117,16 @@ class ServingTimeline:
             return 0 <= epoch - self._first < len(self.epochs)
         return self._positions is not None and epoch in self._positions
 
+    def covers_range(self, first: int, last: int) -> bool:
+        """Whether every epoch of ``[first, last]`` (inclusive) has an
+        entry — the check ``BentPipeModel.ensure_timeline`` uses to
+        decide whether an attached timeline can serve a new window."""
+        if last < first:
+            return False
+        if self._contiguous:
+            return self.covers(first) and self.covers(last)
+        return all(self.covers(epoch) for epoch in range(first, last + 1))
+
     def lookup(self, epoch: int):
         """Geometry at ``epoch``: a :class:`ServingGeometry`, ``None``
         (a computed outage), or the cache-miss sentinel when the epoch
@@ -151,19 +162,24 @@ def _candidate_arcs(
 
     A satellite at shell radius R is visible above elevation ``el``
     only if the central angle to the observer is at most
-    ``acos((r/R) cos el) - el`` (spherical Earth), hence only if its
-    latitude ``asin(sin i sin u)`` lies within that bound of the
-    observer's latitude.  Returns arcs as ``(start_rad, length_rad)``
-    over ``u mod 2pi``; a 0.5-degree margin plus the one-epoch slack
-    applied by the interval generator keeps the bound sound, so no
-    true candidate is ever excluded.  Masks below 0 disable the filter
-    (the bound derivation assumes a non-negative mask).
+    ``acos((r/R) cos el) - el`` (spherical Earth; see
+    :func:`repro.orbits.visibility.max_visible_central_angle_rad`),
+    hence only if its latitude ``asin(sin i sin u)`` lies within that
+    bound of the observer's latitude.  Returns arcs as ``(start_rad,
+    length_rad)`` over ``u mod 2pi``; a 0.5-degree margin plus the
+    one-epoch slack applied by the interval generator keeps the bound
+    sound, so no true candidate is ever excluded.  The bound holds for
+    negative (obstruction-sweep) masks too — elevation is strictly
+    decreasing in central angle — so masked terminals also get pruned
+    arcs; only masks at or below -90 degrees (nothing excluded)
+    degenerate to the full circle, as do bands wide enough to clip
+    both latitude extremes.
     """
-    if min_elevation_deg < 0.0:
+    if min_elevation_deg <= -90.0:
         return [(0.0, _TWO_PI)]
     r = EARTH_RADIUS_M + min(0.0, observer.altitude_m)
     el = math.radians(min_elevation_deg)
-    gamma = math.acos((r / shell._radius_m) * math.cos(el)) - el
+    gamma = max_visible_central_angle_rad(r, shell._radius_m, el)
     half_deg = math.degrees(gamma) + 0.5
     lat = observer.latitude_deg
     lo = math.sin(math.radians(max(-90.0, lat - half_deg)))

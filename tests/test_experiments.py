@@ -188,3 +188,33 @@ def test_figure2_setup_instantiated():
     validate_or_raise(result)
     assert result.metrics["n_nodes"] == 3
     assert len(result.rows) == 3
+
+
+def test_every_runner_has_uniform_signature():
+    import inspect
+
+    from repro.experiments.base import REQUIRED_RUN_PARAMS
+
+    for experiment_id, runner in EXPERIMENTS.items():
+        params = inspect.signature(runner).parameters
+        for name in REQUIRED_RUN_PARAMS:
+            assert name in params, f"{experiment_id} is missing {name!r}"
+
+
+def test_register_rejects_nonuniform_runner():
+    from repro.experiments.base import register
+
+    with pytest.raises(ConfigurationError, match="uniform"):
+        @register("bogus_experiment")
+        def run(seed=0, scale=1.0):  # no n_workers
+            raise AssertionError("never runs")
+    assert "bogus_experiment" not in EXPERIMENTS
+
+
+def test_register_rejects_duplicate_id():
+    from repro.experiments.base import register
+
+    with pytest.raises(ConfigurationError, match="twice"):
+        @register("table1")
+        def run(seed=0, scale=1.0, n_workers=1):
+            raise AssertionError("never runs")

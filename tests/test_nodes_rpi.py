@@ -84,3 +84,42 @@ def test_iperf_download_works(node):
 def test_dishy_status_from_node(node):
     status = node.dishy_status(5000.0)
     assert status.serving_satellite is not None
+
+
+def test_precompute_geometry_shared_across_nodes(shell):
+    from repro.nodes.rpi import _timeline_cache
+
+    _timeline_cache.clear()
+    times = np.arange(0.0, 1800.0, 300.0)
+    first = MeasurementNode("wiltshire", shell=shell, seed=1)
+    second = MeasurementNode("wiltshire", shell=shell, seed=1)
+    timeline = first.precompute_geometry(times, horizon_s=30.0)
+    assert second.precompute_geometry(times, horizon_s=30.0) is timeline
+    assert second.bentpipe.timeline is timeline
+    # A different schedule is a different cache entry, not a false hit.
+    other = first.precompute_geometry(times + 3600.0, horizon_s=30.0)
+    assert other is not timeline
+
+
+def test_precompute_geometry_adopts_covering_campaign_timeline(shell):
+    node = MeasurementNode("wiltshire", shell=shell, seed=2)
+    supplied = node.bentpipe.build_timeline(0.0, 3600.0)
+    adopted = node.precompute_geometry([600.0, 1200.0], timeline=supplied)
+    assert adopted is supplied
+    assert node.bentpipe.timeline is supplied
+    # A timeline that misses scheduled epochs is ignored, not adopted.
+    recomputed = node.precompute_geometry([7200.0], timeline=supplied)
+    assert recomputed is not supplied
+
+
+def test_precompute_geometry_matches_on_demand_scan(shell):
+    from repro.constants import STARLINK_RESCHEDULE_INTERVAL_S
+
+    node = MeasurementNode("wiltshire", shell=shell, seed=3)
+    times = np.arange(0.0, 900.0, 150.0)
+    node.precompute_geometry(times, horizon_s=15.0)
+    fresh = MeasurementNode("wiltshire", shell=shell, seed=3)
+    for t in times:
+        epoch = int(t // STARLINK_RESCHEDULE_INTERVAL_S)
+        t_epoch = epoch * STARLINK_RESCHEDULE_INTERVAL_S
+        assert node.bentpipe.serving_geometry(t_epoch) == fresh.bentpipe.serving_geometry(t_epoch)

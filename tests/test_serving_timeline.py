@@ -178,3 +178,53 @@ def test_campaign_precompute_counts_timeline_hits():
     stats = campaign.last_run_stats
     assert stats is not None
     assert sum(shard.timeline_hits for shard in stats.shards) > 0
+
+
+def test_negative_mask_candidate_arcs_are_pruned():
+    """Masked/negative-elevation terminals get interval-pruned arcs,
+    not the dense full-circle fallback."""
+    from repro.starlink.timeline import _TWO_PI, _candidate_arcs, _candidate_pairs
+
+    observer = city("london").location
+    shell = starlink_shell1(n_planes=24, sats_per_plane=12)
+    arcs = _candidate_arcs(observer, shell, -5.0)
+    assert sum(hi - lo for lo, hi in arcs) < _TWO_PI
+    epochs = np.arange(0, 240, dtype=np.int64)
+    rows, _ = _candidate_pairs(shell, observer, epochs, -5.0)
+    assert len(rows) < len(epochs) * len(shell.satellites)
+
+
+def test_negative_mask_timeline_matches_scan():
+    mask = ObstructionMask.generate(seed=2, severity="bad")
+    model = _model(obstruction=mask)
+    model.min_elevation_deg = -5.0
+    timeline = _timeline_for(model, start_s=0.0, end_s=3600.0)
+    _assert_matches_scan(model, timeline)
+
+
+def test_hemispheric_mask_degenerates_to_full_circle():
+    from repro.starlink.timeline import _TWO_PI, _candidate_arcs
+
+    shell = starlink_shell1(n_planes=24, sats_per_plane=12)
+    arcs = _candidate_arcs(city("london").location, shell, -90.0)
+    assert arcs == [(0.0, _TWO_PI)]
+
+
+def test_covers_range_contiguous_and_sparse():
+    model = _model()
+    contiguous = _timeline_for(model, start_s=0.0, end_s=600.0)  # epochs 0..39
+    assert contiguous.covers_range(0, 39)
+    assert not contiguous.covers_range(0, 40)
+    assert not contiguous.covers_range(5, 2)
+    sparse = _timeline_for(model, epochs=np.array([2, 4, 8], dtype=np.int64))
+    assert sparse.covers_range(4, 4)
+    assert not sparse.covers_range(2, 4)  # 3 missing
+
+
+def test_ensure_timeline_reuses_covering_window():
+    model = _model()
+    first = model.ensure_timeline(0.0, 900.0)
+    assert model.ensure_timeline(0.0, 450.0) is first
+    wider = model.ensure_timeline(0.0, 1800.0)
+    assert wider is not first
+    assert model.ensure_timeline(0.0, 1800.0) is wider
