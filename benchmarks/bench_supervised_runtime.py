@@ -1,0 +1,98 @@
+"""Supervision overhead: the fault-free supervised runtime vs a bare pool.
+
+The supervising dispatcher (DESIGN.md §8) buys crash/hang recovery,
+retries and checkpointing — but on the happy path it must cost nearly
+nothing.  This benchmark runs the same shard plan once under a bare
+``multiprocessing.Pool.map`` (the pre-supervision engine) and once
+under ``supervise_shards``, asserts the merged datasets are
+bit-identical, and asserts the supervised wall time stays within 5% of
+the bare pool (plus a small absolute slack so sub-second campaigns
+don't fail on scheduler jitter).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.extension.campaign import CampaignConfig, ExtensionCampaign
+from repro.runtime import merge_shard_results, plan_shards, supervise_shards
+from repro.runtime.shard import _run_shard_task
+from repro.runtime.supervision import SupervisorPolicy
+
+#: Large enough that per-shard work dwarfs process startup, small
+#: enough for CI: ~13 days x 3 cities at 40% request volume.
+SCALED = dict(
+    seed=0,
+    duration_s=13 * 86_400.0,
+    request_fraction=0.4,
+    cities=("london", "seattle", "sydney"),
+)
+
+N_WORKERS = 4
+MAX_RELATIVE_OVERHEAD = 0.05
+#: Absolute slack (s): process wakeup jitter alone can exceed 5% of a
+#: short run, which would make the ratio assertion flaky, not meaningful.
+ABSOLUTE_SLACK_S = 0.75
+
+
+def _tasks():
+    campaign = ExtensionCampaign(CampaignConfig(**SCALED))
+    users = campaign.population.users
+    shards = plan_shards(
+        [max(user.pages_per_day, 0.01) for user in users], N_WORKERS
+    )
+    return [
+        (campaign.config, shard_id, indices, None)
+        for shard_id, indices in enumerate(shards)
+        if indices
+    ]
+
+
+def _bare_pool(tasks):
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=min(N_WORKERS, len(tasks))) as pool:
+        return pool.map(_run_shard_task, tasks)
+
+
+def _supervised(tasks):
+    results, failures = supervise_shards(
+        tasks, min(N_WORKERS, len(tasks)), policy=SupervisorPolicy()
+    )
+    assert failures == []
+    return results
+
+
+def test_supervision_overhead_within_5pct(benchmark):
+    tasks = _tasks()
+    expected = {i for _, _, indices, _ in tasks for i in indices}
+
+    started = time.perf_counter()
+    bare_results = _bare_pool(tasks)
+    bare_s = time.perf_counter() - started
+
+    def supervised():
+        started = time.perf_counter()
+        results = _supervised(tasks)
+        return results, time.perf_counter() - started
+
+    supervised_results, supervised_s = benchmark.pedantic(
+        supervised, rounds=1, iterations=1
+    )
+
+    bare = merge_shard_results(bare_results, expected_indices=expected)
+    sup = merge_shard_results(supervised_results, expected_indices=expected)
+    assert sup.page_loads == bare.page_loads
+    assert sup.speedtests == bare.speedtests
+
+    overhead = supervised_s - bare_s
+    budget = bare_s * MAX_RELATIVE_OVERHEAD + ABSOLUTE_SLACK_S
+    print(
+        f"\nbare pool {bare_s:.2f}s, supervised {supervised_s:.2f}s, "
+        f"overhead {overhead:+.2f}s (budget {budget:.2f}s)"
+    )
+    assert overhead <= budget, (
+        f"supervision overhead {overhead:.2f}s exceeds "
+        f"{MAX_RELATIVE_OVERHEAD:.0%} + {ABSOLUTE_SLACK_S}s slack "
+        f"of the bare pool's {bare_s:.2f}s"
+    )

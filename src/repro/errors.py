@@ -41,5 +41,27 @@ class DatasetError(ReproError):
     """A measurement dataset is missing required fields or records."""
 
 
+class SupervisionError(ReproError):
+    """The supervised campaign runtime reached an unrecoverable state."""
+
+
+class ShardFailedError(SupervisionError):
+    """A shard exhausted its retry budget (and no fallback was allowed).
+
+    Attributes:
+        failures: The :class:`repro.runtime.supervision.ShardFailure`
+            log of every attempt the supervisor made, across all
+            shards, up to the point the campaign was abandoned.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint directory is unusable or inconsistent."""
+
+
 class VisibilityError(ReproError):
     """No satellite is visible when one is required (coverage gap)."""

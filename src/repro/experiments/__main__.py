@@ -34,6 +34,34 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="worker processes for campaign experiments (same output as serial)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="spill completed campaign shards here (enables --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="adopt surviving checkpointed shards from --checkpoint-dir "
+        "instead of re-running them (bit-identical dataset)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        help="supervisor re-attempts per failed campaign shard (default 2)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="kill and retry campaign shards exceeding this wall-clock budget",
+    )
+    parser.add_argument(
+        "--mp-start",
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for campaign workers",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--dump-series",
@@ -46,6 +74,7 @@ def main(argv: list[str] | None = None) -> int:
         help="evaluate the paper's shape checks and exit non-zero on failure",
     )
     args = parser.parse_args(argv)
+    apply_runtime_env(args)
 
     if args.list or args.experiment is None:
         for experiment_id in EXPERIMENTS:
@@ -75,6 +104,29 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{experiment_id} in {time.time() - started:.1f}s]")
         print()
     return 1 if any_failed else 0
+
+
+def apply_runtime_env(args) -> None:
+    """Thread supervision/checkpoint flags to the campaign runtime.
+
+    Experiments build their own ``CampaignConfig`` behind the uniform
+    ``run(seed, scale, n_workers)`` signature, so the CLI hands these
+    knobs over via the ``REPRO_*`` environment variables the runtime
+    falls back to (see ``SupervisorPolicy.from_config`` and
+    ``CheckpointStore.from_config``).
+    """
+    import os
+
+    if getattr(args, "checkpoint_dir", None):
+        os.environ["REPRO_CHECKPOINT_DIR"] = args.checkpoint_dir
+    if getattr(args, "resume", False):
+        os.environ["REPRO_RESUME"] = "1"
+    if getattr(args, "max_retries", None) is not None:
+        os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
+    if getattr(args, "shard_timeout", None) is not None:
+        os.environ["REPRO_SHARD_TIMEOUT_S"] = str(args.shard_timeout)
+    if getattr(args, "mp_start", None):
+        os.environ["REPRO_MP_START"] = args.mp_start
 
 
 def dump_series(result, directory: str) -> list[str]:

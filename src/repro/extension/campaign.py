@@ -82,6 +82,28 @@ class CampaignConfig:
             :data:`TIMELINE_AUTO_EPOCH_CAP`.  Timelines are
             bit-identical to the on-demand scan path, so this knob
             never changes the dataset — only how fast it is produced.
+        mp_start_method: Explicit multiprocessing start method
+            (``fork``/``spawn``/``forkserver``) for sharded runs; None
+            falls back to ``REPRO_MP_START`` then the platform's
+            cheapest (see :func:`repro.runtime.pool.resolve_start_method`).
+        shard_timeout_s: Per-shard-attempt wall-clock budget for the
+            supervisor; hung workers are killed and the shard retried.
+            None (default): no timeout unless ``REPRO_SHARD_TIMEOUT_S``
+            is set.
+        max_shard_retries: Re-attempts per shard after its first
+            failure before the supervisor degrades to an in-process
+            run; None falls back to ``REPRO_MAX_RETRIES`` then 2.
+        retry_backoff_s: Base delay of the supervisor's exponential
+            retry backoff; None means the default (0.05 s).
+        checkpoint_dir: Spill directory for completed shards (resume
+            support); None falls back to ``REPRO_CHECKPOINT_DIR``
+            (unset = no checkpointing).
+        resume: Adopt surviving checkpointed shards (validated against
+            the config fingerprint and the planned partition) instead
+            of re-running them.  ``REPRO_RESUME=1`` is the CLI's side
+            channel.  None of the supervision/checkpoint knobs ever
+            change the dataset — recovery is bit-identical by the
+            determinism contract.
     """
 
     seed: int = 0
@@ -93,11 +115,33 @@ class CampaignConfig:
     speedtest_boost: float = 1.0
     n_workers: int = 1
     precompute_timelines: bool | None = None
+    mp_start_method: str | None = None
+    shard_timeout_s: float | None = None
+    max_shard_retries: int | None = None
+    retry_backoff_s: float | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.mp_start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ConfigurationError(
+                f"unknown mp_start_method {self.mp_start_method!r}"
+            )
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ConfigurationError(
+                f"shard_timeout_s must be positive, got {self.shard_timeout_s}"
+            )
+        if self.max_shard_retries is not None and self.max_shard_retries < 0:
+            raise ConfigurationError(
+                f"max_shard_retries must be >= 0, got {self.max_shard_retries}"
+            )
+        if self.retry_backoff_s is not None and self.retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
             )
 
 

@@ -1,37 +1,79 @@
-"""Deterministic parallel execution runtime.
+"""Deterministic, fault-tolerant parallel execution runtime.
 
 Scales the extension campaign past a single core without giving up
-reproducibility:
+reproducibility — and keeps it running when workers don't:
 
 * :mod:`repro.runtime.shard` — shard planning (balanced, deterministic)
   and per-shard execution with timing/throughput counters.
-* :mod:`repro.runtime.pool` — the ``multiprocessing`` worker-pool
-  engine.
+* :mod:`repro.runtime.supervision` — the supervising dispatcher:
+  per-shard timeouts, crash detection, bounded-backoff retries,
+  in-process graceful degradation, and a structured failure log.
+* :mod:`repro.runtime.faults` — deterministic seeded fault injection
+  (crash/hang/slow/corrupt per shard attempt) so all of the above is
+  testable without flaky real crashes.
+* :mod:`repro.runtime.checkpoint` — completed-shard spill keyed by a
+  config fingerprint, so killed campaigns resume instead of restart.
+* :mod:`repro.runtime.pool` — the worker-pool engine tying it together.
 * :mod:`repro.runtime.merge` — order-preserving recombination of
-  per-shard datasets.
+  per-shard datasets, validated against the planned partition.
 
 The engine's invariant: a campaign run with ``n_workers=N`` produces a
-``Dataset`` bit-for-bit identical to the serial run for every N.  This
-holds because every user's records are a pure function of
-``(CampaignConfig, user)``; see DESIGN.md for the RNG-keying contract.
+``Dataset`` bit-for-bit identical to the serial run for every N — and,
+because every user's records are a pure function of
+``(CampaignConfig, user)``, for every fault schedule survived and
+every checkpoint resumed as well; see DESIGN.md for the RNG-keying
+contract and the failure-handling design.
 """
 
+from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
+from repro.runtime.faults import (
+    Fault,
+    FaultKind,
+    FaultPlan,
+    corrupt_plan,
+    crash_plan,
+    hang_plan,
+)
 from repro.runtime.merge import merge_shard_results
-from repro.runtime.pool import run_campaign_sharded
+from repro.runtime.pool import (
+    resolve_start_method,
+    run_campaign_sharded,
+)
 from repro.runtime.shard import (
     CampaignRunStats,
     ShardResult,
     ShardStats,
+    TimelineSpill,
     plan_shards,
     run_shard,
+)
+from repro.runtime.supervision import (
+    ShardFailure,
+    SupervisorPolicy,
+    supervise_shards,
+    validate_shard_result,
 )
 
 __all__ = [
     "CampaignRunStats",
+    "CheckpointStore",
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "ShardFailure",
     "ShardResult",
     "ShardStats",
+    "SupervisorPolicy",
+    "TimelineSpill",
+    "campaign_fingerprint",
+    "corrupt_plan",
+    "crash_plan",
+    "hang_plan",
     "merge_shard_results",
     "plan_shards",
+    "resolve_start_method",
     "run_campaign_sharded",
     "run_shard",
+    "supervise_shards",
+    "validate_shard_result",
 ]

@@ -1,0 +1,213 @@
+"""Shard-level campaign checkpointing: spill, fingerprint, resume.
+
+A killed campaign (power loss, OOM, ctrl-C, a supervisor giving up on
+a poisoned shard) should not forfeit the shards that already finished.
+The supervisor spills every accepted :class:`ShardResult` into a
+checkpoint directory as soon as it completes; a later run with
+``resume`` enabled reloads the surviving shards and re-runs only the
+missing ones.  The determinism contract (DESIGN.md §6) is what makes
+this sound: a re-run shard is bit-identical to the one that was lost,
+so resumed and fresh campaigns produce the same dataset.
+
+**Fingerprinting.** Checkpoints are only valid for the campaign that
+wrote them.  :func:`campaign_fingerprint` hashes every
+``CampaignConfig`` field that can influence the *data* (seed,
+duration, population, scaling...), deliberately excluding
+execution-only knobs (worker count, timeouts, retries, checkpoint
+settings, start method) — those change how fast the dataset is
+produced, never its bits.  Each store lives under a directory named by
+the fingerprint, and every shard file embeds it again, so a config
+change silently invalidates old checkpoints instead of corrupting the
+merge.  Per-shard files additionally record the exact user-index set;
+a stored shard is adopted only when it matches the freshly planned
+partition (so resuming with a different ``n_workers`` falls back to
+recomputing rather than mixing partitions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import fields, is_dataclass
+
+from repro.errors import CheckpointError
+from repro.runtime.shard import ShardResult
+
+#: ``CampaignConfig`` fields that steer execution, not data — two runs
+#: differing only here produce bit-identical datasets, so their
+#: checkpoints are interchangeable.
+EXECUTION_ONLY_FIELDS = frozenset(
+    {
+        "n_workers",
+        "precompute_timelines",
+        "mp_start_method",
+        "shard_timeout_s",
+        "max_shard_retries",
+        "retry_backoff_s",
+        "checkpoint_dir",
+        "resume",
+    }
+)
+
+_META_FILENAME = "meta.json"
+
+
+def campaign_fingerprint(config) -> str:
+    """Hex digest identifying the dataset a config will produce.
+
+    Hashes every dataclass field except :data:`EXECUTION_ONLY_FIELDS`
+    (sorted by name, rendered with ``repr`` — stable for the numeric /
+    string / tuple field types a config holds).  New data-affecting
+    fields are therefore fingerprinted by default; anyone adding an
+    execution-only knob must opt it out explicitly.
+    """
+    if not is_dataclass(config):
+        raise CheckpointError(
+            f"can only fingerprint a dataclass config, got {type(config).__name__}"
+        )
+    hasher = hashlib.sha256()
+    for field in sorted(fields(config), key=lambda f: f.name):
+        if field.name in EXECUTION_ONLY_FIELDS:
+            continue
+        hasher.update(field.name.encode("utf-8"))
+        hasher.update(b"=")
+        hasher.update(repr(getattr(config, field.name)).encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def resume_requested(config=None) -> bool:
+    """Whether this run should adopt surviving checkpoints.
+
+    ``CampaignConfig.resume`` wins; the ``REPRO_RESUME`` environment
+    variable (``1``/``true``/``yes``) is the CLI's side channel.
+    """
+    if config is not None and getattr(config, "resume", False):
+        return True
+    return os.environ.get("REPRO_RESUME", "").lower() in ("1", "true", "yes")
+
+
+class CheckpointStore:
+    """Atomic per-shard spill directory for one campaign fingerprint.
+
+    Layout::
+
+        <root>/campaign-<fingerprint16>/meta.json
+        <root>/campaign-<fingerprint16>/shard-0003.pkl
+
+    Writes are atomic (temp file + ``os.replace``), so a kill mid-spill
+    leaves either the previous file or nothing — never a torn pickle.
+    Loads are paranoid: wrong fingerprint, wrong index set, or an
+    unreadable/torn file all mean "recompute this shard", never an
+    exception into the campaign.
+    """
+
+    def __init__(self, root: str, config) -> None:
+        self.fingerprint = campaign_fingerprint(config)
+        self.directory = os.path.join(
+            root, f"campaign-{self.fingerprint[:16]}"
+        )
+        self._ensured = False
+
+    @classmethod
+    def from_config(cls, config) -> "CheckpointStore | None":
+        """The store a config asks for, or ``None`` when disabled.
+
+        ``CampaignConfig.checkpoint_dir`` wins; the
+        ``REPRO_CHECKPOINT_DIR`` environment variable is the CLI's
+        side channel through the uniform experiment-runner signature.
+        """
+        root = getattr(config, "checkpoint_dir", None) or os.environ.get(
+            "REPRO_CHECKPOINT_DIR"
+        )
+        if not root:
+            return None
+        return cls(root, config)
+
+    def _ensure(self) -> None:
+        if self._ensured:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        meta_path = os.path.join(self.directory, _META_FILENAME)
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+            except (OSError, ValueError) as exc:
+                raise CheckpointError(
+                    f"unreadable checkpoint metadata at {meta_path}: {exc}"
+                ) from exc
+            if meta.get("fingerprint") != self.fingerprint:
+                raise CheckpointError(
+                    f"checkpoint directory {self.directory} belongs to "
+                    f"fingerprint {meta.get('fingerprint')!r}, not "
+                    f"{self.fingerprint!r}"
+                )
+        else:
+            self._write_atomic(
+                meta_path,
+                json.dumps({"fingerprint": self.fingerprint}).encode("utf-8"),
+            )
+        self._ensured = True
+
+    def _shard_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard_id:04d}.pkl")
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, path)
+
+    def save(self, result: ShardResult) -> str:
+        """Spill one completed shard; returns the file path."""
+        self._ensure()
+        payload = {
+            "fingerprint": self.fingerprint,
+            "shard_id": result.shard_id,
+            "user_indices": sorted(result.user_records),
+            "result": result,
+        }
+        path = self._shard_path(result.shard_id)
+        self._write_atomic(path, pickle.dumps(payload))
+        return path
+
+    def load(self, shard_id: int, user_indices) -> ShardResult | None:
+        """A stored shard matching the planned assignment, or ``None``.
+
+        ``None`` (recompute) on: no file, torn/unreadable pickle,
+        fingerprint mismatch, or a stored user-index set that differs
+        from the planned one (e.g. the partition changed because
+        ``n_workers`` did).
+        """
+        path = self._shard_path(shard_id)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("fingerprint") != self.fingerprint:
+            return None
+        if payload.get("user_indices") != sorted(user_indices):
+            return None
+        result = payload.get("result")
+        if not isinstance(result, ShardResult) or result.shard_id != shard_id:
+            return None
+        return result
+
+    def load_matching(self, planned) -> dict[int, ShardResult]:
+        """Stored shards matching a planned ``{shard_id: indices}``-style
+        list of ``(shard_id, user_indices)`` pairs."""
+        recovered: dict[int, ShardResult] = {}
+        for shard_id, user_indices in planned:
+            result = self.load(shard_id, user_indices)
+            if result is not None:
+                recovered[shard_id] = result
+        return recovered

@@ -1,0 +1,193 @@
+"""Deterministic fault injection for the supervised campaign runtime.
+
+The paper's real campaign survived constant partial failure (extensions
+going silent, Raspberry Pis dropping off cron, truncated uploads); the
+supervised runtime (:mod:`repro.runtime.supervision`) is the synthetic
+pipeline's answer, and this module is what makes it *testable*.  A
+:class:`FaultPlan` maps ``(shard_id, attempt)`` to a :class:`Fault`, so
+a chaos test can script, exactly and reproducibly, which worker dies,
+hangs, dawdles or returns garbage on which attempt — no flaky
+real-world crashes required.
+
+Faults are applied inside the worker process only (the supervisor's
+in-process fallback deliberately bypasses them: graceful degradation
+must never take the parent down).  The determinism contract of
+:mod:`repro.runtime.shard` is what makes recovery provably correct:
+a retried shard recomputes bit-identical records, so any fault
+schedule the supervisor survives yields the fault-free dataset.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.rng import stream
+
+#: Exit code used by injected crashes; distinctive enough to grep for.
+CRASH_EXITCODE = 17
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the paper's campaign saw, distilled."""
+
+    #: Worker dies abruptly (``os._exit``) before producing a result —
+    #: the extension-went-silent / OOM-killed case.
+    CRASH = "crash"
+    #: Worker blocks forever (bounded by the injected delay) — the
+    #: wedged-upload case; only a supervisor timeout recovers it.
+    HANG = "hang"
+    #: Worker sleeps, then completes normally — a straggler, not a
+    #: failure; must NOT trip retries when under the timeout.
+    SLOW = "slow"
+    #: Worker returns a tampered result (records dropped) — the
+    #: partial-upload case; caught by result validation, then retried.
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault.
+
+    Attributes:
+        kind: What goes wrong.
+        delay_s: Sleep length for ``HANG``/``SLOW`` (a hang should be
+            set far above the supervisor timeout; a slow shard below).
+        exitcode: Process exit status for ``CRASH``.
+    """
+
+    kind: FaultKind
+    delay_s: float = 0.0
+    exitcode: int = CRASH_EXITCODE
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Maps ``(shard_id, attempt)`` (both 0-based) to the :class:`Fault`
+    the worker must suffer on that attempt; absent keys run clean.
+    Plans are plain frozen data — picklable, so they travel to workers
+    under any multiprocessing start method.
+    """
+
+    faults: dict[tuple[int, int], Fault] = field(default_factory=dict)
+
+    def fault_for(self, shard_id: int, attempt: int) -> Fault | None:
+        """The fault injected for this attempt, if any."""
+        return self.faults.get((shard_id, attempt))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_shards: int,
+        kinds: tuple[FaultKind, ...] = (
+            FaultKind.CRASH,
+            FaultKind.HANG,
+            FaultKind.SLOW,
+            FaultKind.CORRUPT,
+        ),
+        rate: float = 0.5,
+        max_faulty_attempts: int = 1,
+        hang_s: float = 3600.0,
+        slow_s: float = 0.1,
+    ) -> "FaultPlan":
+        """Draw a reproducible fault schedule from the RNG substream.
+
+        Each shard independently suffers a fault with probability
+        ``rate`` on each of its first ``max_faulty_attempts`` attempts
+        (so a retried attempt can fail again, but a bounded number of
+        times — the schedule never exceeds the supervisor's retry
+        budget when ``max_faulty_attempts <= max_retries``).  The
+        draw is keyed ``(seed, "faults")``: the same seed always
+        injects the same schedule.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"fault rate must be in [0, 1], got {rate}")
+        if not kinds:
+            raise ConfigurationError("need at least one fault kind")
+        rng = stream(seed, "faults")
+        faults: dict[tuple[int, int], Fault] = {}
+        for shard_id in range(n_shards):
+            for attempt in range(max_faulty_attempts):
+                if rng.random() >= rate:
+                    continue
+                kind = kinds[int(rng.integers(len(kinds)))]
+                delay = hang_s if kind is FaultKind.HANG else (
+                    slow_s if kind is FaultKind.SLOW else 0.0
+                )
+                faults[(shard_id, attempt)] = Fault(kind=kind, delay_s=delay)
+        return cls(faults=faults)
+
+
+def crash_plan(shard_ids, attempts=(0,), exitcode: int = CRASH_EXITCODE) -> FaultPlan:
+    """A plan crashing the given shards on the given attempts."""
+    return FaultPlan(
+        {
+            (shard_id, attempt): Fault(FaultKind.CRASH, exitcode=exitcode)
+            for shard_id in shard_ids
+            for attempt in attempts
+        }
+    )
+
+
+def hang_plan(shard_ids, attempts=(0,), hang_s: float = 3600.0) -> FaultPlan:
+    """A plan hanging the given shards (recovered only by timeout)."""
+    return FaultPlan(
+        {
+            (shard_id, attempt): Fault(FaultKind.HANG, delay_s=hang_s)
+            for shard_id in shard_ids
+            for attempt in attempts
+        }
+    )
+
+
+def corrupt_plan(shard_ids, attempts=(0,)) -> FaultPlan:
+    """A plan corrupting the given shards' results (drops records)."""
+    return FaultPlan(
+        {
+            (shard_id, attempt): Fault(FaultKind.CORRUPT)
+            for shard_id in shard_ids
+            for attempt in attempts
+        }
+    )
+
+
+def apply_pre_run(fault: Fault | None) -> None:
+    """Execute a fault's pre-run effect inside the worker process.
+
+    ``CRASH`` never returns; ``HANG``/``SLOW`` sleep (a hang relies on
+    the supervisor timeout killing the process before the sleep ends);
+    ``CORRUPT`` is a no-op here — it tampers with the finished result
+    via :func:`apply_post_run` instead.
+    """
+    if fault is None:
+        return
+    if fault.kind is FaultKind.CRASH:
+        os._exit(fault.exitcode)
+    if fault.kind in (FaultKind.HANG, FaultKind.SLOW):
+        time.sleep(fault.delay_s)
+
+
+def apply_post_run(fault: Fault | None, result):
+    """Tamper with a finished :class:`ShardResult` for ``CORRUPT``.
+
+    Drops the highest-indexed user's records (the truncated-upload
+    case); an empty shard gets its ``shard_id`` skewed instead so the
+    corruption is always observable.  Returns the (possibly mutated)
+    result.
+    """
+    if fault is None or fault.kind is not FaultKind.CORRUPT:
+        return result
+    if result.user_records:
+        result.user_records.pop(max(result.user_records))
+    else:
+        result.shard_id += 1000
+    return result

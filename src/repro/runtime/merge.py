@@ -5,6 +5,14 @@ page loads and speedtests in per-user event-time order.  The merge
 reproduces exactly that: concatenate every user's record lists by
 ascending user index, regardless of which shard produced them or when
 the shard finished.
+
+In the supervised/retry world the merge is also the campaign's last
+integrity gate: shards may have been retried, recovered in-process, or
+adopted from checkpoints, so the merge verifies the recovered user set
+against the planned partition — duplicates (overlapping shards),
+unplanned users (stale checkpoints), and missing users (a shard lost
+without anyone noticing) all raise instead of silently producing a
+dataset that is *almost* the serial one.
 """
 
 from __future__ import annotations
@@ -14,12 +22,22 @@ from repro.extension.storage import Dataset
 from repro.runtime.shard import ShardResult
 
 
-def merge_shard_results(results: list[ShardResult]) -> Dataset:
+def merge_shard_results(
+    results: list[ShardResult], expected_indices=None
+) -> Dataset:
     """Merge shard results into one :class:`Dataset` in user order.
+
+    Args:
+        results: The per-shard results, in any order.
+        expected_indices: The planned partition's full user-index set.
+            When given, the merged results must cover it *exactly*.
 
     Raises:
         DatasetError: if two shards report records for the same user
-            (the partition was not disjoint).
+            (the partition was not disjoint), or — when
+            ``expected_indices`` is given — if a planned user is
+            missing from the merged results or an unplanned user
+            appears in them.
     """
     by_user: dict[int, tuple[list, list]] = {}
     for result in results:
@@ -29,6 +47,20 @@ def merge_shard_results(results: list[ShardResult]) -> Dataset:
                     f"user index {index} produced by more than one shard"
                 )
             by_user[index] = records
+    if expected_indices is not None:
+        expected = set(expected_indices)
+        missing = sorted(expected - by_user.keys())
+        if missing:
+            raise DatasetError(
+                f"planned user indices missing from merged shard results: "
+                f"{missing} (a shard was lost or its result truncated)"
+            )
+        surplus = sorted(by_user.keys() - expected)
+        if surplus:
+            raise DatasetError(
+                f"merged shard results contain user indices outside the "
+                f"planned partition: {surplus}"
+            )
     dataset = Dataset()
     for index in sorted(by_user):
         page_loads, speedtests = by_user[index]

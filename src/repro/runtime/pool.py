@@ -1,9 +1,18 @@
-"""The worker-pool campaign engine.
+"""The supervised worker-pool campaign engine.
 
-Shards a campaign's user population across ``multiprocessing`` workers
-and merges the per-shard results back into one dataset, bit-for-bit
-identical to the serial run (see the determinism contract in
+Shards a campaign's user population across worker processes and merges
+the per-shard results back into one dataset, bit-for-bit identical to
+the serial run (see the determinism contract in
 :mod:`repro.runtime.shard` and DESIGN.md).
+
+Since the fault-tolerance PR this no longer drives a bare
+``multiprocessing.Pool.map``: shards run under the supervising
+dispatcher (:mod:`repro.runtime.supervision`) with per-shard timeouts,
+crash detection, bounded retries and optional in-process graceful
+degradation, and completed shards can spill to a checkpoint directory
+(:mod:`repro.runtime.checkpoint`) so a killed campaign resumes instead
+of restarting.  Failures the run survived are visible on the returned
+:class:`~repro.runtime.shard.CampaignRunStats`.
 
 Workers receive ``(CampaignConfig, shard_id, user_indices)`` — cheap
 to pickle — plus optionally the parent's precomputed per-city serving
@@ -15,73 +24,206 @@ stochastic crosses process boundaries except the finished records.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 
 from repro.errors import ConfigurationError
 from repro.extension.storage import Dataset
+from repro.runtime.checkpoint import CheckpointStore, resume_requested
 from repro.runtime.merge import merge_shard_results
 from repro.runtime.shard import (
     CampaignRunStats,
     ShardResult,
-    _run_shard_task,
+    TimelineSpill,
     plan_shards,
     run_shard,
 )
+from repro.runtime.supervision import SupervisorPolicy, supervise_shards
+
+#: Start methods a config/environment may request explicitly.
+VALID_START_METHODS = ("fork", "spawn", "forkserver")
 
 
-def _pool_context():
-    """Pick the cheapest available multiprocessing start method."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+def resolve_start_method(config=None) -> str:
+    """The multiprocessing start method this campaign will use.
+
+    Precedence: ``CampaignConfig.mp_start_method``, then the
+    ``REPRO_MP_START`` environment variable, then ``fork`` where the
+    platform offers it (cheapest: workers inherit the parent's pages
+    copy-on-write), else the interpreter default.  Explicit is better
+    than silent here — Python 3.14 flips the Linux default to
+    ``forkserver``, and ``fork`` is unsafe with threaded parents — so
+    the choice is made in exactly one place and is overridable without
+    touching code.
+
+    Raises:
+        ConfigurationError: for an unknown or unavailable method.
+    """
+    requested = None
+    if config is not None:
+        requested = getattr(config, "mp_start_method", None)
+    if not requested:
+        requested = os.environ.get("REPRO_MP_START") or None
+    available = multiprocessing.get_all_start_methods()
+    if requested:
+        if requested not in VALID_START_METHODS:
+            raise ConfigurationError(
+                f"unknown multiprocessing start method {requested!r}; "
+                f"valid: {VALID_START_METHODS}"
+            )
+        if requested not in available:
+            raise ConfigurationError(
+                f"start method {requested!r} unavailable on this platform "
+                f"(available: {available})"
+            )
+        return requested
+    if "fork" in available:
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+def _pool_context(config=None):
+    """The multiprocessing context the campaign's workers spawn under."""
+    return multiprocessing.get_context(resolve_start_method(config))
 
 
 def run_campaign_sharded(
-    config, users, n_workers: int, timelines=None
+    config,
+    users,
+    n_workers: int,
+    timelines=None,
+    *,
+    policy: SupervisorPolicy | None = None,
+    fault_plan=None,
+    checkpoint: CheckpointStore | None = None,
+    resume: bool | None = None,
 ) -> tuple[Dataset, CampaignRunStats]:
     """Run a campaign sharded per-user over ``n_workers`` processes.
 
     Args:
         config: The :class:`~repro.extension.campaign.CampaignConfig`
-            (workers rebuild everything from it).
+            (workers rebuild everything from it; its supervision /
+            checkpoint fields provide the defaults for the keyword
+            arguments below).
         users: The campaign's (already city-filtered) user list; used
             only for shard planning, never pickled.
         n_workers: Worker-process count; 1 runs the shards in-process.
         timelines: Optional ``{city: ServingTimeline}`` precomputed by
-            the parent; shipped to every worker (timelines are plain
-            numpy arrays, so they pickle cheaply and fork-started
-            workers mostly share the pages copy-on-write) so shards
-            stop redoing identical serving-geometry scans.
+            the parent; shipped to every worker so shards stop redoing
+            identical serving-geometry scans.
+        policy: Supervisor retry/timeout policy; default derives from
+            the config (:meth:`SupervisorPolicy.from_config`).
+        fault_plan: Deterministic fault injection for chaos tests
+            (:mod:`repro.runtime.faults`); applied in workers only.
+        checkpoint: Completed-shard spill store; default derives from
+            ``config.checkpoint_dir`` / ``REPRO_CHECKPOINT_DIR``
+            (``None`` disables checkpointing).
+        resume: Adopt surviving checkpointed shards instead of
+            re-running them; default derives from ``config.resume`` /
+            ``REPRO_RESUME``.
 
     Returns:
         ``(dataset, stats)`` — the merged dataset plus per-shard
-        timing/throughput counters.
+        timing/throughput counters, the failure log of every survived
+        attempt, and resume/process accounting.
+
+    Raises:
+        ShardFailedError: a shard exhausted its retry budget and the
+            policy forbids in-process fallback.  All other shards are
+            completed (and checkpointed) first, so a later ``resume``
+            run re-runs only the lost shard.
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
     started = time.perf_counter()
     n_shards = max(1, min(n_workers, len(users)))
     shards = plan_shards([max(user.pages_per_day, 0.01) for user in users], n_shards)
-    tasks = [
-        (config, shard_id, indices, timelines)
+    planned = [
+        (shard_id, indices)
         for shard_id, indices in enumerate(shards)
         if indices
     ]
-    results: list[ShardResult]
-    if n_shards == 1 or n_workers == 1:
-        results = [run_shard(*task) for task in tasks]
-    else:
-        context = _pool_context()
-        with context.Pool(processes=n_shards) as pool:
-            results = pool.map(_run_shard_task, tasks)
+    expected_indices = {
+        index for _, indices in planned for index in indices
+    }
+    if checkpoint is None:
+        checkpoint = CheckpointStore.from_config(config)
+    if resume is None:
+        resume = resume_requested(config)
+    recovered: dict[int, ShardResult] = {}
+    if checkpoint is not None and resume:
+        recovered = checkpoint.load_matching(planned)
+        for result in recovered.values():
+            result.stats.resumed = True
+    remaining = [
+        (shard_id, indices)
+        for shard_id, indices in planned
+        if shard_id not in recovered
+    ]
+    on_success = checkpoint.save if checkpoint is not None else None
+    failures: list = []
+    n_worker_processes = 0
+    fresh: list[ShardResult] = []
+    spill: TimelineSpill | None = None
+    try:
+        if not remaining:
+            pass
+        elif n_workers == 1 or len(planned) == 1:
+            # In-process path: no worker to crash, so no supervision
+            # (and no fault injection — faults only run in workers).
+            for shard_id, indices in remaining:
+                result = run_shard(config, shard_id, indices, timelines)
+                if on_success is not None:
+                    on_success(result)
+                fresh.append(result)
+        else:
+            if policy is None:
+                policy = SupervisorPolicy.from_config(config)
+            context = _pool_context(config)
+            task_timelines = timelines
+            if timelines and context.get_start_method() != "fork":
+                # Non-fork workers receive their arguments pickled
+                # through the startup pipe, whose parent-side write
+                # can wedge forever if a child dies mid-handshake
+                # with a payload bigger than the pipe buffer.  Ship
+                # the (large) timelines out-of-band so the handshake
+                # stays tiny and a dying worker always yields a clean
+                # crash signal (see TimelineSpill).
+                spill = TimelineSpill.write(timelines)
+                task_timelines = spill
+            tasks = [
+                (config, shard_id, indices, task_timelines)
+                for shard_id, indices in remaining
+            ]
+            # Size the dispatcher to the work that actually exists:
+            # empty shards were filtered out above, and resumed shards
+            # need no process, so fewer users (or a mostly-complete
+            # resume) must not over-provision workers.
+            n_worker_processes = min(n_workers, len(tasks))
+            fresh, failures = supervise_shards(
+                tasks,
+                n_worker_processes,
+                policy=policy,
+                context=context,
+                fault_plan=fault_plan,
+                on_success=on_success,
+            )
+    finally:
+        if spill is not None:
+            spill.cleanup()
+    results = sorted(
+        [*recovered.values(), *fresh], key=lambda result: result.shard_id
+    )
     merge_started = time.perf_counter()
-    dataset = merge_shard_results(results)
+    dataset = merge_shard_results(results, expected_indices=expected_indices)
     finished = time.perf_counter()
     stats = CampaignRunStats(
         n_workers=n_workers,
         wall_s=finished - started,
         merge_s=finished - merge_started,
         shards=sorted((r.stats for r in results), key=lambda s: s.shard_id),
+        failures=failures,
+        resumed_shards=len(recovered),
+        n_worker_processes=n_worker_processes,
     )
     return dataset, stats

@@ -1,0 +1,257 @@
+"""Checkpoint store: fingerprinting, spill/load, kill-and-resume."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError, ShardFailedError
+from repro.extension.campaign import CampaignConfig, ExtensionCampaign
+from repro.runtime import (
+    CheckpointStore,
+    SupervisorPolicy,
+    campaign_fingerprint,
+    crash_plan,
+    run_campaign_sharded,
+    run_shard,
+)
+from repro.runtime.checkpoint import resume_requested
+
+SMALL = dict(
+    seed=11,
+    duration_s=2 * 86_400.0,
+    request_fraction=0.1,
+    cities=("london", "seattle"),
+    shell_planes=24,
+    shell_sats_per_plane=12,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_dataset():
+    return ExtensionCampaign(CampaignConfig(**SMALL)).run()
+
+
+@pytest.fixture(scope="module")
+def campaign_users():
+    return ExtensionCampaign(CampaignConfig(**SMALL)).population.users
+
+
+# -- fingerprinting ----------------------------------------------------
+
+
+def test_fingerprint_stable_and_data_sensitive():
+    base = campaign_fingerprint(CampaignConfig(**SMALL))
+    assert base == campaign_fingerprint(CampaignConfig(**SMALL))
+    changed = campaign_fingerprint(
+        CampaignConfig(**SMALL | {"seed": 12})
+    )
+    assert changed != base
+    assert campaign_fingerprint(
+        CampaignConfig(**SMALL | {"duration_s": 86_400.0})
+    ) != base
+
+
+def test_fingerprint_ignores_execution_only_fields():
+    """Worker counts, timeouts, retries, checkpoint settings and start
+    method never change the dataset, so their checkpoints must be
+    interchangeable."""
+    base = campaign_fingerprint(CampaignConfig(**SMALL))
+    variants = [
+        CampaignConfig(**SMALL, n_workers=8),
+        CampaignConfig(**SMALL, precompute_timelines=True),
+        CampaignConfig(**SMALL, mp_start_method="spawn"),
+        CampaignConfig(**SMALL, shard_timeout_s=30.0),
+        CampaignConfig(**SMALL, max_shard_retries=9),
+        CampaignConfig(**SMALL, retry_backoff_s=1.0),
+        CampaignConfig(**SMALL, checkpoint_dir="/tmp/x"),
+        CampaignConfig(**SMALL, resume=True),
+    ]
+    assert all(campaign_fingerprint(v) == base for v in variants)
+
+
+def test_fingerprint_requires_dataclass():
+    with pytest.raises(CheckpointError):
+        campaign_fingerprint(object())
+
+
+# -- store round trip --------------------------------------------------
+
+
+def test_store_round_trip(tmp_path, campaign_users):
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    result = run_shard(config, 0, [0, 1])
+    path = store.save(result)
+    assert os.path.exists(path)
+    loaded = store.load(0, [0, 1])
+    assert loaded is not None
+    assert loaded.user_records == result.user_records
+    assert loaded.stats.n_users == 2
+
+
+def test_store_rejects_mismatched_assignments(tmp_path):
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    store.save(run_shard(config, 0, [0, 1]))
+    assert store.load(1, [0, 1]) is None  # wrong shard id
+    assert store.load(0, [0, 1, 2]) is None  # partition changed
+    assert store.load(0, [0]) is None
+
+
+def test_store_ignores_torn_files(tmp_path):
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    path = store.save(run_shard(config, 0, [0]))
+    with open(path, "wb") as handle:
+        handle.write(b"\x80\x04 torn pickle")
+    assert store.load(0, [0]) is None  # recompute, never raise
+
+
+def test_store_rejects_foreign_fingerprint_dir(tmp_path):
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    store.save(run_shard(config, 0, [0]))
+    meta = os.path.join(store.directory, "meta.json")
+    with open(meta, "w", encoding="utf-8") as handle:
+        handle.write('{"fingerprint": "somebody-else"}')
+    fresh = CheckpointStore(str(tmp_path), config)
+    with pytest.raises(CheckpointError):
+        fresh.save(run_shard(config, 0, [0]))
+
+
+def test_stale_checkpoints_invisible_to_other_configs(tmp_path):
+    """A different data config hashes to a different directory, so its
+    shards can never leak into this campaign."""
+    config_a = CampaignConfig(**SMALL)
+    config_b = CampaignConfig(**SMALL | {"seed": 99})
+    store_a = CheckpointStore(str(tmp_path), config_a)
+    store_a.save(run_shard(config_a, 0, [0]))
+    store_b = CheckpointStore(str(tmp_path), config_b)
+    assert store_b.directory != store_a.directory
+    assert store_b.load(0, [0]) is None
+
+
+def test_from_config_and_env(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+    monkeypatch.delenv("REPRO_RESUME", raising=False)
+    assert CheckpointStore.from_config(CampaignConfig(**SMALL)) is None
+    explicit = CheckpointStore.from_config(
+        CampaignConfig(**SMALL, checkpoint_dir=str(tmp_path))
+    )
+    assert explicit is not None
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+    via_env = CheckpointStore.from_config(CampaignConfig(**SMALL))
+    assert via_env is not None
+    assert via_env.directory == explicit.directory
+    assert not resume_requested(CampaignConfig(**SMALL))
+    assert resume_requested(CampaignConfig(**SMALL, resume=True))
+    monkeypatch.setenv("REPRO_RESUME", "1")
+    assert resume_requested(CampaignConfig(**SMALL))
+
+
+# -- kill and resume ---------------------------------------------------
+
+
+def test_kill_and_resume_bit_identical(tmp_path, serial_dataset, campaign_users):
+    """The acceptance criterion: a campaign that dies after k of n
+    shards resumes from checkpoints, re-runs only the missing shards,
+    and produces the bit-identical dataset."""
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    # "Kill" the campaign: shard 1 crashes on every attempt and the
+    # policy forbids degradation, so the run aborts — after driving
+    # every other shard to completion and checkpointing it.
+    policy = SupervisorPolicy(
+        max_retries=1, backoff_base_s=0.01, in_process_fallback=False
+    )
+    with pytest.raises(ShardFailedError):
+        run_campaign_sharded(
+            config,
+            campaign_users,
+            4,
+            policy=policy,
+            fault_plan=crash_plan([1], attempts=(0, 1)),
+            checkpoint=store,
+        )
+    survivors = [
+        name
+        for name in os.listdir(store.directory)
+        if name.startswith("shard-")
+    ]
+    assert len(survivors) == 3  # k of n shards survived the kill
+    # Resume: only the lost shard is re-run, faults gone.
+    dataset, stats = run_campaign_sharded(
+        config, campaign_users, 4, checkpoint=store, resume=True
+    )
+    assert stats.resumed_shards == 3
+    rerun = [s.shard_id for s in stats.shards if not s.resumed]
+    assert rerun == [1]
+    assert dataset.page_loads == serial_dataset.page_loads
+    assert dataset.speedtests == serial_dataset.speedtests
+    assert "resumed from checkpoint" in stats.summary()
+
+
+def test_resume_with_complete_checkpoints_runs_nothing(
+    tmp_path, serial_dataset, campaign_users
+):
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    run_campaign_sharded(config, campaign_users, 4, checkpoint=store)
+    dataset, stats = run_campaign_sharded(
+        config, campaign_users, 4, checkpoint=store, resume=True
+    )
+    assert stats.resumed_shards == len(stats.shards)
+    assert stats.n_worker_processes == 0
+    assert dataset.page_loads == serial_dataset.page_loads
+
+
+def test_checkpoints_ignored_without_resume(
+    tmp_path, serial_dataset, campaign_users
+):
+    """Without ``resume`` the run recomputes (and re-spills) everything."""
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    run_campaign_sharded(config, campaign_users, 4, checkpoint=store)
+    dataset, stats = run_campaign_sharded(
+        config, campaign_users, 4, checkpoint=store, resume=False
+    )
+    assert stats.resumed_shards == 0
+    assert dataset.page_loads == serial_dataset.page_loads
+
+
+def test_resume_across_worker_counts_recomputes_safely(
+    tmp_path, serial_dataset, campaign_users
+):
+    """Checkpoints from a different partition (other n_workers) are
+    rejected per shard, so the resumed run recomputes instead of
+    mixing partitions — and still matches the serial dataset."""
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    run_campaign_sharded(config, campaign_users, 4, checkpoint=store)
+    dataset, stats = run_campaign_sharded(
+        config, campaign_users, 3, checkpoint=store, resume=True
+    )
+    assert dataset.page_loads == serial_dataset.page_loads
+    assert dataset.speedtests == serial_dataset.speedtests
+
+
+def test_campaign_config_checkpoint_fields_flow_through(
+    tmp_path, serial_dataset
+):
+    """End-to-end through ExtensionCampaign.run(): checkpoint_dir and
+    resume on the config, no explicit store objects anywhere."""
+    first = ExtensionCampaign(
+        CampaignConfig(**SMALL, n_workers=4, checkpoint_dir=str(tmp_path))
+    )
+    first.run()
+    again = ExtensionCampaign(
+        CampaignConfig(
+            **SMALL, n_workers=4, checkpoint_dir=str(tmp_path), resume=True
+        )
+    )
+    dataset = again.run()
+    assert again.last_run_stats.resumed_shards == len(
+        again.last_run_stats.shards
+    )
+    assert dataset.page_loads == serial_dataset.page_loads
