@@ -1,9 +1,13 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench report examples all
+.PHONY: install lint test bench report examples all
 
 install:
 	pip install -e . || python setup.py develop
+
+lint:
+	ruff check src tests benchmarks
+	ruff format --check src tests benchmarks
 
 test:
 	pytest tests/

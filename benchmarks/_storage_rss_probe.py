@@ -1,0 +1,68 @@
+"""Peak-RSS probe for the storage-backend benchmark (subprocess helper).
+
+Run as ``python benchmarks/_storage_rss_probe.py <backend> <n_records>
+[directory]``: builds ``n_records`` synthetic page-load records, appends
+them into the named backend, and prints a JSON line with the process's
+peak-RSS growth.  Each probe runs in a fresh interpreter so backends
+cannot pollute each other's high-water mark (``ru_maxrss`` never goes
+down).  Underscore-prefixed so pytest does not collect it.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+
+
+def _peak_rss_kib() -> int:
+    # Linux reports ru_maxrss in KiB (macOS in bytes; CI runs Linux).
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def main(argv: list[str]) -> int:
+    backend_name = argv[1]
+    n_records = int(argv[2])
+    directory = argv[3] if len(argv) > 3 else None
+
+    from repro.extension.backends import make_backend
+    from repro.extension.records import PageLoadRecord
+    from repro.web.timing import NavigationTiming
+
+    backend = make_backend(backend_name, directory=directory)
+    baseline_kib = _peak_rss_kib()
+
+    for i in range(n_records):
+        backend.append_page_load(
+            PageLoadRecord(
+                user_id=f"user-{i % 997:04d}",
+                city="london",
+                region="europe",
+                isp="starlink",
+                is_starlink=True,
+                exit_asn=14593,
+                t_s=float(i),
+                domain=f"site-{i % 4096}.example",
+                rank=i % 100_000,
+                is_popular=i % 3 == 0,
+                timing=NavigationTiming(*(1e-6 * ((i + j) % 1000) for j in range(8))),
+            )
+        )
+    backend.flush()
+
+    print(
+        json.dumps(
+            {
+                "backend": backend_name,
+                "n_records": n_records,
+                "stored": backend.n_page_loads,
+                "baseline_kib": baseline_kib,
+                "peak_kib": _peak_rss_kib(),
+            }
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

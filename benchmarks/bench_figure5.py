@@ -6,7 +6,11 @@ from conftest import run_once
 def test_figure5(benchmark):
     result = run_once(benchmark, "figure5", seed=0, scale=1.0)
     m = result.metrics
-    assert m["broadband_final_rtt_ms"] < m["starlink_final_rtt_ms"] < m["cellular_final_rtt_ms"]
+    assert (
+        m["broadband_final_rtt_ms"]
+        < m["starlink_final_rtt_ms"]
+        < m["cellular_final_rtt_ms"]
+    )
     assert m["starlink_pop_hop_ms"] > 20.0
     assert m["cellular_first_hop_ms"] > 30.0
     print()

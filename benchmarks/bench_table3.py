@@ -6,7 +6,12 @@ from conftest import run_once
 def test_table3(benchmark):
     result = run_once(benchmark, "table3", seed=0, scale=1.0)
     m = result.metrics
-    assert m["london_dl_mbps"] > m["seattle_dl_mbps"] > m["toronto_dl_mbps"] > m["warsaw_dl_mbps"]
+    assert (
+        m["london_dl_mbps"]
+        > m["seattle_dl_mbps"]
+        > m["toronto_dl_mbps"]
+        > m["warsaw_dl_mbps"]
+    )
     assert 1.1 < m["london_over_seattle_dl"] < 1.8   # paper: 1.4x
     assert 1.5 < m["london_over_toronto_dl"] < 2.5   # paper: 1.9x
     print()

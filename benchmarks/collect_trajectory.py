@@ -1,0 +1,104 @@
+"""Merge pytest-benchmark JSON outputs into a BENCH_*.json trajectory.
+
+CI runs every benchmark step with ``--benchmark-json=<file>``; this
+tool folds those per-run files into the repo's benchmark-trajectory
+format — a flat JSON array with one entry per benchmark::
+
+    [
+      {
+        "label": "PR5",
+        "bench": "bench_storage_backends",
+        "test": "test_spill_backend_peak_rss_reduction",
+        "mean_s": 11.28,
+        "stddev_s": 0.0,
+        "rounds": 1,
+        "machine": "...",
+        "datetime": "..."
+      },
+      ...
+    ]
+
+Usage::
+
+    python benchmarks/collect_trajectory.py --label PR5 \
+        --out BENCH_PR5.json [--base BENCH_PR4.json] bench-*.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _entries_from_run(payload: dict, label: str) -> list[dict]:
+    machine = payload.get("machine_info", {}).get("node", "")
+    stamp = payload.get("datetime", "")
+    entries = []
+    for bench in payload.get("benchmarks", []):
+        fullname = bench.get("fullname", bench.get("name", ""))
+        module = fullname.split("::", 1)[0]
+        module = module.rsplit("/", 1)[-1].removesuffix(".py")
+        stats = bench.get("stats", {})
+        entries.append(
+            {
+                "label": label,
+                "bench": module,
+                "test": bench.get("name", ""),
+                "mean_s": stats.get("mean"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+                "machine": machine,
+                "datetime": stamp,
+            }
+        )
+    return entries
+
+
+def collect(
+    run_files: list[str], label: str, base: str | None = None
+) -> list[dict]:
+    """The merged trajectory: base entries (if any) + this run's."""
+    trajectory: list[dict] = []
+    if base:
+        with open(base, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+        if not isinstance(previous, list):
+            raise SystemExit(f"{base}: trajectory must be a JSON array")
+        trajectory.extend(previous)
+    for path in run_files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+            continue
+        trajectory.extend(_entries_from_run(payload, label))
+    return trajectory
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Merge pytest-benchmark JSON files into a "
+        "BENCH_*.json trajectory array."
+    )
+    parser.add_argument(
+        "run_files", nargs="+", help="pytest-benchmark --benchmark-json outputs"
+    )
+    parser.add_argument("--label", required=True, help='trajectory label, e.g. "PR5"')
+    parser.add_argument("--out", required=True, help="trajectory file to write")
+    parser.add_argument(
+        "--base",
+        help="existing trajectory to prepend (older PRs' entries)",
+    )
+    args = parser.parse_args(argv)
+    trajectory = collect(args.run_files, args.label, args.base)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=1)
+        handle.write("\n")
+    print(f"{args.out}: {len(trajectory)} entries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,6 @@ end-to-end, so repetition would only re-measure identical work.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments import run_experiment
 
 

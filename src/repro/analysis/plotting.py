@@ -8,8 +8,6 @@ tests can assert on it.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.errors import DatasetError
@@ -126,5 +124,7 @@ def timeseries_plot(
         lines.append("         |" + "".join(row))
     lines.append(f"{v_min:8.3g} +" + "".join(grid[-1]))
     lines.append("          " + "-" * width)
-    lines.append(f"          {t_min:.3g}{' ' * max(1, width - 12)}{t_max:.3g} ({label})")
+    lines.append(
+        f"          {t_min:.3g}{' ' * max(1, width - 12)}{t_max:.3g} ({label})"
+    )
     return "\n".join(lines)

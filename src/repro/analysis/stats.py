@@ -1,4 +1,9 @@
-"""Empirical distribution helpers (CDF, CCDF, percentiles)."""
+"""Empirical distribution helpers (CDF, CCDF, percentiles).
+
+Every helper accepts any iterable of numbers — lists, generators, and
+(fast path, no copy through Python objects) the numpy column arrays
+the storage backends hand out via ``Dataset.page_load_column``.
+"""
 
 from __future__ import annotations
 
@@ -9,13 +14,21 @@ import numpy as np
 from repro.errors import DatasetError
 
 
+def _as_float_array(values) -> np.ndarray:
+    """A float64 view of the input; backend columns pass through
+    without materialising Python objects."""
+    if isinstance(values, np.ndarray):
+        return np.asarray(values, dtype=float)
+    return np.asarray(list(values), dtype=float)
+
+
 def median(values) -> float:
     """Median of a non-empty sequence.
 
     Raises:
         DatasetError: on an empty input.
     """
-    array = np.asarray(list(values), dtype=float)
+    array = _as_float_array(values)
     if array.size == 0:
         raise DatasetError("median of empty data")
     return float(np.median(array))
@@ -23,7 +36,7 @@ def median(values) -> float:
 
 def percentile(values, q: float) -> float:
     """q-th percentile (0-100) of a non-empty sequence."""
-    array = np.asarray(list(values), dtype=float)
+    array = _as_float_array(values)
     if array.size == 0:
         raise DatasetError("percentile of empty data")
     return float(np.percentile(array, q))
@@ -35,7 +48,7 @@ def ecdf(values) -> tuple[np.ndarray, np.ndarray]:
     Raises:
         DatasetError: on empty input.
     """
-    array = np.sort(np.asarray(list(values), dtype=float))
+    array = np.sort(_as_float_array(values))
     if array.size == 0:
         raise DatasetError("ecdf of empty data")
     probabilities = np.arange(1, array.size + 1) / array.size
@@ -44,7 +57,7 @@ def ecdf(values) -> tuple[np.ndarray, np.ndarray]:
 
 def ccdf(values) -> tuple[np.ndarray, np.ndarray]:
     """Complementary CDF: returns (sorted values, P[X >= x])."""
-    array = np.sort(np.asarray(list(values), dtype=float))
+    array = np.sort(_as_float_array(values))
     if array.size == 0:
         raise DatasetError("ccdf of empty data")
     probabilities = 1.0 - np.arange(array.size) / array.size
@@ -53,7 +66,7 @@ def ccdf(values) -> tuple[np.ndarray, np.ndarray]:
 
 def ccdf_at(values, threshold: float) -> float:
     """P[X >= threshold] from the empirical distribution."""
-    array = np.asarray(list(values), dtype=float)
+    array = _as_float_array(values)
     if array.size == 0:
         raise DatasetError("ccdf_at of empty data")
     return float(np.mean(array >= threshold))
@@ -74,7 +87,7 @@ class Summary:
 
 def summarize(values) -> Summary:
     """Summary statistics of a non-empty sequence."""
-    array = np.asarray(list(values), dtype=float)
+    array = _as_float_array(values)
     if array.size == 0:
         raise DatasetError("summary of empty data")
     return Summary(

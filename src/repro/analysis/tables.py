@@ -2,7 +2,21 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+
+
+def _render_cell(cell, float_format: str) -> str:
+    """One cell as text; numpy scalars render like their Python
+    counterparts (column-sourced aggregates must not leak dtype repr)."""
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, (float, np.floating)):
+        return float_format.format(float(cell))
+    if isinstance(cell, np.integer):
+        return str(int(cell))
+    return str(cell)
 
 
 def format_table(
@@ -13,8 +27,9 @@ def format_table(
 ) -> str:
     """Render an aligned monospace table.
 
-    Floats are formatted with ``float_format``; everything else via
-    ``str``.  Raises on ragged rows.
+    Floats (including numpy floating scalars) are formatted with
+    ``float_format``; everything else via ``str``.  Raises on ragged
+    rows.
     """
     rendered_rows: list[list[str]] = []
     for row in rows:
@@ -22,14 +37,13 @@ def format_table(
             raise ConfigurationError(
                 f"row width {len(row)} != header width {len(headers)}: {row!r}"
             )
-        rendered_rows.append(
-            [
-                float_format.format(cell) if isinstance(cell, float) else str(cell)
-                for cell in row
-            ]
-        )
+        rendered_rows.append([_render_cell(cell, float_format) for cell in row])
     widths = [
-        max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(headers[i])
+        (
+            max(len(headers[i]), *(len(r[i]) for r in rendered_rows))
+            if rendered_rows
+            else len(headers[i])
+        )
         for i in range(len(headers))
     ]
     lines: list[str] = []

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
 
@@ -30,7 +32,16 @@ class Check:
     predicate: Callable[[dict[str, float]], bool]
 
     def evaluate(self, metrics: dict[str, float]) -> "CheckOutcome":
-        """Evaluate against measured metrics (missing keys = failure)."""
+        """Evaluate against measured metrics (missing keys = failure).
+
+        Numpy scalars (column-sourced metrics) are coerced to Python
+        floats first, so predicates see one numeric type regardless of
+        which storage backend produced the experiment's dataset.
+        """
+        metrics = {
+            key: float(value) if isinstance(value, np.number) else value
+            for key, value in metrics.items()
+        }
         try:
             passed = bool(self.predicate(metrics))
         except KeyError as exc:

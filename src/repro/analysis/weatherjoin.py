@@ -8,6 +8,8 @@ condition, ordered by increasing cloud cover.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.analysis.stats import Summary, summarize
 from repro.extension.records import PageLoadRecord
 from repro.weather.conditions import WEATHER_CONDITIONS, WeatherCondition
@@ -15,12 +17,16 @@ from repro.weather.history import WeatherHistory
 
 
 def ptt_by_condition(
-    records: list[PageLoadRecord],
+    records: Iterable[PageLoadRecord],
     weather: WeatherHistory,
     city_name: str,
     min_samples: int = 3,
 ) -> dict[WeatherCondition, Summary]:
     """PTT (ms) summaries per weather condition for one city's records.
+
+    ``records`` is any iterable of page-load records — a list from
+    ``Dataset.select`` or a streaming ``Dataset.iter_page_loads()``
+    from a spill backend; it is consumed in one pass.
 
     Conditions with fewer than ``min_samples`` records are omitted
     (they would make medians meaningless).  Keys iterate in

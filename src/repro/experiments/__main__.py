@@ -62,6 +62,18 @@ def main(argv: list[str] | None = None) -> int:
         choices=("fork", "spawn", "forkserver"),
         help="multiprocessing start method for campaign workers",
     )
+    parser.add_argument(
+        "--storage",
+        choices=("memory", "columnar", "spill"),
+        help="dataset storage backend (spill = bounded-memory .npz "
+        "segments on disk; dataset is bit-identical across backends)",
+    )
+    parser.add_argument(
+        "--storage-dir",
+        metavar="DIR",
+        help="segment directory for --storage spill (default: a fresh "
+        "temporary directory)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--dump-series",
@@ -107,7 +119,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def apply_runtime_env(args) -> None:
-    """Thread supervision/checkpoint flags to the campaign runtime.
+    """Thread supervision/checkpoint/storage flags to the runtime.
 
     Experiments build their own ``CampaignConfig`` behind the uniform
     ``run(seed, scale, n_workers)`` signature, so the CLI hands these
@@ -127,6 +139,10 @@ def apply_runtime_env(args) -> None:
         os.environ["REPRO_SHARD_TIMEOUT_S"] = str(args.shard_timeout)
     if getattr(args, "mp_start", None):
         os.environ["REPRO_MP_START"] = args.mp_start
+    if getattr(args, "storage", None):
+        os.environ["REPRO_STORAGE"] = args.storage
+    if getattr(args, "storage_dir", None):
+        os.environ["REPRO_STORAGE_DIR"] = args.storage_dir
 
 
 def dump_series(result, directory: str) -> list[str]:

@@ -18,7 +18,7 @@ from repro.analysis.stats import median
 from repro.experiments.base import ExperimentResult, register, scaled
 from repro.net.loss import BernoulliLoss, HandoverBurstLoss
 from repro.rng import stream
-from repro.web.hosting import HostingModel, ServerKind
+from repro.web.hosting import HostingModel
 from repro.web.page import PageProfileGenerator
 from repro.web.browser import PageLoadSimulator, StaticConnectionModel
 from repro.web.tranco import TrancoList
@@ -72,7 +72,11 @@ def run_loss_model_ablation(
         title="Handover burst loss vs i.i.d. loss at equal mean",
         headers=["model", "clumpiness (top-10% share)", "P[second >= 5% loss]"],
         rows=[
-            ["handover bursts", metrics["burst_clumpiness"], metrics["burst_seconds_over_5pct"]],
+            [
+                "handover bursts",
+                metrics["burst_clumpiness"],
+                metrics["burst_seconds_over_5pct"],
+            ],
             ["i.i.d.", metrics["iid_clumpiness"], metrics["iid_seconds_over_5pct"]],
         ],
         metrics=metrics,
@@ -131,8 +135,18 @@ def run_cdn_ablation(
         title="CDN-presence-by-popularity vs uniform hosting",
         headers=["hosting model", "popular med (ms)", "unpopular med (ms)", "gap (ms)"],
         rows=[
-            ["popularity-aware", metrics["aware_popular_median"], metrics["aware_unpopular_median"], metrics["aware_gap_ms"]],
-            ["uniform", metrics["uniform_popular_median"], metrics["uniform_unpopular_median"], metrics["uniform_gap_ms"]],
+            [
+                "popularity-aware",
+                metrics["aware_popular_median"],
+                metrics["aware_unpopular_median"],
+                metrics["aware_gap_ms"],
+            ],
+            [
+                "uniform",
+                metrics["uniform_popular_median"],
+                metrics["uniform_unpopular_median"],
+                metrics["uniform_gap_ms"],
+            ],
         ],
         metrics=metrics,
         paper_reference={"figure3": "popular sites sustain lower PTTs"},
@@ -156,7 +170,9 @@ def run_queueing_ablation(
     shell = starlink_shell1(n_planes=36, sats_per_plane=18)
     london = city("london")
 
-    def measure(stochastic_wireless: bool, transit_mean_s: float) -> tuple[float, float]:
+    def measure(
+        stochastic_wireless: bool, transit_mean_s: float
+    ) -> tuple[float, float]:
         bentpipe = BentPipeModel(
             shell, london.location, pop_for_city("london").gateway, "london", seed=seed
         )
@@ -187,15 +203,29 @@ def run_queueing_ablation(
         "bentpipe_model_wireless_fraction": wireless_on / whole_on if whole_on else 0.0,
         "transit_model_wireless_ms": wireless_off,
         "transit_model_whole_ms": whole_off,
-        "transit_model_wireless_fraction": wireless_off / whole_off if whole_off else 0.0,
+        "transit_model_wireless_fraction": (
+            wireless_off / whole_off if whole_off else 0.0
+        ),
     }
     return ExperimentResult(
         experiment_id="ablation_queueing",
         title="Queueing placement: bent pipe vs terrestrial transit",
-        headers=["model", "wireless med q (ms)", "whole-path med q (ms)", "wireless share"],
+        headers=[
+            "model", "wireless med q (ms)", "whole-path med q (ms)", "wireless share"
+        ],
         rows=[
-            ["queueing on bent pipe", wireless_on, whole_on, metrics["bentpipe_model_wireless_fraction"]],
-            ["queueing on transit", wireless_off, whole_off, metrics["transit_model_wireless_fraction"]],
+            [
+                "queueing on bent pipe",
+                wireless_on,
+                whole_on,
+                metrics["bentpipe_model_wireless_fraction"],
+            ],
+            [
+                "queueing on transit",
+                wireless_off,
+                whole_off,
+                metrics["transit_model_wireless_fraction"],
+            ],
         ],
         metrics=metrics,
         paper_reference={

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 from repro.analysis.tables import format_table
 from repro.errors import ConfigurationError
@@ -125,7 +125,11 @@ class ExperimentResult:
         if self.metrics:
             parts.append("metrics:")
             for key, value in self.metrics.items():
-                parts.append(f"  {key} = {value:.4g}" if isinstance(value, float) else f"  {key} = {value}")
+                parts.append(
+                    f"  {key} = {value:.4g}"
+                    if isinstance(value, float)
+                    else f"  {key} = {value}"
+                )
         if self.paper_reference:
             parts.append("paper reference:")
             for key, value in self.paper_reference.items():

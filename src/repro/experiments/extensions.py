@@ -57,8 +57,11 @@ def run_isl_extension(
         hops = float(np.median([p.n_isl_hops for p in isl_paths]))
         # Measured-architecture path: bent pipe to the local PoP, then fibre.
         bentpipe = BentPipeModel(
-            shell, src, pop_for_city(src_name if src_name != "gcp_london" else "london").gateway,
-            src_name if src_name != "gcp_london" else "london", seed=seed,
+            shell,
+            src,
+            pop_for_city(src_name if src_name != "gcp_london" else "london").gateway,
+            src_name if src_name != "gcp_london" else "london",
+            seed=seed,
         )
         bent_ms = float(
             np.median(
@@ -79,7 +82,8 @@ def run_isl_extension(
         metrics["london_to_sydney_isl_ms"] < metrics["london_to_sydney_fibre_ms"]
     )
     metrics["fibre_beats_isl_short_path"] = float(
-        metrics["london_to_gcp_london_fibre_ms"] < metrics["london_to_gcp_london_isl_ms"]
+        metrics["london_to_gcp_london_fibre_ms"]
+        < metrics["london_to_gcp_london_isl_ms"]
     )
     return ExperimentResult(
         experiment_id="extension_isl",
@@ -116,7 +120,9 @@ def run_geo_extension(
     london = city("london").location
     virginia = city("n_virginia").location
     shell = starlink_shell1(n_planes=36, sats_per_plane=18)
-    bentpipe = BentPipeModel(shell, london, pop_for_city("london").gateway, "london", seed=seed)
+    bentpipe = BentPipeModel(
+        shell, london, pop_for_city("london").gateway, "london", seed=seed
+    )
 
     starlink = Scenario.starlink(
         bentpipe, virginia, AccessConfig(time_offset_s=3600.0, seed=seed)
@@ -133,7 +139,9 @@ def run_geo_extension(
     rows = []
     metrics: dict[str, float] = {}
     for name, path in paths.items():
-        result = ping(path.network, path.client, path.server, count=count, timeout_s=3.0)
+        result = ping(
+            path.network, path.client, path.server, count=count, timeout_s=3.0
+        )
         rtts = sorted(result.rtts_s)
         median_ms = rtts[len(rtts) // 2] * 1000.0
         rows.append([name, median_ms])
@@ -185,7 +193,9 @@ def run_transport_extension(
     metrics: dict[str, float] = {"udp_achievable_mbps": udp.achieved_mbps}
     for cc in ("bbr", "bbr-leo"):
         result = run_iperf_tcp(
-            _starlink_path(node, t_start, duration_s, seed), cc=cc, duration_s=duration_s
+            _starlink_path(node, t_start, duration_s, seed),
+            cc=cc,
+            duration_s=duration_s,
         )
         norm = result.goodput_mbps / udp.achieved_mbps
         rows.append([cc, result.goodput_mbps, norm, result.timeouts])
@@ -242,7 +252,11 @@ def run_ptt_ablation(
             resolved = hosting.resolve(site.domain, site.rank, "UK")
             profile = pages.draw(site, rng)
             timing = simulator.load(
-                profile, resolved, 3600.0, rng, device_multiplier=device_multiplier[group]
+                profile,
+                resolved,
+                3600.0,
+                rng,
+                device_multiplier=device_multiplier[group],
             )
             ptts[group].append(timing.ptt_ms)
             plts[group].append(timing.plt_ms)

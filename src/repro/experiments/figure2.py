@@ -45,7 +45,9 @@ def run(
     for city_name in NODE_CITIES:
         node = MeasurementNode(city_name, shell=shell, weather=weather, seed=seed)
         pop = pop_for_city(city_name)
-        gateway_km = great_circle_distance_m(city(city_name).location, pop.gateway) / 1000.0
+        gateway_km = (
+            great_circle_distance_m(city(city_name).location, pop.gateway) / 1000.0
+        )
         status = node.dishy_status(3600.0)
         rows.append(
             [

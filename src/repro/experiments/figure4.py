@@ -13,7 +13,6 @@ from __future__ import annotations
 from repro.analysis.weatherjoin import ptt_by_condition
 from repro.experiments.base import ExperimentResult, campaign_metrics, register
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
-from repro.weather.conditions import WeatherCondition
 from repro.web.tranco import GOOGLE_SERVICE_DOMAINS
 
 
@@ -39,7 +38,13 @@ def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResu
     metrics: dict[str, float] = {}
     for condition, summary in summaries.items():
         rows.append(
-            [condition.display_name, summary.n, summary.p25, summary.median, summary.p75]
+            [
+                condition.display_name,
+                summary.n,
+                summary.p25,
+                summary.median,
+                summary.p75,
+            ]
         )
         key = condition.name.lower()
         metrics[f"{key}_median_ptt_ms"] = summary.median

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.stats import ecdf, percentile
-from repro.experiments.base import ExperimentResult, register, scaled
+from repro.experiments.base import ExperimentResult, register
 from repro.nodes.cron import cron_times
 from repro.nodes.rpi import NODE_CITIES, MeasurementNode
 from repro.orbits.constellation import starlink_shell1

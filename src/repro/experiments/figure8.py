@@ -122,13 +122,21 @@ def run(
     }
     for cc in CCAS:
         starlink_result = run_iperf_tcp(
-            _starlink_path(node, t_start, duration_s, seed), cc=cc, duration_s=duration_s
+            _starlink_path(node, t_start, duration_s, seed),
+            cc=cc,
+            duration_s=duration_s,
         )
         wifi_result = run_iperf_tcp(_wifi_path(seed), cc=cc, duration_s=duration_s)
         norm_starlink = starlink_result.goodput_mbps / udp_starlink.achieved_mbps
         norm_wifi = wifi_result.goodput_mbps / udp_wifi.achieved_mbps
         rows.append(
-            [cc, norm_starlink, norm_wifi, starlink_result.goodput_mbps, wifi_result.goodput_mbps]
+            [
+                cc,
+                norm_starlink,
+                norm_wifi,
+                starlink_result.goodput_mbps,
+                wifi_result.goodput_mbps,
+            ]
         )
         metrics[f"{cc}_starlink_norm"] = norm_starlink
         metrics[f"{cc}_wifi_norm"] = norm_wifi

@@ -102,7 +102,9 @@ def run(
         rows.append([city_name, w_min, w_med, w_max, p_min, p_med, p_max])
         metrics[f"{city_name}_wireless_median_ms"] = w_med
         metrics[f"{city_name}_whole_median_ms"] = p_med
-        metrics[f"{city_name}_wireless_fraction"] = w_med / p_med if p_med else float("nan")
+        metrics[f"{city_name}_wireless_fraction"] = (
+            w_med / p_med if p_med else float("nan")
+        )
 
     paper_reference = {
         f"{node}_{segment}": f"min/med/max = {v[0]}/{v[1]}/{v[2]} ms"

@@ -1,0 +1,682 @@
+"""Pluggable dataset storage backends.
+
+The campaign dataset can be held three ways, all bit-identical through
+the :class:`~repro.extension.storage.Dataset` facade:
+
+* ``memory`` — the classic two Python lists.  Zero overhead for small
+  campaigns; every record stays resident.
+* ``columnar`` — numpy column chunks with the typed schemas of
+  :mod:`repro.extension.columnar`.  Records are staged in a small
+  buffer and compacted into immutable array chunks; column reads are
+  O(1) amortised (cached concatenation), record reads decode on demand.
+* ``spill`` — bounded-memory columnar segments on disk (``.npz`` files
+  plus a small JSON manifest).  Appends stage up to ``segment_records``
+  records and then spill one segment; iteration streams one segment at
+  a time, so peak memory is independent of dataset size.
+
+Every backend implements the same :class:`DatasetBackend` protocol:
+append/extend for ingest (including array-level ``extend_*_arrays``
+used by the vectorised shard merge), streaming iteration, column
+access, per-user deletion and counts.  The backend choice is an
+execution detail — it never changes the dataset's bits — so it is
+excluded from the campaign checkpoint fingerprint, and
+``serial ≡ sharded ≡ resumed`` holds for any backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.extension import columnar
+from repro.extension.records import PageLoadRecord, SpeedtestRecord
+
+#: Backend names a config / ``REPRO_STORAGE`` may request.
+VALID_STORAGE = ("memory", "columnar", "spill")
+
+#: Default records per columnar chunk / on-disk spill segment.
+DEFAULT_SEGMENT_RECORDS = 4096
+
+_KINDS = ("page_loads", "speedtests")
+
+_CODECS = {
+    "page_loads": (
+        columnar.PAGE_LOAD_COLUMNS,
+        columnar.encode_page_loads,
+        columnar.decode_page_loads,
+        columnar.empty_page_load_arrays,
+    ),
+    "speedtests": (
+        columnar.SPEEDTEST_COLUMNS,
+        columnar.encode_speedtests,
+        columnar.decode_speedtests,
+        columnar.empty_speedtest_arrays,
+    ),
+}
+
+
+def resolve_storage(config=None) -> str:
+    """The storage backend name a campaign will use.
+
+    Precedence: ``CampaignConfig.storage``, then the ``REPRO_STORAGE``
+    environment variable (the CLI's side channel through the uniform
+    experiment-runner signature), then ``memory``.
+
+    Raises:
+        ConfigurationError: for an unknown backend name.
+    """
+    requested = getattr(config, "storage", None) if config is not None else None
+    if not requested:
+        requested = os.environ.get("REPRO_STORAGE") or None
+    if not requested:
+        return "memory"
+    if requested not in VALID_STORAGE:
+        raise ConfigurationError(
+            f"unknown storage backend {requested!r}; valid: {VALID_STORAGE}"
+        )
+    return requested
+
+
+def make_backend(
+    name: str,
+    directory: str | None = None,
+    segment_records: int = DEFAULT_SEGMENT_RECORDS,
+) -> "DatasetBackend":
+    """Instantiate a backend by name (``directory`` is spill-only)."""
+    if name == "memory":
+        return InMemoryBackend()
+    if name == "columnar":
+        return ColumnarBackend(segment_records=segment_records)
+    if name == "spill":
+        return SpillBackend(directory=directory, segment_records=segment_records)
+    raise ConfigurationError(
+        f"unknown storage backend {name!r}; valid: {VALID_STORAGE}"
+    )
+
+
+def backend_for_config(config) -> "DatasetBackend":
+    """The backend a campaign config (plus environment) asks for."""
+    directory = getattr(config, "storage_dir", None) or os.environ.get(
+        "REPRO_STORAGE_DIR"
+    )
+    segment_records = getattr(
+        config, "storage_segment_records", DEFAULT_SEGMENT_RECORDS
+    )
+    return make_backend(
+        resolve_storage(config),
+        directory=directory,
+        segment_records=segment_records,
+    )
+
+
+@runtime_checkable
+class DatasetBackend(Protocol):
+    """What a dataset storage backend must provide."""
+
+    #: Registry name (``memory``/``columnar``/``spill``).
+    name: str
+
+    def append_page_load(self, record: PageLoadRecord) -> None: ...
+
+    def append_speedtest(self, record: SpeedtestRecord) -> None: ...
+
+    def extend_page_loads(self, records) -> None: ...
+
+    def extend_speedtests(self, records) -> None: ...
+
+    def extend_page_load_arrays(self, arrays: dict[str, np.ndarray]) -> None: ...
+
+    def extend_speedtest_arrays(self, arrays: dict[str, np.ndarray]) -> None: ...
+
+    def iter_page_loads(self) -> Iterator[PageLoadRecord]: ...
+
+    def iter_speedtests(self) -> Iterator[SpeedtestRecord]: ...
+
+    def page_load_column(self, name: str) -> np.ndarray: ...
+
+    def speedtest_column(self, name: str) -> np.ndarray: ...
+
+    @property
+    def n_page_loads(self) -> int: ...
+
+    @property
+    def n_speedtests(self) -> int: ...
+
+    def delete_user(self, user_id: str) -> int: ...
+
+    def flush(self) -> None: ...
+
+
+class InMemoryBackend:
+    """The classic backend: two Python lists, records stay resident."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self.page_loads: list[PageLoadRecord] = []
+        self.speedtests: list[SpeedtestRecord] = []
+        self._column_cache: dict[tuple[str, str], np.ndarray] = {}
+
+    # -- ingest --------------------------------------------------------
+
+    def append_page_load(self, record: PageLoadRecord) -> None:
+        self.page_loads.append(record)
+        self._column_cache.clear()
+
+    def append_speedtest(self, record: SpeedtestRecord) -> None:
+        self.speedtests.append(record)
+        self._column_cache.clear()
+
+    def extend_page_loads(self, records) -> None:
+        self.page_loads.extend(records)
+        self._column_cache.clear()
+
+    def extend_speedtests(self, records) -> None:
+        self.speedtests.extend(records)
+        self._column_cache.clear()
+
+    def extend_page_load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self.extend_page_loads(columnar.decode_page_loads(arrays))
+
+    def extend_speedtest_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self.extend_speedtests(columnar.decode_speedtests(arrays))
+
+    # -- reads ---------------------------------------------------------
+
+    def iter_page_loads(self) -> Iterator[PageLoadRecord]:
+        return iter(self.page_loads)
+
+    def iter_speedtests(self) -> Iterator[SpeedtestRecord]:
+        return iter(self.speedtests)
+
+    def _stored_column(self, kind: str, name: str) -> np.ndarray:
+        key = (kind, name)
+        if key not in self._column_cache:
+            records = self.page_loads if kind == "page_loads" else self.speedtests
+            _, encode, _, empty = _CODECS[kind]
+            arrays = encode(records) if records else empty()
+            for column, values in arrays.items():
+                self._column_cache[(kind, column)] = values
+        return self._column_cache[key]
+
+    def page_load_column(self, name: str) -> np.ndarray:
+        if name in columnar.PAGE_LOAD_DERIVED:
+            return columnar.derived_page_load_column(
+                name, lambda c: self._stored_column("page_loads", c)
+            )
+        if name not in columnar.PAGE_LOAD_COLUMNS:
+            raise DatasetError(f"unknown page-load column {name!r}")
+        return self._stored_column("page_loads", name)
+
+    def speedtest_column(self, name: str) -> np.ndarray:
+        if name not in columnar.SPEEDTEST_COLUMNS:
+            raise DatasetError(f"unknown speedtest column {name!r}")
+        return self._stored_column("speedtests", name)
+
+    @property
+    def n_page_loads(self) -> int:
+        return len(self.page_loads)
+
+    @property
+    def n_speedtests(self) -> int:
+        return len(self.speedtests)
+
+    # -- mutation ------------------------------------------------------
+
+    def delete_user(self, user_id: str) -> int:
+        before = len(self.page_loads) + len(self.speedtests)
+        self.page_loads = [r for r in self.page_loads if r.user_id != user_id]
+        self.speedtests = [r for r in self.speedtests if r.user_id != user_id]
+        self._column_cache.clear()
+        return before - len(self.page_loads) - len(self.speedtests)
+
+    def flush(self) -> None:
+        """Nothing staged; present for protocol symmetry."""
+
+
+class ColumnarBackend:
+    """Typed numpy column chunks with a small staging buffer.
+
+    Appends stage record objects; once ``segment_records`` accumulate
+    they are encoded into one immutable column chunk and the staging
+    buffer is dropped.  Array-level extends adopt the caller's chunk
+    wholesale (no per-record object work) — the fast path the shard
+    merge uses.
+    """
+
+    name = "columnar"
+
+    def __init__(self, segment_records: int = DEFAULT_SEGMENT_RECORDS) -> None:
+        if segment_records < 1:
+            raise ConfigurationError(
+                f"segment_records must be >= 1, got {segment_records}"
+            )
+        self.segment_records = segment_records
+        self._chunks: dict[str, list[dict[str, np.ndarray]]] = {
+            kind: [] for kind in _KINDS
+        }
+        self._staging: dict[str, list] = {kind: [] for kind in _KINDS}
+        self._column_cache: dict[tuple[str, str], np.ndarray] = {}
+
+    # -- ingest --------------------------------------------------------
+
+    def _append(self, kind: str, record) -> None:
+        self._staging[kind].append(record)
+        self._column_cache.clear()
+        if len(self._staging[kind]) >= self.segment_records:
+            self._compact(kind)
+
+    def _compact(self, kind: str) -> None:
+        staged = self._staging[kind]
+        if not staged:
+            return
+        _, encode, _, _ = _CODECS[kind]
+        self._chunks[kind].append(encode(staged))
+        self._staging[kind] = []
+
+    def append_page_load(self, record: PageLoadRecord) -> None:
+        self._append("page_loads", record)
+
+    def append_speedtest(self, record: SpeedtestRecord) -> None:
+        self._append("speedtests", record)
+
+    def extend_page_loads(self, records) -> None:
+        for record in records:
+            self._append("page_loads", record)
+
+    def extend_speedtests(self, records) -> None:
+        for record in records:
+            self._append("speedtests", record)
+
+    def _extend_arrays(self, kind: str, arrays: dict[str, np.ndarray]) -> None:
+        columns, _, _, _ = _CODECS[kind]
+        missing = [name for name in columns if name not in arrays]
+        if missing:
+            raise DatasetError(f"{kind} array chunk missing columns {missing}")
+        n = len(arrays[columns[0]])
+        if n == 0:
+            return
+        # Preserve global append order: anything staged before this
+        # chunk must be compacted first.
+        self._compact(kind)
+        self._chunks[kind].append({name: arrays[name] for name in columns})
+        self._column_cache.clear()
+
+    def extend_page_load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self._extend_arrays("page_loads", arrays)
+
+    def extend_speedtest_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self._extend_arrays("speedtests", arrays)
+
+    # -- reads ---------------------------------------------------------
+
+    def _iter(self, kind: str) -> Iterator:
+        _, _, decode, _ = _CODECS[kind]
+        for chunk in self._chunks[kind]:
+            yield from decode(chunk)
+        yield from self._staging[kind]
+
+    def iter_page_loads(self) -> Iterator[PageLoadRecord]:
+        return self._iter("page_loads")
+
+    def iter_speedtests(self) -> Iterator[SpeedtestRecord]:
+        return self._iter("speedtests")
+
+    def _stored_column(self, kind: str, name: str) -> np.ndarray:
+        key = (kind, name)
+        if key not in self._column_cache:
+            columns, encode, _, empty = _CODECS[kind]
+            chunks = list(self._chunks[kind])
+            if self._staging[kind]:
+                chunks.append(encode(self._staging[kind]))
+            if not chunks:
+                chunks = [empty()]
+            merged = columnar.concat_columns(chunks, columns)
+            for column in columns:
+                self._column_cache[(kind, column)] = merged[column]
+        return self._column_cache[key]
+
+    def page_load_column(self, name: str) -> np.ndarray:
+        if name in columnar.PAGE_LOAD_DERIVED:
+            return columnar.derived_page_load_column(
+                name, lambda c: self._stored_column("page_loads", c)
+            )
+        if name not in columnar.PAGE_LOAD_COLUMNS:
+            raise DatasetError(f"unknown page-load column {name!r}")
+        return self._stored_column("page_loads", name)
+
+    def speedtest_column(self, name: str) -> np.ndarray:
+        if name not in columnar.SPEEDTEST_COLUMNS:
+            raise DatasetError(f"unknown speedtest column {name!r}")
+        return self._stored_column("speedtests", name)
+
+    def _count(self, kind: str) -> int:
+        columns, _, _, _ = _CODECS[kind]
+        stored = sum(len(chunk[columns[0]]) for chunk in self._chunks[kind])
+        return stored + len(self._staging[kind])
+
+    @property
+    def n_page_loads(self) -> int:
+        return self._count("page_loads")
+
+    @property
+    def n_speedtests(self) -> int:
+        return self._count("speedtests")
+
+    # -- mutation ------------------------------------------------------
+
+    def delete_user(self, user_id: str) -> int:
+        removed = 0
+        for kind in _KINDS:
+            columns, _, _, _ = _CODECS[kind]
+            kept_chunks = []
+            for chunk in self._chunks[kind]:
+                keep = chunk["user_id"] != user_id
+                dropped = int(keep.size - np.count_nonzero(keep))
+                if dropped:
+                    removed += dropped
+                    if np.count_nonzero(keep):
+                        kept_chunks.append(
+                            {name: chunk[name][keep] for name in columns}
+                        )
+                else:
+                    kept_chunks.append(chunk)
+            self._chunks[kind] = kept_chunks
+            staged = [r for r in self._staging[kind] if r.user_id != user_id]
+            removed += len(self._staging[kind]) - len(staged)
+            self._staging[kind] = staged
+        self._column_cache.clear()
+        return removed
+
+    def flush(self) -> None:
+        """Compact any staged records into chunks."""
+        for kind in _KINDS:
+            self._compact(kind)
+
+
+class SpillBackend:
+    """Bounded-memory columnar segments on disk plus a JSON manifest.
+
+    Layout (see DESIGN.md §9)::
+
+        <directory>/manifest.json
+        <directory>/pl-00000.npz     # page-load segment 0
+        <directory>/st-00000.npz     # speedtest segment 0
+
+    Segments are plain ``np.savez`` archives (one member per schema
+    column), written atomically; the manifest records every segment's
+    file name, record count and sha256, and is itself rewritten
+    atomically after each spill.  Only up to ``segment_records``
+    staged records are ever resident; iteration streams one segment at
+    a time and column reads load only the requested member from each
+    archive.
+    """
+
+    name = "spill"
+
+    MANIFEST = "manifest.json"
+    MANIFEST_VERSION = 1
+    _PREFIX = {"page_loads": "pl", "speedtests": "st"}
+
+    def __init__(
+        self,
+        directory: str | None = None,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+    ) -> None:
+        if segment_records < 1:
+            raise ConfigurationError(
+                f"segment_records must be >= 1, got {segment_records}"
+            )
+        self.directory = directory or tempfile.mkdtemp(prefix="repro-dataset-")
+        os.makedirs(self.directory, exist_ok=True)
+        self.segment_records = segment_records
+        #: Per kind: list of ``{"file", "n", "sha256"}`` manifest entries.
+        self._segments: dict[str, list[dict]] = {kind: [] for kind in _KINDS}
+        self._staging: dict[str, list] = {kind: [] for kind in _KINDS}
+        self._next_segment: dict[str, int] = {kind: 0 for kind in _KINDS}
+        self._column_cache: dict[tuple[str, str], np.ndarray] = {}
+
+    @classmethod
+    def open(cls, directory: str) -> "SpillBackend":
+        """Reopen a previously flushed spill directory for reading and
+        further appends."""
+        manifest_path = os.path.join(directory, cls.MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise DatasetError(
+                f"unreadable spill manifest at {manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("version") != cls.MANIFEST_VERSION:
+            raise DatasetError(
+                f"unsupported spill manifest version "
+                f"{manifest.get('version')!r} at {manifest_path}"
+            )
+        backend = cls(
+            directory=directory,
+            segment_records=int(
+                manifest.get("segment_records", DEFAULT_SEGMENT_RECORDS)
+            ),
+        )
+        for kind in _KINDS:
+            entries = manifest.get("kinds", {}).get(kind, [])
+            backend._segments[kind] = list(entries)
+            backend._next_segment[kind] = len(entries)
+        return backend
+
+    # -- persistence helpers -------------------------------------------
+
+    def _segment_path(self, entry: dict) -> str:
+        return os.path.join(self.directory, entry["file"])
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, path)
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": self.MANIFEST_VERSION,
+            "segment_records": self.segment_records,
+            "kinds": {kind: self._segments[kind] for kind in _KINDS},
+        }
+        self._write_atomic(
+            os.path.join(self.directory, self.MANIFEST),
+            json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8"),
+        )
+
+    def _save_segment(self, kind: str, arrays: dict[str, np.ndarray]) -> dict:
+        import hashlib
+        import io
+
+        index = self._next_segment[kind]
+        self._next_segment[kind] += 1
+        file_name = f"{self._PREFIX[kind]}-{index:05d}.npz"
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        data = buffer.getvalue()
+        self._write_atomic(os.path.join(self.directory, file_name), data)
+        columns, _, _, _ = _CODECS[kind]
+        return {
+            "file": file_name,
+            "n": int(len(arrays[columns[0]])),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        }
+
+    def _load_segment(
+        self, kind: str, entry: dict, columns=None
+    ) -> dict[str, np.ndarray]:
+        path = self._segment_path(entry)
+        all_columns, _, _, _ = _CODECS[kind]
+        wanted = tuple(columns) if columns is not None else all_columns
+        try:
+            with np.load(path) as npz:
+                arrays = {name: npz[name] for name in wanted}
+        except (OSError, ValueError, KeyError) as exc:
+            raise DatasetError(
+                f"torn spill segment {path} (manifest says {entry['n']} "
+                f"records): {exc}"
+            ) from exc
+        if any(len(arrays[name]) != entry["n"] for name in wanted):
+            raise DatasetError(
+                f"spill segment {path} length disagrees with its manifest"
+            )
+        return arrays
+
+    # -- ingest --------------------------------------------------------
+
+    def _append(self, kind: str, record) -> None:
+        self._staging[kind].append(record)
+        self._column_cache.clear()
+        if len(self._staging[kind]) >= self.segment_records:
+            self._spill(kind)
+
+    def _spill(self, kind: str) -> None:
+        staged = self._staging[kind]
+        if not staged:
+            return
+        _, encode, _, _ = _CODECS[kind]
+        self._segments[kind].append(self._save_segment(kind, encode(staged)))
+        self._staging[kind] = []
+        self._write_manifest()
+
+    def append_page_load(self, record: PageLoadRecord) -> None:
+        self._append("page_loads", record)
+
+    def append_speedtest(self, record: SpeedtestRecord) -> None:
+        self._append("speedtests", record)
+
+    def extend_page_loads(self, records) -> None:
+        for record in records:
+            self._append("page_loads", record)
+
+    def extend_speedtests(self, records) -> None:
+        for record in records:
+            self._append("speedtests", record)
+
+    def _extend_arrays(self, kind: str, arrays: dict[str, np.ndarray]) -> None:
+        columns, _, _, _ = _CODECS[kind]
+        missing = [name for name in columns if name not in arrays]
+        if missing:
+            raise DatasetError(f"{kind} array chunk missing columns {missing}")
+        n = len(arrays[columns[0]])
+        if n == 0:
+            return
+        self._spill(kind)  # keep global append order
+        # Bounded memory even for bulk adoption: slice the incoming
+        # chunk into segment-sized pieces.
+        for start in range(0, n, self.segment_records):
+            piece = {
+                name: arrays[name][start : start + self.segment_records]
+                for name in columns
+            }
+            self._segments[kind].append(self._save_segment(kind, piece))
+        self._write_manifest()
+        self._column_cache.clear()
+
+    def extend_page_load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self._extend_arrays("page_loads", arrays)
+
+    def extend_speedtest_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self._extend_arrays("speedtests", arrays)
+
+    # -- reads ---------------------------------------------------------
+
+    def _iter(self, kind: str) -> Iterator:
+        _, _, decode, _ = _CODECS[kind]
+        for entry in list(self._segments[kind]):
+            yield from decode(self._load_segment(kind, entry))
+        yield from list(self._staging[kind])
+
+    def iter_page_loads(self) -> Iterator[PageLoadRecord]:
+        return self._iter("page_loads")
+
+    def iter_speedtests(self) -> Iterator[SpeedtestRecord]:
+        return self._iter("speedtests")
+
+    def _stored_column(self, kind: str, name: str) -> np.ndarray:
+        key = (kind, name)
+        if key not in self._column_cache:
+            columns, encode, _, empty = _CODECS[kind]
+            chunks = [
+                self._load_segment(kind, entry, columns=(name,))
+                for entry in self._segments[kind]
+            ]
+            if self._staging[kind]:
+                chunks.append(encode(self._staging[kind]))
+            if not chunks:
+                chunks = [empty()]
+            self._column_cache[key] = columnar.concat_columns(chunks, (name,))[
+                name
+            ]
+        return self._column_cache[key]
+
+    def page_load_column(self, name: str) -> np.ndarray:
+        if name in columnar.PAGE_LOAD_DERIVED:
+            return columnar.derived_page_load_column(
+                name, lambda c: self._stored_column("page_loads", c)
+            )
+        if name not in columnar.PAGE_LOAD_COLUMNS:
+            raise DatasetError(f"unknown page-load column {name!r}")
+        return self._stored_column("page_loads", name)
+
+    def speedtest_column(self, name: str) -> np.ndarray:
+        if name not in columnar.SPEEDTEST_COLUMNS:
+            raise DatasetError(f"unknown speedtest column {name!r}")
+        return self._stored_column("speedtests", name)
+
+    def _count(self, kind: str) -> int:
+        stored = sum(entry["n"] for entry in self._segments[kind])
+        return stored + len(self._staging[kind])
+
+    @property
+    def n_page_loads(self) -> int:
+        return self._count("page_loads")
+
+    @property
+    def n_speedtests(self) -> int:
+        return self._count("speedtests")
+
+    # -- mutation ------------------------------------------------------
+
+    def delete_user(self, user_id: str) -> int:
+        removed = 0
+        for kind in _KINDS:
+            columns, _, _, _ = _CODECS[kind]
+            kept_entries = []
+            for entry in self._segments[kind]:
+                arrays = self._load_segment(kind, entry)
+                keep = arrays["user_id"] != user_id
+                dropped = int(keep.size - np.count_nonzero(keep))
+                if not dropped:
+                    kept_entries.append(entry)
+                    continue
+                removed += dropped
+                os.unlink(self._segment_path(entry))
+                if np.count_nonzero(keep):
+                    kept_entries.append(
+                        self._save_segment(
+                            kind, {name: arrays[name][keep] for name in columns}
+                        )
+                    )
+            self._segments[kind] = kept_entries
+            staged = [r for r in self._staging[kind] if r.user_id != user_id]
+            removed += len(self._staging[kind]) - len(staged)
+            self._staging[kind] = staged
+        self._write_manifest()
+        self._column_cache.clear()
+        return removed
+
+    def flush(self) -> None:
+        """Spill staged records (possibly a short final segment) and
+        write the manifest, making the directory self-describing."""
+        for kind in _KINDS:
+            self._spill(kind)
+        self._write_manifest()

@@ -104,6 +104,17 @@ class CampaignConfig:
             channel.  None of the supervision/checkpoint knobs ever
             change the dataset — recovery is bit-identical by the
             determinism contract.
+        storage: Dataset storage backend — ``memory`` (default),
+            ``columnar`` (numpy column chunks) or ``spill``
+            (bounded-memory ``.npz`` segments on disk, see DESIGN.md
+            §9).  None falls back to ``REPRO_STORAGE`` then ``memory``.
+            Execution-only: the dataset's records are bit-identical
+            across backends.
+        storage_dir: Directory for the ``spill`` backend's segments;
+            None falls back to ``REPRO_STORAGE_DIR`` then a fresh
+            temporary directory.
+        storage_segment_records: Records per columnar chunk / spill
+            segment (the bound on staged records in memory).
     """
 
     seed: int = 0
@@ -121,6 +132,9 @@ class CampaignConfig:
     retry_backoff_s: float | None = None
     checkpoint_dir: str | None = None
     resume: bool = False
+    storage: str | None = None
+    storage_dir: str | None = None
+    storage_segment_records: int = 4096
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -142,6 +156,19 @@ class CampaignConfig:
         if self.retry_backoff_s is not None and self.retry_backoff_s < 0:
             raise ConfigurationError(
                 f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.storage is not None:
+            from repro.extension.backends import VALID_STORAGE
+
+            if self.storage not in VALID_STORAGE:
+                raise ConfigurationError(
+                    f"unknown storage backend {self.storage!r}; "
+                    f"valid: {VALID_STORAGE}"
+                )
+        if self.storage_segment_records < 1:
+            raise ConfigurationError(
+                f"storage_segment_records must be >= 1, "
+                f"got {self.storage_segment_records}"
             )
 
 
@@ -305,14 +332,17 @@ class ExtensionCampaign:
         if precompute:
             for name in self._starlink_cities():
                 self.timeline_for_city(name)
-        dataset = Dataset()
+        from repro.extension.backends import backend_for_config
+
+        dataset = Dataset(backend=backend_for_config(self.config))
         shard_stats = ShardStats(shard_id=0, n_users=len(self.population.users))
         for user in self.population.users:
             page_loads, speedtests = self.run_user(user)
-            dataset.page_loads.extend(page_loads)
-            dataset.speedtests.extend(speedtests)
+            dataset.extend_page_loads(page_loads)
+            dataset.extend_speedtests(speedtests)
             shard_stats.n_page_loads += len(page_loads)
             shard_stats.n_speedtests += len(speedtests)
+        dataset.flush()
         shard_stats.wall_s = time.perf_counter() - started
         for cache in self.geometry_caches():
             shard_stats.geometry_scans += cache.misses
@@ -360,7 +390,9 @@ class ExtensionCampaign:
         for event in events:
             if event.kind is EventKind.SPEEDTEST:
                 speedtests.append(
-                    self._speedtest_record(user, connection, event.t_s, iowa_extra_s, rng)
+                    self._speedtest_record(
+                        user, connection, event.t_s, iowa_extra_s, rng
+                    )
                 )
                 continue
             sites = (

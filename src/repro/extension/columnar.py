@@ -1,0 +1,286 @@
+"""Columnar codec for measurement records (arrays ⇄ record objects).
+
+The dataset's record types (:class:`~repro.extension.records.PageLoadRecord`
+and :class:`~repro.extension.records.SpeedtestRecord`) are flat bundles of
+floats, ints, bools and short strings — exactly the shape large measurement
+datasets (WetLinks, the IPv6 Starlink corpus) publish as on-disk columnar
+tables.  This module is the single source of truth for that columnar view:
+
+* **Typed schemas** — one ``(name, kind)`` tuple per record field, with
+  the 8 navigation-timing components flattened to ``timing_*`` columns.
+* **Exact encode/decode** — floats are stored as float64 (a Python float
+  round-trips bit-for-bit), ints as int64, bools as bool, strings as numpy
+  unicode arrays sized to the batch.  ``decode(encode(records)) ==
+  records`` holds exactly, which is what lets every storage backend and
+  the checkpoint spill keep the repo's bit-identity contract.
+* **Derived columns** — ``ptt_ms``/``plt_ms`` computed vectorised in the
+  same operation order as the scalar properties, so column reads match
+  per-record arithmetic bit-for-bit.
+* **A checksummed container** — a small framed file format (magic +
+  sha256 + npz payload) used by the checkpoint store, so truncated or
+  bit-flipped spill files are detected instead of half-loaded.
+
+Backends (:mod:`repro.extension.backends`) and the shard checkpoint store
+(:mod:`repro.runtime.checkpoint`) both build on these primitives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.extension.records import PageLoadRecord, SpeedtestRecord
+from repro.units import MS_PER_S
+from repro.web.timing import NavigationTiming
+
+#: Navigation-timing components, flattened to ``timing_<name>`` columns.
+TIMING_FIELDS = (
+    "redirect_s",
+    "dns_s",
+    "connect_s",
+    "tls_s",
+    "request_s",
+    "response_s",
+    "dom_s",
+    "render_s",
+)
+
+#: Page-load schema: ``(column, kind)`` with kind in str/bool/int/float.
+PAGE_LOAD_SCHEMA = (
+    ("user_id", "str"),
+    ("city", "str"),
+    ("region", "str"),
+    ("isp", "str"),
+    ("is_starlink", "bool"),
+    ("exit_asn", "int"),
+    ("t_s", "float"),
+    ("domain", "str"),
+    ("rank", "int"),
+    ("is_popular", "bool"),
+) + tuple((f"timing_{name}", "float") for name in TIMING_FIELDS)
+
+#: Speedtest schema.
+SPEEDTEST_SCHEMA = (
+    ("user_id", "str"),
+    ("city", "str"),
+    ("isp", "str"),
+    ("is_starlink", "bool"),
+    ("t_s", "float"),
+    ("download_mbps", "float"),
+    ("upload_mbps", "float"),
+    ("ping_ms", "float"),
+)
+
+PAGE_LOAD_COLUMNS = tuple(name for name, _ in PAGE_LOAD_SCHEMA)
+SPEEDTEST_COLUMNS = tuple(name for name, _ in SPEEDTEST_SCHEMA)
+
+#: Columns derivable from stored ones (vectorised, bit-identical to the
+#: scalar record properties).
+PAGE_LOAD_DERIVED = ("ptt_ms", "plt_ms")
+
+_EMPTY_DTYPES = {
+    "str": "<U1",
+    "bool": np.bool_,
+    "int": np.int64,
+    "float": np.float64,
+}
+
+
+def _column(kind: str, values: list) -> np.ndarray:
+    if not values:
+        return np.empty(0, dtype=_EMPTY_DTYPES[kind])
+    if kind == "str":
+        return np.array(values, dtype=np.str_)
+    return np.array(values, dtype=_EMPTY_DTYPES[kind])
+
+
+def encode_page_loads(records) -> dict[str, np.ndarray]:
+    """Encode page-load records into per-field columns."""
+    staged: dict[str, list] = {name: [] for name in PAGE_LOAD_COLUMNS}
+    for record in records:
+        staged["user_id"].append(record.user_id)
+        staged["city"].append(record.city)
+        staged["region"].append(record.region)
+        staged["isp"].append(record.isp)
+        staged["is_starlink"].append(record.is_starlink)
+        staged["exit_asn"].append(record.exit_asn)
+        staged["t_s"].append(record.t_s)
+        staged["domain"].append(record.domain)
+        staged["rank"].append(record.rank)
+        staged["is_popular"].append(record.is_popular)
+        timing = record.timing
+        for name in TIMING_FIELDS:
+            staged[f"timing_{name}"].append(getattr(timing, name))
+    return {
+        name: _column(kind, staged[name]) for name, kind in PAGE_LOAD_SCHEMA
+    }
+
+
+def decode_page_loads(arrays: dict[str, np.ndarray]) -> list[PageLoadRecord]:
+    """Decode page-load columns back into record objects (exact)."""
+    columns = {name: arrays[name].tolist() for name in PAGE_LOAD_COLUMNS}
+    timing_columns = [columns[f"timing_{name}"] for name in TIMING_FIELDS]
+    return [
+        PageLoadRecord(
+            user_id=columns["user_id"][i],
+            city=columns["city"][i],
+            region=columns["region"][i],
+            isp=columns["isp"][i],
+            is_starlink=columns["is_starlink"][i],
+            exit_asn=columns["exit_asn"][i],
+            t_s=columns["t_s"][i],
+            domain=columns["domain"][i],
+            rank=columns["rank"][i],
+            is_popular=columns["is_popular"][i],
+            timing=NavigationTiming(
+                *(timing_columns[j][i] for j in range(len(TIMING_FIELDS)))
+            ),
+        )
+        for i in range(len(columns["user_id"]))
+    ]
+
+
+def encode_speedtests(records) -> dict[str, np.ndarray]:
+    """Encode speedtest records into per-field columns."""
+    staged: dict[str, list] = {name: [] for name in SPEEDTEST_COLUMNS}
+    for record in records:
+        for name in SPEEDTEST_COLUMNS:
+            staged[name].append(getattr(record, name))
+    return {
+        name: _column(kind, staged[name]) for name, kind in SPEEDTEST_SCHEMA
+    }
+
+
+def decode_speedtests(arrays: dict[str, np.ndarray]) -> list[SpeedtestRecord]:
+    """Decode speedtest columns back into record objects (exact)."""
+    columns = [arrays[name].tolist() for name in SPEEDTEST_COLUMNS]
+    return [
+        SpeedtestRecord(*(column[i] for column in columns))
+        for i in range(len(columns[0]))
+    ]
+
+
+def empty_page_load_arrays() -> dict[str, np.ndarray]:
+    """A zero-record page-load column set (correct dtypes)."""
+    return {
+        name: np.empty(0, dtype=_EMPTY_DTYPES[kind])
+        for name, kind in PAGE_LOAD_SCHEMA
+    }
+
+
+def empty_speedtest_arrays() -> dict[str, np.ndarray]:
+    """A zero-record speedtest column set (correct dtypes)."""
+    return {
+        name: np.empty(0, dtype=_EMPTY_DTYPES[kind])
+        for name, kind in SPEEDTEST_SCHEMA
+    }
+
+
+def concat_columns(
+    chunks: list[dict[str, np.ndarray]], columns
+) -> dict[str, np.ndarray]:
+    """Concatenate column chunks (numpy promotes string widths)."""
+    if not chunks:
+        return {}
+    if len(chunks) == 1:
+        return dict(chunks[0])
+    return {
+        name: np.concatenate([chunk[name] for chunk in chunks])
+        for name in columns
+    }
+
+
+def derived_page_load_column(name: str, get) -> np.ndarray:
+    """Compute a derived page-load column from stored ones.
+
+    ``get(column)`` must return the stored column array.  The arithmetic
+    mirrors :class:`~repro.web.timing.NavigationTiming` property order
+    exactly (left-to-right float64 additions, then the ms conversion),
+    so a derived column is bitwise equal to the per-record properties.
+    """
+    if name == "ptt_ms":
+        total = get("timing_redirect_s")
+        for field in ("dns_s", "connect_s", "tls_s", "request_s", "response_s"):
+            total = total + get(f"timing_{field}")
+        return total * MS_PER_S
+    if name == "plt_ms":
+        total = get("timing_redirect_s")
+        for field in ("dns_s", "connect_s", "tls_s", "request_s", "response_s"):
+            total = total + get(f"timing_{field}")
+        total = total + get("timing_dom_s") + get("timing_render_s")
+        return total * MS_PER_S
+    raise DatasetError(f"unknown derived page-load column {name!r}")
+
+
+# -- checksummed npz container ------------------------------------------
+
+#: Frame magic of the checksummed container (versioned).
+CONTAINER_MAGIC = b"RPRSEG1\n"
+_DIGEST_BYTES = 32
+_META_KEY = "__meta_json__"
+
+
+def _npz_bytes(arrays: dict[str, np.ndarray], meta: dict) -> bytes:
+    payload = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    return buffer.getvalue()
+
+
+def write_checksummed_npz(
+    path: str, arrays: dict[str, np.ndarray], meta: dict
+) -> str:
+    """Atomically write ``magic + sha256(payload) + npz(arrays, meta)``.
+
+    The embedded digest makes loads self-validating: truncation and bit
+    flips anywhere in the payload are detected before any array is
+    trusted.  Returns ``path``.
+    """
+    payload = _npz_bytes(arrays, meta)
+    digest = hashlib.sha256(payload).digest()
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "wb") as handle:
+        handle.write(CONTAINER_MAGIC)
+        handle.write(digest)
+        handle.write(payload)
+    os.replace(tmp_path, path)
+    return path
+
+
+def read_checksummed_npz(path: str) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a checksummed container; raises :class:`DatasetError` on any
+    corruption (missing/short file, wrong magic, digest mismatch,
+    unparsable payload)."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise DatasetError(f"unreadable columnar segment {path}: {exc}") from exc
+    header = len(CONTAINER_MAGIC) + _DIGEST_BYTES
+    if len(blob) < header or not blob.startswith(CONTAINER_MAGIC):
+        raise DatasetError(f"not a columnar segment: {path}")
+    digest = blob[len(CONTAINER_MAGIC) : header]
+    payload = blob[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise DatasetError(f"columnar segment checksum mismatch: {path}")
+    try:
+        with np.load(io.BytesIO(payload)) as npz:
+            arrays = {name: npz[name] for name in npz.files}
+    except (OSError, ValueError, KeyError) as exc:
+        raise DatasetError(f"torn columnar segment {path}: {exc}") from exc
+    meta_blob = arrays.pop(_META_KEY, None)
+    if meta_blob is None:
+        raise DatasetError(f"columnar segment missing metadata: {path}")
+    try:
+        meta = json.loads(bytes(meta_blob.tobytes()).decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise DatasetError(f"unreadable segment metadata: {path}") from exc
+    return arrays, meta

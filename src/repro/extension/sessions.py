@@ -82,7 +82,9 @@ class SessionGenerator:
         self.speedtest_daily_rate = speedtest_daily_rate
         self._rng = stream(seed, "sessions", user.user_id)
 
-    def _draw_times(self, start_s: float, end_s: float, daily_rate: float) -> list[float]:
+    def _draw_times(
+        self, start_s: float, end_s: float, daily_rate: float
+    ) -> list[float]:
         """Thinned non-homogeneous Poisson draws over [start, end)."""
         if end_s <= start_s:
             raise ConfigurationError("end must exceed start")

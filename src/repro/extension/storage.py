@@ -5,16 +5,22 @@ speedtest records, supports the slices the analysis needs (city, ISP
 class, time window, popularity), computes the aggregates that appear in
 the paper's tables, honours user data-deletion requests, and
 round-trips to JSON Lines.
+
+Since PR 5 the actual record storage is pluggable: :class:`Dataset` is
+a facade over a :class:`~repro.extension.backends.DatasetBackend`
+(in-memory lists by default; numpy-columnar and spill-to-disk backends
+for bounded-memory campaigns — see DESIGN.md §9).  The query API is
+backend-agnostic and the dataset's contents are bit-identical across
+backends.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
 
 from repro.errors import DatasetError
+from repro.extension.backends import DatasetBackend, InMemoryBackend
 from repro.extension.records import PageLoadRecord, SpeedtestRecord
 from repro.web.timing import NavigationTiming
 
@@ -29,22 +35,94 @@ def _median(values: list[float]) -> float:
     return 0.5 * (ordered[middle - 1] + ordered[middle])
 
 
-@dataclass
 class Dataset:
-    """All records collected by a campaign."""
+    """All records collected by a campaign.
 
-    page_loads: list[PageLoadRecord] = field(default_factory=list)
-    speedtests: list[SpeedtestRecord] = field(default_factory=list)
+    ``Dataset()`` keeps today's behaviour exactly (everything in two
+    Python lists); pass any other backend to change where the records
+    live without changing what they are.
+    """
+
+    def __init__(self, backend: DatasetBackend | None = None) -> None:
+        self._backend = backend if backend is not None else InMemoryBackend()
+
+    @property
+    def backend(self) -> DatasetBackend:
+        """The storage backend holding this dataset's records."""
+        return self._backend
+
+    @property
+    def storage(self) -> str:
+        """The backend's registry name (``memory``/``columnar``/``spill``)."""
+        return self._backend.name
+
+    # -- record views ------------------------------------------------------
+
+    @property
+    def page_loads(self) -> list[PageLoadRecord]:
+        """All page-load records, in append order.
+
+        For the in-memory backend this is the live list (mutating it
+        mutates the dataset, as before); other backends materialise a
+        fresh equal list — prefer :meth:`iter_page_loads` to stream.
+        """
+        if isinstance(self._backend, InMemoryBackend):
+            return self._backend.page_loads
+        return list(self._backend.iter_page_loads())
+
+    @property
+    def speedtests(self) -> list[SpeedtestRecord]:
+        """All speedtest records, in append order (see :attr:`page_loads`)."""
+        if isinstance(self._backend, InMemoryBackend):
+            return self._backend.speedtests
+        return list(self._backend.iter_speedtests())
+
+    def iter_page_loads(self):
+        """Stream page-load records without materialising them all."""
+        return self._backend.iter_page_loads()
+
+    def iter_speedtests(self):
+        """Stream speedtest records without materialising them all."""
+        return self._backend.iter_speedtests()
+
+    @property
+    def n_page_loads(self) -> int:
+        return self._backend.n_page_loads
+
+    @property
+    def n_speedtests(self) -> int:
+        return self._backend.n_speedtests
+
+    def page_load_column(self, name: str):
+        """One page-load column as a numpy array (O(1) amortised on
+        columnar backends); ``ptt_ms``/``plt_ms`` are derived exactly."""
+        return self._backend.page_load_column(name)
+
+    def speedtest_column(self, name: str):
+        """One speedtest column as a numpy array."""
+        return self._backend.speedtest_column(name)
 
     # -- ingest ----------------------------------------------------------
 
     def add_page_load(self, record: PageLoadRecord) -> None:
         """Store a page-load record."""
-        self.page_loads.append(record)
+        self._backend.append_page_load(record)
 
     def add_speedtest(self, record: SpeedtestRecord) -> None:
         """Store a speedtest record."""
-        self.speedtests.append(record)
+        self._backend.append_speedtest(record)
+
+    def extend_page_loads(self, records) -> None:
+        """Store many page-load records (append order preserved)."""
+        self._backend.extend_page_loads(records)
+
+    def extend_speedtests(self, records) -> None:
+        """Store many speedtest records (append order preserved)."""
+        self._backend.extend_speedtests(records)
+
+    def flush(self) -> None:
+        """Push staged records down to the backend's durable form."""
+        self._backend.flush()
 
     # -- selection ---------------------------------------------------------
 
@@ -60,7 +138,7 @@ class Dataset:
     ) -> list[PageLoadRecord]:
         """Page loads matching all given filters."""
         out = []
-        for record in self.page_loads:
+        for record in self._backend.iter_page_loads():
             if city is not None and record.city != city:
                 continue
             if is_starlink is not None and record.is_starlink != is_starlink:
@@ -84,7 +162,7 @@ class Dataset:
         """Speedtests matching the filters."""
         return [
             r
-            for r in self.speedtests
+            for r in self._backend.iter_speedtests()
             if (city is None or r.city == city)
             and (is_starlink is None or r.is_starlink == is_starlink)
         ]
@@ -97,6 +175,8 @@ class Dataset:
 
     def request_count(self, **filters) -> int:
         """Number of requests in a selection (#req column)."""
+        if not filters:
+            return self._backend.n_page_loads
         return len(self.select(**filters))
 
     def unique_domains(self, **filters) -> int:
@@ -119,17 +199,14 @@ class Dataset:
 
     def delete_user(self, user_id: str) -> int:
         """Remove all records for a user ("remove my data" button)."""
-        before = len(self.page_loads) + len(self.speedtests)
-        self.page_loads = [r for r in self.page_loads if r.user_id != user_id]
-        self.speedtests = [r for r in self.speedtests if r.user_id != user_id]
-        return before - len(self.page_loads) - len(self.speedtests)
+        return self._backend.delete_user(user_id)
 
     # -- persistence ----------------------------------------------------------
 
     def to_jsonl(self, path: str | Path) -> None:
         """Write the dataset as JSON Lines (one record per line)."""
         with Path(path).open("w", encoding="utf-8") as handle:
-            for record in self.page_loads:
+            for record in self._backend.iter_page_loads():
                 payload = {
                     "type": "page_load",
                     "user_id": record.user_id,
@@ -150,7 +227,7 @@ class Dataset:
                     },
                 }
                 handle.write(json.dumps(payload) + "\n")
-            for test in self.speedtests:
+            for test in self._backend.iter_speedtests():
                 handle.write(
                     json.dumps(
                         {
@@ -169,9 +246,11 @@ class Dataset:
                 )
 
     @classmethod
-    def from_jsonl(cls, path: str | Path) -> "Dataset":
+    def from_jsonl(
+        cls, path: str | Path, backend: DatasetBackend | None = None
+    ) -> "Dataset":
         """Load a dataset written by :meth:`to_jsonl`."""
-        dataset = cls()
+        dataset = cls(backend=backend)
         with Path(path).open("r", encoding="utf-8") as handle:
             for line in handle:
                 if not line.strip():

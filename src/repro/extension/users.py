@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-import numpy as np
-
 from repro.extension.privacy import anonymous_user_id
 from repro.rng import stream
 from repro.timeline import CAMPAIGN_DURATION_S

@@ -92,8 +92,26 @@ CITIES: dict[str, City] = {
         # Cloud datacentres (measurement servers).
         _city("iowa", "Iowa (us-central1)", "US", "USA", 41.2619, -95.8608, -5.0, True),
         _city("n_virginia", "N. Virginia", "US", "USA", 38.9519, -77.4480, -4.0, True),
-        _city("gcp_london", "London (europe-west2)", "GB", "UK", 51.5090, -0.1200, 1.0, True),
-        _city("gcp_madrid", "Madrid (europe-southwest1)", "ES", "EU", 40.4168, -3.7038, 2.0, True),
+        _city(
+            "gcp_london",
+            "London (europe-west2)",
+            "GB",
+            "UK",
+            51.5090,
+            -0.1200,
+            1.0,
+            True,
+        ),
+        _city(
+            "gcp_madrid",
+            "Madrid (europe-southwest1)",
+            "ES",
+            "EU",
+            40.4168,
+            -3.7038,
+            2.0,
+            True,
+        ),
         _city(
             "gcp_south_carolina",
             "S. Carolina (us-east1)",
@@ -104,8 +122,26 @@ CITIES: dict[str, City] = {
             -4.0,
             True,
         ),
-        _city("gcp_warsaw", "Warsaw (europe-central2)", "PL", "EU", 52.2300, 21.0100, 2.0, True),
-        _city("gcp_oregon", "Oregon (us-west1)", "US", "USA", 45.5946, -121.1787, -7.0, True),
+        _city(
+            "gcp_warsaw",
+            "Warsaw (europe-central2)",
+            "PL",
+            "EU",
+            52.2300,
+            21.0100,
+            2.0,
+            True,
+        ),
+        _city(
+            "gcp_oregon",
+            "Oregon (us-west1)",
+            "US",
+            "USA",
+            45.5946,
+            -121.1787,
+            -7.0,
+            True,
+        ),
         _city(
             "gcp_sydney",
             "Sydney (australia-southeast1)",

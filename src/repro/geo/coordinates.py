@@ -67,7 +67,9 @@ def geodetic_to_ecef(
 
 def ecef_distance_m(a: np.ndarray, b: np.ndarray) -> float:
     """Euclidean distance between two ECEF positions, metres."""
-    return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))
+    return float(
+        np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float))
+    )
 
 
 def great_circle_distance_m(a: GeoPoint, b: GeoPoint) -> float:
@@ -80,7 +82,10 @@ def great_circle_distance_m(a: GeoPoint, b: GeoPoint) -> float:
     lat2, lon2 = math.radians(b.latitude_deg), math.radians(b.longitude_deg)
     dlat = lat2 - lat1
     dlon = lon2 - lon1
-    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
     return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
 
 

@@ -77,7 +77,9 @@ class Link:
         else:
             delay = self._delay
         if delay < 0:
-            raise ConfigurationError(f"negative propagation delay on {self.name}: {delay}")
+            raise ConfigurationError(
+                f"negative propagation delay on {self.name}: {delay}"
+            )
         return delay
 
     def transmission_delay_s(self, packet: Packet) -> float:

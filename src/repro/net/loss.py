@@ -91,7 +91,9 @@ class GilbertElliottLoss:
             raise ConfigurationError("state sojourn means must be positive")
         for probability in (self.loss_good, self.loss_bad):
             if not 0.0 <= probability <= 1.0:
-                raise ConfigurationError(f"loss probability out of range: {probability}")
+                raise ConfigurationError(
+                    f"loss probability out of range: {probability}"
+                )
 
     def reset(self) -> None:
         """Forget the Markov state so the model can serve a fresh run.
@@ -160,11 +162,15 @@ class HandoverBurstLoss:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.residual_loss <= 1.0:
-            raise ConfigurationError(f"residual loss out of range: {self.residual_loss}")
+            raise ConfigurationError(
+                f"residual loss out of range: {self.residual_loss}"
+            )
         previous_start = float("-inf")
         for start, end, probability in self.burst_windows:
             if end < start:
-                raise ConfigurationError(f"burst window ends before it starts: {(start, end)}")
+                raise ConfigurationError(
+                    f"burst window ends before it starts: {(start, end)}"
+                )
             if start < previous_start:
                 raise ConfigurationError("burst windows must be sorted by start time")
             if not 0.0 <= probability <= 1.0:

@@ -34,7 +34,9 @@ class Node:
             lookup cost); zero for hosts.
     """
 
-    def __init__(self, sim: "Simulator", name: str, processing_delay_s: float = 0.0) -> None:
+    def __init__(
+        self, sim: "Simulator", name: str, processing_delay_s: float = 0.0
+    ) -> None:
         self.sim = sim
         self.name = name
         self.processing_delay_s = processing_delay_s

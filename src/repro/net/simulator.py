@@ -28,7 +28,9 @@ class Event:
 
     __slots__ = ("callback", "args", "cancelled", "time_s")
 
-    def __init__(self, time_s: float, callback: Callable[..., None], args: tuple[Any, ...]):
+    def __init__(
+        self, time_s: float, callback: Callable[..., None], args: tuple[Any, ...]
+    ):
         self.time_s = time_s
         self.callback = callback
         self.args = args
@@ -65,7 +67,9 @@ class Simulator:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
 
-    def schedule(self, delay_s: float, callback: Callable[..., None], *args: Any) -> Event:
+    def schedule(
+        self, delay_s: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
         """Schedule ``callback(*args)`` after ``delay_s`` seconds.
 
         Raises:
@@ -75,7 +79,9 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past (delay={delay_s})")
         return self.schedule_at(self._now + delay_s, callback, *args)
 
-    def schedule_at(self, time_s: float, callback: Callable[..., None], *args: Any) -> Event:
+    def schedule_at(
+        self, time_s: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time_s``."""
         if time_s < self._now:
             raise SimulationError(

@@ -162,4 +162,6 @@ def traceroute(
             destination_reached = True
             break
 
-    return TracerouteResult(src=src, dst=dst, hops=hops, destination_reached=destination_reached)
+    return TracerouteResult(
+        src=src, dst=dst, hops=hops, destination_reached=destination_reached
+    )

@@ -213,7 +213,9 @@ class MeasurementNode:
             self.bentpipe, self.server_city.location, config
         ).build()
 
-    def iperf(self, t_s: float, cc: str = "cubic", duration_s: float = 10.0) -> IperfResult:
+    def iperf(
+        self, t_s: float, cc: str = "cubic", duration_s: float = 10.0
+    ) -> IperfResult:
         """Packet-level TCP download test at campaign time ``t_s``."""
         path = self.build_path(
             t_s,

@@ -104,7 +104,9 @@ class WalkerShell:
         """(RAAN, mean anomaly) in degrees for a Walker-delta slot."""
         raan = 360.0 * plane / self.n_planes
         in_plane = 360.0 * slot / self.sats_per_plane
-        phase_offset = 360.0 * self.phasing * plane / (self.n_planes * self.sats_per_plane)
+        phase_offset = (
+            360.0 * self.phasing * plane / (self.n_planes * self.sats_per_plane)
+        )
         return raan, (in_plane + phase_offset) % 360.0
 
     def _build_satellites(self) -> list[Satellite]:
@@ -149,7 +151,8 @@ class WalkerShell:
         )
         self._arg_lat0 = np.array(
             [
-                s.propagator.elements.arg_perigee_rad + s.propagator.elements.mean_anomaly_rad
+                s.propagator.elements.arg_perigee_rad
+                + s.propagator.elements.mean_anomaly_rad
                 for s in self.satellites
             ]
         )

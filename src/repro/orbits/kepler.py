@@ -19,7 +19,9 @@ from repro.errors import PropagationError
 _TWO_PI = 2.0 * math.pi
 
 
-def solve_kepler(mean_anomaly_rad: float, eccentricity: float, tol: float = 1e-12) -> float:
+def solve_kepler(
+    mean_anomaly_rad: float, eccentricity: float, tol: float = 1e-12
+) -> float:
     """Solve Kepler's equation ``M = E - e sin E`` for eccentric anomaly.
 
     Uses Newton's method with the standard ``E0 = M`` (or ``pi`` for high
@@ -53,7 +55,9 @@ def solve_kepler(mean_anomaly_rad: float, eccentricity: float, tol: float = 1e-1
     )
 
 
-def true_anomaly_from_eccentric(eccentric_anomaly_rad: float, eccentricity: float) -> float:
+def true_anomaly_from_eccentric(
+    eccentric_anomaly_rad: float, eccentricity: float
+) -> float:
     """True anomaly from eccentric anomaly, radians."""
     half = eccentric_anomaly_rad / 2.0
     return 2.0 * math.atan2(
@@ -84,9 +88,13 @@ class OrbitalElements:
 
     def __post_init__(self) -> None:
         if self.semi_major_m <= 0:
-            raise PropagationError(f"semi-major axis must be positive: {self.semi_major_m}")
+            raise PropagationError(
+                f"semi-major axis must be positive: {self.semi_major_m}"
+            )
         if not 0.0 <= self.eccentricity < 1.0:
-            raise PropagationError(f"eccentricity must be in [0, 1): {self.eccentricity}")
+            raise PropagationError(
+                f"eccentricity must be in [0, 1): {self.eccentricity}"
+            )
 
     @classmethod
     def circular(
@@ -142,8 +150,14 @@ class OrbitalElements:
         x_pf = radius * math.cos(nu)
         y_pf = radius * math.sin(nu)
         cos_raan, sin_raan = math.cos(self.raan_rad), math.sin(self.raan_rad)
-        cos_inc, sin_inc = math.cos(self.inclination_rad), math.sin(self.inclination_rad)
-        cos_argp, sin_argp = math.cos(self.arg_perigee_rad), math.sin(self.arg_perigee_rad)
+        cos_inc, sin_inc = (
+            math.cos(self.inclination_rad),
+            math.sin(self.inclination_rad),
+        )
+        cos_argp, sin_argp = (
+            math.cos(self.arg_perigee_rad),
+            math.sin(self.arg_perigee_rad),
+        )
         # 3-1-3 rotation from perifocal to ECI.
         row1 = (
             cos_raan * cos_argp - sin_raan * sin_argp * cos_inc,

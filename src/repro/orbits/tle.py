@@ -37,8 +37,12 @@ def tle_checksum(line: str) -> int:
 
 def _epoch_to_campaign_s(epoch_year_2digit: int, epoch_day: float) -> float:
     """Convert TLE epoch (YY, fractional day-of-year) to campaign seconds."""
-    year = 2000 + epoch_year_2digit if epoch_year_2digit < 57 else 1900 + epoch_year_2digit
-    instant = datetime(year, 1, 1, tzinfo=timezone.utc) + timedelta(days=epoch_day - 1.0)
+    year = (
+        2000 + epoch_year_2digit if epoch_year_2digit < 57 else 1900 + epoch_year_2digit
+    )
+    instant = datetime(year, 1, 1, tzinfo=timezone.utc) + timedelta(
+        days=epoch_day - 1.0
+    )
     return (instant - CAMPAIGN_START).total_seconds()
 
 
@@ -170,7 +174,11 @@ def parse_tle_file(text: str) -> list[TLE]:
     index = 0
     while index < len(lines):
         line = lines[index]
-        if line.startswith("1 ") and index + 1 < len(lines) and lines[index + 1].startswith("2 "):
+        if (
+            line.startswith("1 ")
+            and index + 1 < len(lines)
+            and lines[index + 1].startswith("2 ")
+        ):
             tles.append(parse_tle(line, lines[index + 1], name=pending_name))
             pending_name = ""
             index += 2
@@ -260,7 +268,9 @@ def tle_from_elements(
 ) -> TLE:
     """Build a TLE record from classical elements at a campaign time."""
     epoch_year, epoch_day = _campaign_s_to_epoch(epoch_campaign_s)
-    mean_motion_rev_day = elements.mean_motion_rad_s * _SECONDS_PER_DAY / (2.0 * math.pi)
+    mean_motion_rev_day = (
+        elements.mean_motion_rad_s * _SECONDS_PER_DAY / (2.0 * math.pi)
+    )
     return TLE(
         name=name,
         catalog_number=catalog_number,

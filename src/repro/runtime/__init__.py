@@ -25,7 +25,12 @@ every checkpoint resumed as well; see DESIGN.md for the RNG-keying
 contract and the failure-handling design.
 """
 
-from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
+from repro.runtime.checkpoint import (
+    CheckpointedShard,
+    CheckpointStore,
+    campaign_fingerprint,
+    encode_user_records,
+)
 from repro.runtime.faults import (
     Fault,
     FaultKind,
@@ -56,6 +61,7 @@ from repro.runtime.supervision import (
 
 __all__ = [
     "CampaignRunStats",
+    "CheckpointedShard",
     "CheckpointStore",
     "Fault",
     "FaultKind",
@@ -68,6 +74,7 @@ __all__ = [
     "campaign_fingerprint",
     "corrupt_plan",
     "crash_plan",
+    "encode_user_records",
     "hang_plan",
     "merge_shard_results",
     "plan_shards",

@@ -9,31 +9,45 @@ missing ones.  The determinism contract (DESIGN.md §6) is what makes
 this sound: a re-run shard is bit-identical to the one that was lost,
 so resumed and fresh campaigns produce the same dataset.
 
+**Spill format.** Shards spill as *columnar segments*, not pickled
+object lists: each shard's records are flattened in canonical order
+(ascending user index, per-user event order) into the typed column
+arrays of :mod:`repro.extension.columnar` plus an ``int64``
+``user_index`` column, and written through the checksummed container
+(magic + sha256 + npz).  That makes loads self-validating — truncated
+or bit-flipped files are detected, not half-trusted — and lets the
+merge adopt a recovered shard's arrays wholesale without materialising
+record objects (see :mod:`repro.runtime.merge`).
+
 **Fingerprinting.** Checkpoints are only valid for the campaign that
 wrote them.  :func:`campaign_fingerprint` hashes every
 ``CampaignConfig`` field that can influence the *data* (seed,
 duration, population, scaling...), deliberately excluding
 execution-only knobs (worker count, timeouts, retries, checkpoint
-settings, start method) — those change how fast the dataset is
-produced, never its bits.  Each store lives under a directory named by
-the fingerprint, and every shard file embeds it again, so a config
-change silently invalidates old checkpoints instead of corrupting the
-merge.  Per-shard files additionally record the exact user-index set;
-a stored shard is adopted only when it matches the freshly planned
-partition (so resuming with a different ``n_workers`` falls back to
-recomputing rather than mixing partitions).
+settings, start method, storage backend) — those change how fast or
+where the dataset is produced, never its bits.  Each store lives under
+a directory named by the fingerprint, and every shard file embeds it
+again, so a config change silently invalidates old checkpoints instead
+of corrupting the merge.  Per-shard files additionally record the
+exact user-index set; a stored shard is adopted only when it matches
+the freshly planned partition (so resuming with a different
+``n_workers`` falls back to recomputing rather than mixing
+partitions).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
-import pickle
-from dataclasses import fields, is_dataclass
+from dataclasses import dataclass, fields, is_dataclass
 
-from repro.errors import CheckpointError
-from repro.runtime.shard import ShardResult
+import numpy as np
+
+from repro.errors import CheckpointError, DatasetError
+from repro.extension import columnar
+from repro.runtime.shard import ShardResult, ShardStats
 
 #: ``CampaignConfig`` fields that steer execution, not data — two runs
 #: differing only here produce bit-identical datasets, so their
@@ -48,10 +62,98 @@ EXECUTION_ONLY_FIELDS = frozenset(
         "retry_backoff_s",
         "checkpoint_dir",
         "resume",
+        "storage",
+        "storage_dir",
+        "storage_segment_records",
     }
 )
 
 _META_FILENAME = "meta.json"
+
+#: Array-key prefixes separating the two record kinds inside one
+#: spilled shard file.
+_PL_PREFIX = "pl_"
+_ST_PREFIX = "st_"
+
+#: Extra per-record column carried alongside the schema columns.
+USER_INDEX_COLUMN = "user_index"
+
+
+def encode_user_records(
+    user_records: dict[int, tuple[list, list]],
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Flatten a shard's ``{user_index: (page_loads, speedtests)}`` into
+    columnar arrays in canonical order (ascending user index, per-user
+    event order), each with an ``int64`` ``user_index`` column.
+
+    Returns ``(page_load_arrays, speedtest_arrays)``.
+    """
+    pl_records: list = []
+    pl_index: list[int] = []
+    st_records: list = []
+    st_index: list[int] = []
+    for index in sorted(user_records):
+        page_loads, speedtests = user_records[index]
+        pl_records.extend(page_loads)
+        pl_index.extend([index] * len(page_loads))
+        st_records.extend(speedtests)
+        st_index.extend([index] * len(speedtests))
+    pl_arrays = columnar.encode_page_loads(pl_records)
+    pl_arrays[USER_INDEX_COLUMN] = np.asarray(pl_index, dtype=np.int64)
+    st_arrays = columnar.encode_speedtests(st_records)
+    st_arrays[USER_INDEX_COLUMN] = np.asarray(st_index, dtype=np.int64)
+    return pl_arrays, st_arrays
+
+
+def _records_by_user(
+    user_indices, pl_arrays, st_arrays
+) -> dict[int, tuple[list, list]]:
+    """Invert :func:`encode_user_records` for a known planned index set."""
+    page_loads = columnar.decode_page_loads(pl_arrays)
+    speedtests = columnar.decode_speedtests(st_arrays)
+    indices = np.asarray(sorted(user_indices), dtype=np.int64)
+    pl_index = pl_arrays[USER_INDEX_COLUMN]
+    st_index = st_arrays[USER_INDEX_COLUMN]
+    pl_starts = np.searchsorted(pl_index, indices, side="left")
+    pl_stops = np.searchsorted(pl_index, indices, side="right")
+    st_starts = np.searchsorted(st_index, indices, side="left")
+    st_stops = np.searchsorted(st_index, indices, side="right")
+    return {
+        int(index): (
+            page_loads[pl_starts[i] : pl_stops[i]],
+            speedtests[st_starts[i] : st_stops[i]],
+        )
+        for i, index in enumerate(indices)
+    }
+
+
+@dataclass
+class CheckpointedShard:
+    """A shard recovered from its columnar spill file.
+
+    Duck-types :class:`~repro.runtime.shard.ShardResult` (``shard_id``,
+    ``stats``, lazy ``user_records``) for the object-merge path, while
+    exposing the raw column arrays so the vectorised merge can adopt
+    them without materialising any record objects.
+    """
+
+    shard_id: int
+    user_indices: list[int]
+    page_load_arrays: dict[str, np.ndarray]
+    speedtest_arrays: dict[str, np.ndarray]
+    stats: ShardStats
+
+    def __post_init__(self) -> None:
+        self._user_records: dict[int, tuple[list, list]] | None = None
+
+    @property
+    def user_records(self) -> dict[int, tuple[list, list]]:
+        """Record objects per planned user index (decoded on demand)."""
+        if self._user_records is None:
+            self._user_records = _records_by_user(
+                self.user_indices, self.page_load_arrays, self.speedtest_arrays
+            )
+        return self._user_records
 
 
 def campaign_fingerprint(config) -> str:
@@ -95,13 +197,15 @@ class CheckpointStore:
     Layout::
 
         <root>/campaign-<fingerprint16>/meta.json
-        <root>/campaign-<fingerprint16>/shard-0003.pkl
+        <root>/campaign-<fingerprint16>/shard-0003.ckpt
 
-    Writes are atomic (temp file + ``os.replace``), so a kill mid-spill
-    leaves either the previous file or nothing — never a torn pickle.
-    Loads are paranoid: wrong fingerprint, wrong index set, or an
-    unreadable/torn file all mean "recompute this shard", never an
-    exception into the campaign.
+    Each ``.ckpt`` is a checksummed columnar segment (see
+    :func:`repro.extension.columnar.write_checksummed_npz`).  Writes
+    are atomic (temp file + ``os.replace``), so a kill mid-spill leaves
+    either the previous file or nothing — never a torn segment.  Loads
+    are paranoid: wrong fingerprint, wrong index set, wrong magic, a
+    failed checksum (truncation, bit flips) or malformed metadata all
+    mean "recompute this shard", never an exception into the campaign.
     """
 
     def __init__(self, root: str, config) -> None:
@@ -153,7 +257,7 @@ class CheckpointStore:
         self._ensured = True
 
     def _shard_path(self, shard_id: int) -> str:
-        return os.path.join(self.directory, f"shard-{shard_id:04d}.pkl")
+        return os.path.join(self.directory, f"shard-{shard_id:04d}.ckpt")
 
     def _write_atomic(self, path: str, data: bytes) -> None:
         tmp_path = f"{path}.tmp.{os.getpid()}"
@@ -162,50 +266,76 @@ class CheckpointStore:
         os.replace(tmp_path, path)
 
     def save(self, result: ShardResult) -> str:
-        """Spill one completed shard; returns the file path."""
+        """Spill one completed shard as a columnar segment; returns the
+        file path."""
         self._ensure()
-        payload = {
+        pl_arrays, st_arrays = encode_user_records(result.user_records)
+        arrays = {f"{_PL_PREFIX}{k}": v for k, v in pl_arrays.items()}
+        arrays.update({f"{_ST_PREFIX}{k}": v for k, v in st_arrays.items()})
+        meta = {
             "fingerprint": self.fingerprint,
             "shard_id": result.shard_id,
             "user_indices": sorted(result.user_records),
-            "result": result,
+            "stats": dataclasses.asdict(result.stats),
         }
         path = self._shard_path(result.shard_id)
-        self._write_atomic(path, pickle.dumps(payload))
+        columnar.write_checksummed_npz(path, arrays, meta)
         return path
 
-    def load(self, shard_id: int, user_indices) -> ShardResult | None:
+    def load(self, shard_id: int, user_indices) -> CheckpointedShard | None:
         """A stored shard matching the planned assignment, or ``None``.
 
-        ``None`` (recompute) on: no file, torn/unreadable pickle,
-        fingerprint mismatch, or a stored user-index set that differs
-        from the planned one (e.g. the partition changed because
-        ``n_workers`` did).
+        ``None`` (recompute) on: no file, wrong magic (e.g. a legacy
+        pickle spill), checksum failure (truncation, bit flips),
+        fingerprint mismatch, malformed metadata or arrays, or a stored
+        user-index set that differs from the planned one (e.g. the
+        partition changed because ``n_workers`` did).
         """
         path = self._shard_path(shard_id)
         try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except FileNotFoundError:
+            arrays, meta = columnar.read_checksummed_npz(path)
+        except DatasetError:
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError):
+        if not isinstance(meta, dict):
             return None
-        if not isinstance(payload, dict):
+        if meta.get("fingerprint") != self.fingerprint:
             return None
-        if payload.get("fingerprint") != self.fingerprint:
+        if meta.get("shard_id") != shard_id:
             return None
-        if payload.get("user_indices") != sorted(user_indices):
+        if meta.get("user_indices") != sorted(user_indices):
             return None
-        result = payload.get("result")
-        if not isinstance(result, ShardResult) or result.shard_id != shard_id:
+        pl_columns = columnar.PAGE_LOAD_COLUMNS + (USER_INDEX_COLUMN,)
+        st_columns = columnar.SPEEDTEST_COLUMNS + (USER_INDEX_COLUMN,)
+        pl_arrays = {}
+        st_arrays = {}
+        for name in pl_columns:
+            key = f"{_PL_PREFIX}{name}"
+            if key not in arrays:
+                return None
+            pl_arrays[name] = arrays[key]
+        for name in st_columns:
+            key = f"{_ST_PREFIX}{name}"
+            if key not in arrays:
+                return None
+            st_arrays[name] = arrays[key]
+        try:
+            stats = ShardStats(**meta.get("stats", {}))
+        except TypeError:
             return None
-        return result
+        if stats.shard_id != shard_id:
+            return None
+        return CheckpointedShard(
+            shard_id=shard_id,
+            user_indices=sorted(int(i) for i in meta["user_indices"]),
+            page_load_arrays=pl_arrays,
+            speedtest_arrays=st_arrays,
+            stats=stats,
+        )
 
-    def load_matching(self, planned) -> dict[int, ShardResult]:
+    def load_matching(self, planned) -> dict[int, CheckpointedShard]:
         """Stored shards matching a planned ``{shard_id: indices}``-style
         list of ``(shard_id, user_indices)`` pairs."""
-        recovered: dict[int, ShardResult] = {}
+        recovered: dict[int, CheckpointedShard] = {}
         for shard_id, user_indices in planned:
             result = self.load(shard_id, user_indices)
             if result is not None:

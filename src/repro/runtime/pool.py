@@ -28,6 +28,7 @@ import os
 import time
 
 from repro.errors import ConfigurationError
+from repro.extension.backends import backend_for_config
 from repro.extension.storage import Dataset
 from repro.runtime.checkpoint import CheckpointStore, resume_requested
 from repro.runtime.merge import merge_shard_results
@@ -150,7 +151,9 @@ def run_campaign_sharded(
         checkpoint = CheckpointStore.from_config(config)
     if resume is None:
         resume = resume_requested(config)
-    recovered: dict[int, ShardResult] = {}
+    # Recovered shards are CheckpointedShard segments (lazy columnar
+    # payloads) that duck-type ShardResult for the merge.
+    recovered: dict = {}
     if checkpoint is not None and resume:
         recovered = checkpoint.load_matching(planned)
         for result in recovered.values():
@@ -215,7 +218,11 @@ def run_campaign_sharded(
         [*recovered.values(), *fresh], key=lambda result: result.shard_id
     )
     merge_started = time.perf_counter()
-    dataset = merge_shard_results(results, expected_indices=expected_indices)
+    dataset = merge_shard_results(
+        results,
+        expected_indices=expected_indices,
+        backend=backend_for_config(config),
+    )
     finished = time.perf_counter()
     stats = CampaignRunStats(
         n_workers=n_workers,

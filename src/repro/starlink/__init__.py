@@ -30,7 +30,11 @@ from repro.starlink.access import (
 )
 from repro.starlink.asn import AS_GOOGLE, AS_SPACEX, AsPlan
 from repro.starlink.bentpipe import BentPipeModel
-from repro.starlink.capacity import DIURNAL_PEAK_HOUR, CityServicePlan, ServiceCapacityModel
+from repro.starlink.capacity import (
+    DIURNAL_PEAK_HOUR,
+    CityServicePlan,
+    ServiceCapacityModel,
+)
 from repro.starlink.dish import Dish, DishyStatus
 from repro.starlink.pop import PoP, pop_for_city
 

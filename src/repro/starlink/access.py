@@ -306,7 +306,9 @@ def _add_transit_chain(
         network.add_node(server)
     jitter = _jitter_sampler(rng, transit_queue_mean_s)
     network.connect(from_node, ixp, core_rate_bps, 0.0005, extra_delay=jitter)
-    network.connect(ixp, transit_a, core_rate_bps, 0.10 * total_delay, extra_delay=jitter)
+    network.connect(
+        ixp, transit_a, core_rate_bps, 0.10 * total_delay, extra_delay=jitter
+    )
     network.connect(
         transit_a, transit_b, core_rate_bps, 0.75 * total_delay, extra_delay=jitter
     )

@@ -361,7 +361,9 @@ class BentPipeModel:
             return 1.0
         return min(1.0, residual + self.impairment_at(t_s).extra_loss_rate)
 
-    def capacity_bps(self, t_s: float, downlink: bool = True, noisy: bool = True) -> float:
+    def capacity_bps(
+        self, t_s: float, downlink: bool = True, noisy: bool = True
+    ) -> float:
         """Weather-adjusted achievable rate at ``t_s``, bits/s."""
         return self.capacity.capacity_bps(t_s, downlink, noisy) * (
             self.impairment_at(t_s).capacity_multiplier

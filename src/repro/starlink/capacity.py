@@ -18,8 +18,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.geo.cities import City, city
 from repro.rng import stream
@@ -152,7 +150,9 @@ class ServiceCapacityModel:
 
     def _base_capacity_mbps(self, t_s: float, downlink: bool) -> float:
         cell = self.plan.cell_dl_mbps if downlink else self.plan.cell_ul_mbps
-        return cell * max(0.05, 1.0 - self.plan.load_sensitivity * self.utilization(t_s))
+        return cell * max(
+            0.05, 1.0 - self.plan.load_sensitivity * self.utilization(t_s)
+        )
 
     def capacity_bps(
         self, t_s: float, downlink: bool = True, noisy: bool = True

@@ -19,7 +19,7 @@ sufficient explanation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -92,7 +92,9 @@ class CellScheduler:
         self.city: City = city(city_name)
         self._rng = stream(seed, "cell", city_name)
         # Persistent per-subscriber traits.
-        self._is_heavy = self._rng.random(config.n_subscribers) < config.heavy_user_fraction
+        self._is_heavy = (
+            self._rng.random(config.n_subscribers) < config.heavy_user_fraction
+        )
 
     def activity_probability(self, t_s: float) -> float:
         """Per-subscriber active probability at campaign time ``t_s``."""
@@ -102,13 +104,16 @@ class CellScheduler:
 
     def active_mask(self, t_s: float) -> np.ndarray:
         """Random draw of which subscribers are active now."""
-        return self._rng.random(self.config.n_subscribers) < self.activity_probability(t_s)
+        return (
+            self._rng.random(self.config.n_subscribers) < self.activity_probability(t_s)
+        )
 
     def per_user_throughput_bps(self, t_s: float) -> float:
         """Throughput an additional measuring user attains at ``t_s``.
 
         Models a max-min-fair airtime scheduler: heavy users take their
-        full fair share; bursty users return ~40% of theirs to the pool.  The measurement flow (iperf) behaves like
+        full fair share; bursty users return ~40% of theirs to the pool.
+        The measurement flow (iperf) behaves like
         a heavy user, so its allocation is the fair share plus the
         reclaimed slack divided among heavy users.
         """

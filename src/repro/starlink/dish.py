@@ -95,7 +95,9 @@ class Dish:
         elevation, azimuth, _ = elevation_azimuth_range(
             self.location, satellite.position_ecef(t_s)
         )
-        state = DishState.CONNECTED if margin > DEGRADED_MARGIN_DB else DishState.DEGRADED
+        state = (
+            DishState.CONNECTED if margin > DEGRADED_MARGIN_DB else DishState.DEGRADED
+        )
         return DishyStatus(
             t_s=t_s,
             state=state,

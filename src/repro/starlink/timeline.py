@@ -441,7 +441,9 @@ def _fill_serving_arrays(
         d1 = y_ecef - t_obs[1]
         d2 = z_ecef - t_obs[2]
         east = -t_sin_lon * d0 + t_cos_lon * d1
-        north = -t_sin_lat * t_cos_lon * d0 - t_sin_lat * t_sin_lon * d1 + t_cos_lat * d2
+        north = (
+            -t_sin_lat * t_cos_lon * d0 - t_sin_lat * t_sin_lon * d1 + t_cos_lat * d2
+        )
         up = t_cos_lat * t_cos_lon * d0 + t_cos_lat * t_sin_lon * d1 + t_sin_lat * d2
         horizontal = np.hypot(east, north)
         elevation = np.degrees(np.arctan2(up, horizontal))
@@ -479,8 +481,12 @@ def _fill_serving_arrays(
         gd1 = y_ecef[sel] - g_obs[1]
         gd2 = z_ecef[sel] - g_obs[2]
         g_e = -g_sin_lon * gd0 + g_cos_lon * gd1
-        g_n = -g_sin_lat * g_cos_lon * gd0 - g_sin_lat * g_sin_lon * gd1 + g_cos_lat * gd2
-        g_u = g_cos_lat * g_cos_lon * gd0 + g_cos_lat * g_sin_lon * gd1 + g_sin_lat * gd2
+        g_n = (
+            -g_sin_lat * g_cos_lon * gd0 - g_sin_lat * g_sin_lon * gd1 + g_cos_lat * gd2
+        )
+        g_u = (
+            g_cos_lat * g_cos_lon * gd0 + g_cos_lat * g_sin_lon * gd1 + g_sin_lat * gd2
+        )
         g_slant = np.sqrt(g_e * g_e + g_n * g_n + g_u * g_u)
 
         out = p0 + serving_rows

@@ -75,7 +75,10 @@ class Bbr(CongestionControl):
                 sample.in_flight * sample.mss_bytes
             )
         if sample.delivery_rate_bps is not None and not sample.is_app_limited:
-            while self._btlbw_samples and self._btlbw_samples[-1][1] <= sample.delivery_rate_bps:
+            while (
+                self._btlbw_samples
+                and self._btlbw_samples[-1][1] <= sample.delivery_rate_bps
+            ):
                 self._btlbw_samples.pop()
             self._btlbw_samples.append((self._round, sample.delivery_rate_bps))
         while (
@@ -138,7 +141,10 @@ class Bbr(CongestionControl):
                 self.state = "PROBE_RTT"
                 self._probe_rtt_until_s = sample.now_s + _PROBE_RTT_DURATION_S
         elif self.state == "PROBE_RTT":
-            if self._probe_rtt_until_s is not None and sample.now_s >= self._probe_rtt_until_s:
+            if (
+                self._probe_rtt_until_s is not None
+                and sample.now_s >= self._probe_rtt_until_s
+            ):
                 self.state = "PROBE_BW"
                 self.pacing_gain = 1.0
                 self.cwnd_gain = 2.0

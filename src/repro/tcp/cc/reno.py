@@ -10,7 +10,9 @@ class Reno(CongestionControl):
 
     name = "reno"
 
-    def __init__(self, initial_cwnd: float = 10.0, ssthresh: float = float("inf")) -> None:
+    def __init__(
+        self, initial_cwnd: float = 10.0, ssthresh: float = float("inf")
+    ) -> None:
         super().__init__(initial_cwnd)
         self.ssthresh = ssthresh
 

@@ -263,7 +263,11 @@ class TcpFlow:
                 self._next_seq += 1
             else:
                 break
-        if self.stop_s is not None and not self._has_more_data() and self.outstanding == 0:
+        if (
+            self.stop_s is not None
+            and not self._has_more_data()
+            and self.outstanding == 0
+        ):
             self._finish()
 
     def _schedule_pacing_wakeup(self) -> None:

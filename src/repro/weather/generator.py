@@ -119,7 +119,9 @@ class MarkovWeatherGenerator:
     def _drift_step(self) -> WeatherCondition:
         """Move one severity step, biased toward the climate's weights."""
         index = self._state.severity
-        candidates = [i for i in (index - 1, index + 1) if 0 <= i < len(WEATHER_CONDITIONS)]
+        candidates = [
+            i for i in (index - 1, index + 1) if 0 <= i < len(WEATHER_CONDITIONS)
+        ]
         weights = self._weights[candidates]
         total = weights.sum()
         if total <= 0:

@@ -30,7 +30,9 @@ class WeatherHistory:
 
     seed: int = 0
     duration_s: float = CAMPAIGN_DURATION_S
-    _timelines: dict[str, list[WeatherCondition]] = field(default_factory=dict, init=False)
+    _timelines: dict[str, list[WeatherCondition]] = field(
+        default_factory=dict, init=False
+    )
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:

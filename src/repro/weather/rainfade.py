@@ -38,7 +38,9 @@ def specific_attenuation_db_km(
     return k * rain_rate_mm_h**alpha
 
 
-def effective_path_km(elevation_deg: float, rain_height_m: float = RAIN_HEIGHT_M) -> float:
+def effective_path_km(
+    elevation_deg: float, rain_height_m: float = RAIN_HEIGHT_M
+) -> float:
     """Effective slant path through the rain layer, kilometres.
 
     ``rain_height / sin(elevation)`` with a path-reduction factor that
@@ -63,7 +65,9 @@ def rain_attenuation_db(
     )
 
 
-def cloud_attenuation_db(condition: WeatherCondition, elevation_deg: float = 55.0) -> float:
+def cloud_attenuation_db(
+    condition: WeatherCondition, elevation_deg: float = 55.0
+) -> float:
     """Cloud liquid-water attenuation for a condition, dB.
 
     Scales the zenith value by the cosecant of elevation (flat-layer
@@ -74,7 +78,9 @@ def cloud_attenuation_db(condition: WeatherCondition, elevation_deg: float = 55.
     return zenith_db / math.sin(math.radians(elevation))
 
 
-def total_attenuation_db(condition: WeatherCondition, elevation_deg: float = 55.0) -> float:
+def total_attenuation_db(
+    condition: WeatherCondition, elevation_deg: float = 55.0
+) -> float:
     """Rain plus cloud attenuation for a weather condition, dB.
 
     Monotone non-decreasing in condition severity (property-tested), which

@@ -112,7 +112,9 @@ class PageLoadSimulator:
         """One full client<->server round trip."""
         return self.connection.rtt_sample_s(t_s) + 2.0 * hosting.server_one_way_s
 
-    def _dns_s(self, t_s: float, hosting: SiteHosting, rng: np.random.Generator) -> float:
+    def _dns_s(
+        self, t_s: float, hosting: SiteHosting, rng: np.random.Generator
+    ) -> float:
         if rng.random() < self.dns_cache_hit_rate:
             return 0.002
         resolver = 0.5 * self.connection.rtt_sample_s(t_s)
@@ -127,7 +129,9 @@ class PageLoadSimulator:
             rtt += SYN_RETRANSMIT_S
         return rtt
 
-    def _tls_s(self, t_s: float, hosting: SiteHosting, rng: np.random.Generator) -> float:
+    def _tls_s(
+        self, t_s: float, hosting: SiteHosting, rng: np.random.Generator
+    ) -> float:
         rounds = 2 if rng.random() < self.tls12_fraction else 1
         return rounds * self._exchange_rtt_s(t_s, hosting) + 0.004  # crypto cost
 
@@ -168,7 +172,9 @@ class PageLoadSimulator:
         redirect = 0.0
         for _ in range(page.n_redirects):
             redirect += self._handshake_s(t_s, hosting, rng)
-            redirect += self._exchange_rtt_s(t_s, hosting) + 0.3 * hosting.server_think_s
+            redirect += (
+                self._exchange_rtt_s(t_s, hosting) + 0.3 * hosting.server_think_s
+            )
         # Browsers keep connections alive: a large share of navigations
         # reuse an established (TCP+TLS) connection and pay neither
         # handshake — Navigation Timing reports zero for both.

@@ -116,7 +116,9 @@ class HostingModel:
             kind = ServerKind.ORIGIN
             continents = list(_ORIGIN_CONTINENTS)
             weights = np.array([_ORIGIN_CONTINENTS[c] for c in continents])
-            origin_region = continents[int(rng.choice(len(continents), p=weights / weights.sum()))]
+            origin_region = continents[
+                int(rng.choice(len(continents), p=weights / weights.sum()))
+            ]
             cross_continent = origin_region != region and not (
                 {origin_region, region} <= {"USA", "NA"}
             )

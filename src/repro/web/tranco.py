@@ -80,7 +80,9 @@ class TrancoList:
         zipf_exponent: Exponent of the organic-visit Zipf law.
     """
 
-    def __init__(self, size: int = DEFAULT_LIST_SIZE, zipf_exponent: float = 1.15) -> None:
+    def __init__(
+        self, size: int = DEFAULT_LIST_SIZE, zipf_exponent: float = 1.15
+    ) -> None:
         if size < len(_HEAD_DOMAINS):
             raise ConfigurationError(f"list size {size} smaller than named head")
         if zipf_exponent <= 1.0:

@@ -1,7 +1,5 @@
 """Physical-constant sanity tests."""
 
-import math
-
 import pytest
 
 from repro import constants
@@ -39,7 +37,10 @@ def test_max_slant_range_monotone_in_elevation():
 
 
 def test_shell1_geometry_constants():
-    assert constants.STARLINK_SHELL1_PLANES * constants.STARLINK_SHELL1_SATS_PER_PLANE == 1584
+    assert (
+        constants.STARLINK_SHELL1_PLANES * constants.STARLINK_SHELL1_SATS_PER_PLANE
+        == 1584
+    )
 
 
 def test_as_numbers():

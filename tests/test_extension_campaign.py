@@ -57,7 +57,9 @@ def test_campaign_deterministic():
     a = ExtensionCampaign(config).run()
     b = ExtensionCampaign(config).run()
     assert len(a.page_loads) == len(b.page_loads)
-    assert [r.ptt_ms for r in a.page_loads[:50]] == [r.ptt_ms for r in b.page_loads[:50]]
+    assert [r.ptt_ms for r in a.page_loads[:50]] == [
+        r.ptt_ms for r in b.page_loads[:50]
+    ]
 
 
 def test_starlink_users_need_bentpipe():

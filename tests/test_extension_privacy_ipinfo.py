@@ -5,7 +5,6 @@ import pytest
 from repro.constants import AS_GOOGLE, AS_SPACEX
 from repro.extension.ipinfo import lookup_isp
 from repro.extension.privacy import (
-    FORBIDDEN_FIELDS,
     anonymous_user_id,
     contains_forbidden_fields,
     redact_record,

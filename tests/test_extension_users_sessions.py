@@ -1,6 +1,5 @@
 """User-population and session-generation tests."""
 
-import numpy as np
 import pytest
 
 from repro.extension.sessions import EventKind, SessionGenerator, browsing_intensity

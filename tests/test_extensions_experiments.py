@@ -1,6 +1,5 @@
 """Tests for the beyond-the-paper extension experiments and BBR-LEO."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import run_experiment

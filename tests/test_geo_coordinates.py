@@ -1,7 +1,5 @@
 """Geodesy tests."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given

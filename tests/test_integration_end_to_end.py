@@ -29,7 +29,6 @@ def test_tle_export_reimport_preserves_visibility(shell):
     This is the paper's actual pipeline: satellites tracked from a TLE
     file.  Geometry after re-import must match to sub-kilometre error.
     """
-    from repro.orbits.kepler import OrbitalElements
     from repro.orbits.propagator import J2Propagator
 
     text = shell.to_tle_file()
@@ -111,7 +110,9 @@ def test_node_cron_campaign_statistics(shell):
     node = MeasurementNode("barcelona", shell=shell, weather=weather, seed=3)
     from repro.nodes.cron import cron_times
 
-    samples = [node.speedtest(t).download_mbps for t in cron_times(0, 2 * 86_400.0, 1800.0)]
+    samples = [
+        node.speedtest(t).download_mbps for t in cron_times(0, 2 * 86_400.0, 1800.0)
+    ]
     assert len(samples) == 96
     assert 60.0 < float(np.median(samples)) < 260.0
     assert max(samples) > float(np.median(samples))

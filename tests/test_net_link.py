@@ -9,7 +9,6 @@ from repro.net.loss import BernoulliLoss
 from repro.net.packet import Packet, Protocol
 from repro.net.queues import DropTailQueue
 from repro.net.simulator import Simulator
-from repro.net.topology import Network
 
 
 class _Sink:
@@ -93,11 +92,15 @@ def test_loss_model_applied():
 
 def test_time_varying_delay():
     sim = Simulator()
-    link, sink = _make_link(sim, rate_bps=1e9, delay=lambda t: 0.01 if t < 1.0 else 0.05)
+    link, sink = _make_link(
+        sim, rate_bps=1e9, delay=lambda t: 0.01 if t < 1.0 else 0.05
+    )
     link.send(_packet())
     sim.run()
     sim2 = Simulator()
-    link2, sink2 = _make_link(sim2, rate_bps=1e9, delay=lambda t: 0.01 if t < 1.0 else 0.05)
+    link2, sink2 = _make_link(
+        sim2, rate_bps=1e9, delay=lambda t: 0.01 if t < 1.0 else 0.05
+    )
     sim2.schedule(2.0, link2.send, _packet())
     sim2.run()
     early = sink.received[0][1]
@@ -117,7 +120,10 @@ def test_extra_delay_does_not_reorder():
     sim = Simulator()
     rng = np.random.default_rng(1)
     link, sink = _make_link(
-        sim, rate_bps=1e8, delay=0.005, extra_delay=lambda t: float(rng.exponential(0.01))
+        sim,
+        rate_bps=1e8,
+        delay=0.005,
+        extra_delay=lambda t: float(rng.exponential(0.01)),
     )
     packets = [_packet() for _ in range(50)]
     for p in packets:

@@ -121,15 +121,22 @@ def test_from_handovers_skips_acquired():
     assert len(model.burst_windows) == 2
     # The LOS_LOST window is longer than the reschedule window.
     reschedule, los_lost = model.burst_windows
-    assert (los_lost[1] - los_lost[0]) == pytest.approx(2 * (reschedule[1] - reschedule[0]))
+    assert (los_lost[1] - los_lost[0]) == pytest.approx(
+        2 * (reschedule[1] - reschedule[0])
+    )
 
 
 def test_from_handovers_severity_ordering():
     from repro.orbits.tracking import HandoverEvent, HandoverReason
 
     rng = np.random.default_rng(8)
-    events = [HandoverEvent(10.0 + 60 * i, "A", "B", HandoverReason.RESCHEDULE) for i in range(200)]
-    model = HandoverBurstLoss.from_handovers(events, rng, severity_sigma=0.0, burst_loss=0.3)
+    events = [
+        HandoverEvent(10.0 + 60 * i, "A", "B", HandoverReason.RESCHEDULE)
+        for i in range(200)
+    ]
+    model = HandoverBurstLoss.from_handovers(
+        events, rng, severity_sigma=0.0, burst_loss=0.3
+    )
     assert all(p == pytest.approx(0.3) for _, _, p in model.burst_windows)
 
 

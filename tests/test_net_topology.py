@@ -63,7 +63,9 @@ def test_end_to_end_delivery():
     net, names = _linear_network(4)
     received = []
     net.node("n3").register_handler("flow", lambda p, t: received.append((p.seq, t)))
-    packet = Packet(src="n0", dst="n3", protocol=Protocol.UDP, size_bytes=100, flow_id="flow")
+    packet = Packet(
+        src="n0", dst="n3", protocol=Protocol.UDP, size_bytes=100, flow_id="flow"
+    )
     net.node("n0").send(packet)
     net.sim.run()
     assert [seq for seq, _ in received] == [0]
@@ -124,7 +126,9 @@ def test_loopback_delivery():
     net, _ = _linear_network(2)
     got = []
     net.node("n0").register_handler("self", lambda p, t: got.append(p))
-    packet = Packet(src="n0", dst="n0", protocol=Protocol.UDP, size_bytes=60, flow_id="self")
+    packet = Packet(
+        src="n0", dst="n0", protocol=Protocol.UDP, size_bytes=60, flow_id="self"
+    )
     net.node("n0").send(packet)
     assert got  # delivered synchronously
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.net.loss import BernoulliLoss
 from repro.net.ping import ping
-from repro.net.queues import DropTailQueue
 from repro.net.topology import Network
 from repro.net.trace import traceroute
 

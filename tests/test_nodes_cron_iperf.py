@@ -1,6 +1,5 @@
 """Cron-scheduler and iperf tests."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -40,7 +40,9 @@ def test_speedtest_sample_realistic(node):
 
 def test_speedtest_diurnal_pattern(node):
     # Medians over several days: night (03:00 local) beats evening (20:30).
-    nights = [node.speedtest(2.0 * 3600.0 + d * 86_400.0).download_mbps for d in range(3)]
+    nights = [
+        node.speedtest(2.0 * 3600.0 + d * 86_400.0).download_mbps for d in range(3)
+    ]
     evenings = [
         node.speedtest(19.5 * 3600.0 + d * 86_400.0).download_mbps for d in range(3)
     ]
@@ -122,4 +124,7 @@ def test_precompute_geometry_matches_on_demand_scan(shell):
     for t in times:
         epoch = int(t // STARLINK_RESCHEDULE_INTERVAL_S)
         t_epoch = epoch * STARLINK_RESCHEDULE_INTERVAL_S
-        assert node.bentpipe.serving_geometry(t_epoch) == fresh.bentpipe.serving_geometry(t_epoch)
+        assert (
+            node.bentpipe.serving_geometry(t_epoch)
+            == fresh.bentpipe.serving_geometry(t_epoch)
+        )

@@ -107,7 +107,10 @@ def test_passes_matches_scalar_reference(shell, london):
     # stitch runs of visibility per satellite.
     times = np.arange(start, end, step)
     visible_at = [
-        {s.satellite: s.elevation_deg for s in visible_satellites(shell, london, float(t))}
+        {
+            s.satellite: s.elevation_deg
+            for s in visible_satellites(shell, london, float(t))
+        }
         for t in times
     ]
     expected = []
@@ -150,7 +153,9 @@ def test_distance_series_matches_scalar_reference(shell, london):
     for name in names:
         assert series[name].shape == times.shape
     for k, t in enumerate(times):
-        snapshot = {s.satellite: s.slant_range_m for s in all_samples(shell, london, float(t))}
+        snapshot = {
+            s.satellite: s.slant_range_m for s in all_samples(shell, london, float(t))
+        }
         visible = {s.satellite for s in visible_satellites(shell, london, float(t))}
         for name in names:
             expected = snapshot[name] if name in visible else 0.0

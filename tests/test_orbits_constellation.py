@@ -94,7 +94,9 @@ def test_to_tle_file_roundtrips(small_shell):
     text = small_shell.to_tle_file()
     tles = parse_tle_file(text)
     assert len(tles) == len(small_shell)
-    assert tles[0].inclination_deg == pytest.approx(small_shell.inclination_deg, abs=1e-3)
+    assert tles[0].inclination_deg == pytest.approx(
+        small_shell.inclination_deg, abs=1e-3
+    )
 
 
 @settings(max_examples=20, deadline=None)

@@ -11,7 +11,6 @@ from repro.orbits.isl import IslNetwork
 from repro.orbits.shells import (
     STARLINK_GEN1_SHELLS,
     MultiShellConstellation,
-    ShellSpec,
 )
 from repro.starlink.access import terrestrial_delay_s
 

@@ -1,13 +1,10 @@
 """TLE parser/writer tests, including real-format round trips."""
 
-import math
-
 import pytest
 
 from repro.errors import TLEError
 from repro.orbits.kepler import OrbitalElements
 from repro.orbits.tle import (
-    TLE,
     format_tle,
     format_tle_file,
     parse_tle,
@@ -94,7 +91,9 @@ def test_roundtrip_elements_to_elements():
     tle = tle_from_elements("X", 1, elements)
     recovered = tle.to_elements()
     assert recovered.semi_major_m == pytest.approx(elements.semi_major_m, rel=1e-6)
-    assert recovered.inclination_rad == pytest.approx(elements.inclination_rad, abs=1e-6)
+    assert recovered.inclination_rad == pytest.approx(
+        elements.inclination_rad, abs=1e-6
+    )
 
 
 def test_parse_tle_file_three_line_format():
@@ -125,7 +124,9 @@ def test_format_tle_file_roundtrip_multi():
 
 
 def test_formatted_lines_are_69_chars():
-    tle = tle_from_elements("X", 99999, OrbitalElements.circular(550e3, 53.0, 359.9999, 0.0))
+    tle = tle_from_elements(
+        "X", 99999, OrbitalElements.circular(550e3, 53.0, 359.9999, 0.0)
+    )
     line1, line2 = format_tle(tle)
     assert len(line1) == 69
     assert len(line2) == 69

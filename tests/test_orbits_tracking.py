@@ -97,4 +97,6 @@ def test_tracker_deterministic(shell):
     samples_a, events_a = a.track(0.0, 300.0, 1.0)
     samples_b, events_b = b.track(0.0, 300.0, 1.0)
     assert [s.serving for s in samples_a] == [s.serving for s in samples_b]
-    assert [(e.t_s, e.reason) for e in events_a] == [(e.t_s, e.reason) for e in events_b]
+    assert [(e.t_s, e.reason) for e in events_a] == [
+        (e.t_s, e.reason) for e in events_b
+    ]

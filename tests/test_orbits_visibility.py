@@ -7,7 +7,6 @@ from repro.constants import STARLINK_MAX_SLANT_RANGE_M
 from repro.geo.cities import city
 from repro.orbits.constellation import starlink_shell1
 from repro.orbits.visibility import (
-    Pass,
     all_samples,
     distance_series,
     passes,
@@ -106,7 +105,9 @@ def test_single_sample_pass_gets_one_step_duration(shell, london):
     visible_now = visible_satellites(shell, london, 0.0)
     name = visible_now[0].satellite
     # A window exactly one step long contains a single sample (t=0).
-    found = [p for p in passes(shell, london, 0.0, 10.0, step_s=10.0) if p.satellite == name]
+    found = [
+        p for p in passes(shell, london, 0.0, 10.0, step_s=10.0) if p.satellite == name
+    ]
     assert len(found) == 1
     assert found[0].duration_s == pytest.approx(10.0)
 
@@ -118,7 +119,9 @@ def test_passes_and_distance_series_share_grid(shell, london):
     series = distance_series(shell, london, [name], start, end, step)
     times = np.arange(start, end, step)
     visible_mask = series[name] > 0
-    found = [p for p in passes(shell, london, start, end, step_s=step) if p.satellite == name]
+    found = [
+        p for p in passes(shell, london, start, end, step_s=step) if p.satellite == name
+    ]
     # Every sample the series marks visible falls inside a pass window.
     for t, visible in zip(times, visible_mask):
         inside = any(p.start_s <= t < p.end_s for p in found)

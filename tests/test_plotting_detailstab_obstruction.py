@@ -125,8 +125,13 @@ def test_details_tab_breakdown_rows(campaign_and_dataset):
     rows = view.page_breakdown(user, limit=10)
     assert 0 < len(rows) <= 10
     for row in rows:
-        components = row.dns_ms + row.connect_ms + row.tls_ms + row.request_ms + row.response_ms
-        assert row.ptt_ms == pytest.approx(components, rel=0.05, abs=1.0) or row.ptt_ms >= components
+        components = (
+            row.dns_ms + row.connect_ms + row.tls_ms + row.request_ms + row.response_ms
+        )
+        assert (
+            row.ptt_ms == pytest.approx(components, rel=0.05, abs=1.0)
+            or row.ptt_ms >= components
+        )
         assert row.plt_ms >= row.ptt_ms
 
 

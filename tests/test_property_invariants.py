@@ -1,9 +1,6 @@
 """Property-based invariants across subsystems (hypothesis)."""
 
-import math
-
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -140,7 +137,9 @@ def test_visible_satellites_within_geometry_bounds(lat, lon, t):
 
 
 @settings(max_examples=20, deadline=None)
-@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=300))
+@given(
+    st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=300)
+)
 def test_weather_sequence_stays_in_taxonomy(seed, hours):
     from repro.weather.conditions import WeatherCondition
     from repro.weather.generator import MarkovWeatherGenerator

@@ -38,7 +38,9 @@ def test_label_concatenation_is_not_ambiguous():
 def test_seed_is_stable_across_runs():
     # Frozen value: guards against accidental algorithm changes that
     # would silently re-randomise every calibrated experiment.
-    assert substream_seed(0, "weather", "london") == substream_seed(0, "weather", "london")
+    assert substream_seed(0, "weather", "london") == substream_seed(
+        0, "weather", "london"
+    )
 
 
 @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
@@ -49,4 +51,6 @@ def test_substream_seed_in_range(seed, label):
 
 @given(st.integers(min_value=0, max_value=1000))
 def test_stream_reproducible_property(seed):
-    assert stream(seed, "t").integers(0, 1 << 30) == stream(seed, "t").integers(0, 1 << 30)
+    assert stream(seed, "t").integers(0, 1 << 30) == stream(seed, "t").integers(
+        0, 1 << 30
+    )

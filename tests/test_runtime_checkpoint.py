@@ -66,6 +66,9 @@ def test_fingerprint_ignores_execution_only_fields():
         CampaignConfig(**SMALL, retry_backoff_s=1.0),
         CampaignConfig(**SMALL, checkpoint_dir="/tmp/x"),
         CampaignConfig(**SMALL, resume=True),
+        CampaignConfig(**SMALL, storage="spill"),
+        CampaignConfig(**SMALL, storage_dir="/tmp/y"),
+        CampaignConfig(**SMALL, storage_segment_records=64),
     ]
     assert all(campaign_fingerprint(v) == base for v in variants)
 
@@ -106,6 +109,80 @@ def test_store_ignores_torn_files(tmp_path):
     with open(path, "wb") as handle:
         handle.write(b"\x80\x04 torn pickle")
     assert store.load(0, [0]) is None  # recompute, never raise
+
+
+def test_store_detects_truncated_segments(tmp_path):
+    """A kill mid-write (or a torn filesystem) must mean "recompute",
+    at every possible truncation point: inside the magic, inside the
+    digest, mid-payload, one byte short."""
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    path = store.save(run_shard(config, 0, [0, 1]))
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    for cut in (0, 4, 20, len(blob) // 2, len(blob) - 1):
+        with open(path, "wb") as handle:
+            handle.write(blob[:cut])
+        assert store.load(0, [0, 1]) is None, f"truncated at {cut}"
+    # The intact file still loads (the store never deletes on failure).
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    assert store.load(0, [0, 1]) is not None
+
+
+def test_store_detects_bit_flips(tmp_path):
+    """Single flipped bits anywhere — magic, digest, npz payload —
+    must fail the checksum (or frame check) and mean "recompute"."""
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    path = store.save(run_shard(config, 0, [0, 1]))
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    for offset in (0, 9, 45, len(blob) // 2, len(blob) - 1):
+        corrupted = bytearray(blob)
+        corrupted[offset] ^= 0x01
+        with open(path, "wb") as handle:
+            handle.write(bytes(corrupted))
+        assert store.load(0, [0, 1]) is None, f"bit flip at {offset}"
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    assert store.load(0, [0, 1]) is not None
+
+
+def test_store_ignores_legacy_pickle_spills(tmp_path):
+    """Spill files from the pickled-object era fail the frame check and
+    are recomputed, never unpickled."""
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    result = run_shard(config, 0, [0])
+    path = store.save(result)
+    with open(path, "wb") as handle:
+        pickle.dump(
+            {
+                "fingerprint": store.fingerprint,
+                "shard_id": 0,
+                "user_indices": [0],
+                "result": result,
+            },
+            handle,
+        )
+    assert store.load(0, [0]) is None
+
+
+def test_store_round_trips_stats_and_arrays(tmp_path):
+    """The columnar spill preserves per-shard stats and exposes raw
+    column arrays for the vectorised merge."""
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    result = run_shard(config, 0, [0, 1, 2])
+    store.save(result)
+    loaded = store.load(0, [0, 1, 2])
+    assert loaded is not None
+    assert loaded.stats.n_page_loads == result.stats.n_page_loads
+    assert loaded.stats.n_speedtests == result.stats.n_speedtests
+    n_pl = sum(len(pl) for pl, _ in result.user_records.values())
+    assert len(loaded.page_load_arrays["user_index"]) == n_pl
+    assert len(loaded.page_load_arrays["t_s"]) == n_pl
 
 
 def test_store_rejects_foreign_fingerprint_dir(tmp_path):

@@ -112,7 +112,9 @@ def test_run_shard_reports_stats():
     assert result.shard_id == 3
     assert result.stats.n_users == 2
     assert result.stats.wall_s > 0.0
-    assert result.stats.n_records == result.stats.n_page_loads + result.stats.n_speedtests
+    assert (
+        result.stats.n_records == result.stats.n_page_loads + result.stats.n_speedtests
+    )
     assert set(result.user_records) == {0, 1}
 
 

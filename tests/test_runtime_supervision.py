@@ -7,8 +7,6 @@ is bit-identical to the fault-free serial run — with every survived
 failure visible in ``CampaignRunStats``.
 """
 
-import os
-
 import pytest
 
 from repro.errors import ConfigurationError, DatasetError, ShardFailedError

@@ -70,8 +70,12 @@ def test_sampled_rtt_jitters(bentpipe):
 
 def test_rtt_higher_at_evening_load(bentpipe):
     # UTC+1: 19:30 local = 18.5h UTC; 03:30 local = 02:30 UTC.
-    evening = np.mean([bentpipe.mean_rtt_to_pop_s(18.5 * 3600.0 + d * 86400) for d in range(2)])
-    night = np.mean([bentpipe.mean_rtt_to_pop_s(2.5 * 3600.0 + d * 86400) for d in range(2)])
+    evening = np.mean(
+        [bentpipe.mean_rtt_to_pop_s(18.5 * 3600.0 + d * 86400) for d in range(2)]
+    )
+    night = np.mean(
+        [bentpipe.mean_rtt_to_pop_s(2.5 * 3600.0 + d * 86400) for d in range(2)]
+    )
     assert evening > night
 
 

@@ -22,11 +22,17 @@ def test_diurnal_bounds():
 def test_diurnal_evening_peak_overnight_trough():
     assert diurnal_utilization(20.5) > 0.9
     assert diurnal_utilization(3.5) < 0.3
-    assert diurnal_utilization(20.5) > diurnal_utilization(13.0) > diurnal_utilization(3.5)
+    assert (
+        diurnal_utilization(20.5)
+        > diurnal_utilization(13.0)
+        > diurnal_utilization(3.5)
+    )
 
 
 def test_diurnal_wraps_midnight():
-    assert diurnal_utilization(23.9) == pytest.approx(diurnal_utilization(-0.1), rel=0.05)
+    assert diurnal_utilization(23.9) == pytest.approx(
+        diurnal_utilization(-0.1), rel=0.05
+    )
 
 
 def test_paper_locations_have_plans():
@@ -73,7 +79,9 @@ def test_capacity_night_exceeds_evening():
 
 def test_capacity_deterministic_when_not_noisy():
     model = ServiceCapacityModel("london", seed=1)
-    assert model.capacity_bps(100.0, noisy=False) == model.capacity_bps(100.0, noisy=False)
+    assert model.capacity_bps(100.0, noisy=False) == model.capacity_bps(
+        100.0, noisy=False
+    )
 
 
 def test_noisy_capacity_varies():

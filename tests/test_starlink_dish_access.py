@@ -63,7 +63,9 @@ def test_terrestrial_delay_transatlantic():
 
 
 def test_starlink_path_traceroute_shape(bentpipe):
-    path = build_starlink_path(bentpipe, city("n_virginia").location, time_offset_s=3600.0)
+    path = build_starlink_path(
+        bentpipe, city("n_virginia").location, time_offset_s=3600.0
+    )
     assert path.technology is AccessTechnology.STARLINK
     trace = traceroute(path.network, path.client, path.server, probes_per_hop=3)
     assert trace.destination_reached

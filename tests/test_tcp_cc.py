@@ -259,7 +259,9 @@ def test_bbr_cwnd_tracks_bdp():
     for i in range(30):
         delivered += 144_800
         bbr.on_ack(
-            _sample(now=i * 0.05, rate=20e6, delivered=delivered, rtt=0.05, in_flight=20)
+            _sample(
+                now=i * 0.05, rate=20e6, delivered=delivered, rtt=0.05, in_flight=20
+            )
         )
     bdp_packets = 20e6 * bbr.rtprop_s / (8 * 1448)
     assert bbr.cwnd == pytest.approx(bbr.cwnd_gain * bdp_packets, rel=0.3)

@@ -1,7 +1,5 @@
 """Campaign-timeline tests."""
 
-import pytest
-
 from repro import timeline
 
 

@@ -1,7 +1,5 @@
 """Unit-conversion tests."""
 
-import math
-
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -35,7 +33,9 @@ def test_km_m_roundtrip():
 
 def test_transmission_delay():
     # 1500 bytes at 12 Mbps is exactly 1 ms.
-    assert units.transmission_delay_s(1500, units.mbps_to_bps(12)) == pytest.approx(0.001)
+    assert units.transmission_delay_s(1500, units.mbps_to_bps(12)) == pytest.approx(
+        0.001
+    )
 
 
 def test_transmission_delay_rejects_nonpositive_rate():

@@ -80,6 +80,8 @@ def test_cloud_attenuation_positive_for_clouds():
     assert cloud_attenuation_db(WeatherCondition.CLEAR_SKY) == 0.0
 
 
-@given(st.sampled_from(list(WeatherCondition)), st.floats(min_value=5.0, max_value=90.0))
+@given(
+    st.sampled_from(list(WeatherCondition)), st.floats(min_value=5.0, max_value=90.0)
+)
 def test_total_attenuation_nonnegative_property(condition, elevation):
     assert total_attenuation_db(condition, elevation) >= 0.0

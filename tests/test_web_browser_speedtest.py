@@ -44,8 +44,12 @@ def test_ptt_scales_with_rtt():
     rng_slow, rng_fast = stream(1, "a"), stream(1, "a")
     slow = PageLoadSimulator(_connection(rtt=0.120), connection_reuse_rate=0.0)
     fast = PageLoadSimulator(_connection(rtt=0.010), connection_reuse_rate=0.0)
-    ptts_slow = [slow.load(_page(), _hosting(), 0.0, rng_slow).ptt_ms for _ in range(60)]
-    ptts_fast = [fast.load(_page(), _hosting(), 0.0, rng_fast).ptt_ms for _ in range(60)]
+    ptts_slow = [
+        slow.load(_page(), _hosting(), 0.0, rng_slow).ptt_ms for _ in range(60)
+    ]
+    ptts_fast = [
+        fast.load(_page(), _hosting(), 0.0, rng_fast).ptt_ms for _ in range(60)
+    ]
     assert np.median(ptts_slow) > 3 * np.median(ptts_fast)
 
 
@@ -53,10 +57,16 @@ def test_redirects_add_latency():
     simulator = PageLoadSimulator(_connection(), connection_reuse_rate=0.0)
     rng = stream(2, "r")
     direct = np.median(
-        [simulator.load(_page(redirects=0), _hosting(), 0.0, rng).ptt_ms for _ in range(80)]
+        [
+            simulator.load(_page(redirects=0), _hosting(), 0.0, rng).ptt_ms
+            for _ in range(80)
+        ]
     )
     redirected = np.median(
-        [simulator.load(_page(redirects=2), _hosting(), 0.0, rng).ptt_ms for _ in range(80)]
+        [
+            simulator.load(_page(redirects=2), _hosting(), 0.0, rng).ptt_ms
+            for _ in range(80)
+        ]
     )
     assert redirected > direct + 50
 
@@ -65,10 +75,16 @@ def test_large_documents_take_longer():
     simulator = PageLoadSimulator(_connection(bw=20e6), connection_reuse_rate=0.0)
     rng = stream(3, "d")
     small = np.median(
-        [simulator.load(_page(size=10_000), _hosting(), 0.0, rng).ptt_ms for _ in range(60)]
+        [
+            simulator.load(_page(size=10_000), _hosting(), 0.0, rng).ptt_ms
+            for _ in range(60)
+        ]
     )
     large = np.median(
-        [simulator.load(_page(size=1_500_000), _hosting(), 0.0, rng).ptt_ms for _ in range(60)]
+        [
+            simulator.load(_page(size=1_500_000), _hosting(), 0.0, rng).ptt_ms
+            for _ in range(60)
+        ]
     )
     assert large > small + 300  # serialisation + slow-start rounds
 

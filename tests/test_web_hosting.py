@@ -50,7 +50,10 @@ def test_tail_sites_often_remote(hosting):
 
 def test_popular_sites_closer_on_average(hosting):
     popular = np.mean(
-        [hosting.resolve(f"p-{i}.example", 50, "UK").server_one_way_s for i in range(300)]
+        [
+            hosting.resolve(f"p-{i}.example", 50, "UK").server_one_way_s
+            for i in range(300)
+        ]
     )
     unpopular = np.mean(
         [
@@ -63,10 +66,16 @@ def test_popular_sites_closer_on_average(hosting):
 
 def test_au_pays_more_than_uk(hosting):
     au = np.mean(
-        [hosting.resolve(f"x-{i}.example", 5000, "AU").server_one_way_s for i in range(300)]
+        [
+            hosting.resolve(f"x-{i}.example", 5000, "AU").server_one_way_s
+            for i in range(300)
+        ]
     )
     uk = np.mean(
-        [hosting.resolve(f"x-{i}.example", 5000, "UK").server_one_way_s for i in range(300)]
+        [
+            hosting.resolve(f"x-{i}.example", 5000, "UK").server_one_way_s
+            for i in range(300)
+        ]
     )
     assert au > uk
 

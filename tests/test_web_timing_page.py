@@ -27,7 +27,9 @@ def _timing(**overrides):
 
 def test_ptt_is_sum_of_network_components():
     timing = _timing()
-    assert timing.page_transit_time_s == pytest.approx(0.05 + 0.02 + 0.04 + 0.05 + 0.06 + 0.08)
+    assert timing.page_transit_time_s == pytest.approx(
+        0.05 + 0.02 + 0.04 + 0.05 + 0.06 + 0.08
+    )
 
 
 def test_plt_adds_device_components():
@@ -53,7 +55,9 @@ def test_negative_component_rejected():
         _timing(dns_s=-0.001)
 
 
-@given(st.floats(min_value=0.0, max_value=10.0), st.floats(min_value=0.0, max_value=10.0))
+@given(
+    st.floats(min_value=0.0, max_value=10.0), st.floats(min_value=0.0, max_value=10.0)
+)
 def test_plt_ge_ptt_property(dom, render):
     timing = _timing(dom_s=dom, render_s=render)
     assert timing.page_load_time_s >= timing.page_transit_time_s

@@ -1,6 +1,5 @@
 """Tranco-list tests."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
