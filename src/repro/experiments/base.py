@@ -64,32 +64,55 @@ def register(experiment_id: str):
 
 
 def run_experiment(
-    experiment_id: str, seed: int = 0, scale: float = 1.0, n_workers: int = 1
+    experiment_id: str,
+    seed: int = 0,
+    scale: float = 1.0,
+    n_workers: int = 1,
+    engine: str | None = None,
 ) -> "ExperimentResult":
     """Run one experiment by id.
 
     ``n_workers`` is forwarded to every runner (the registry enforces
     the uniform signature); experiments without campaign work ignore it.
+    ``engine`` selects the packet-path engine (``"event"`` or
+    ``"batch"``) for the duration of the run by scoping the
+    ``REPRO_ENGINE`` fallback — experiments build their own
+    ``AccessConfig`` behind the uniform signature, so the env var is
+    the hand-off point (like the CLI's other ``REPRO_*`` knobs).
 
     Raises:
-        ConfigurationError: for unknown ids.
+        ConfigurationError: for unknown ids or engines.
     """
+    import os
+
+    from repro.net.batch import ENGINE_ENV, resolve_engine
+
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(seed=seed, scale=scale, n_workers=n_workers)
+    if engine is None:
+        return runner(seed=seed, scale=scale, n_workers=n_workers)
+    previous = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = resolve_engine(engine)
+    try:
+        return runner(seed=seed, scale=scale, n_workers=n_workers)
+    finally:
+        if previous is None:
+            os.environ.pop(ENGINE_ENV, None)
+        else:
+            os.environ[ENGINE_ENV] = previous
 
 
 def run_all(
-    seed: int = 0, scale: float = 1.0, n_workers: int = 1
+    seed: int = 0, scale: float = 1.0, n_workers: int = 1, engine: str | None = None
 ) -> dict[str, "ExperimentResult"]:
     """Run every experiment; returns id -> result."""
     return {
         experiment_id: run_experiment(
-            experiment_id, seed=seed, scale=scale, n_workers=n_workers
+            experiment_id, seed=seed, scale=scale, n_workers=n_workers, engine=engine
         )
         for experiment_id in EXPERIMENTS
     }

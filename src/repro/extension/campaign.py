@@ -115,6 +115,13 @@ class CampaignConfig:
             temporary directory.
         storage_segment_records: Records per columnar chunk / spill
             segment (the bound on staged records in memory).
+        engine: Packet-path engine for any packet-level measurement the
+            campaign triggers (``"event"`` or ``"batch"``, see
+            :mod:`repro.net.batch`).  None falls back to
+            ``REPRO_ENGINE`` then ``event``.  Campaign page loads are
+            analytic, so this is execution-only for the dataset itself;
+            it is threaded into the :class:`AccessConfig` of paths the
+            campaign builds.
     """
 
     seed: int = 0
@@ -135,6 +142,7 @@ class CampaignConfig:
     storage: str | None = None
     storage_dir: str | None = None
     storage_segment_records: int = 4096
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -170,6 +178,14 @@ class CampaignConfig:
                 f"storage_segment_records must be >= 1, "
                 f"got {self.storage_segment_records}"
             )
+        if self.engine is not None:
+            from repro.net.batch import VALID_ENGINES
+
+            if self.engine not in VALID_ENGINES:
+                raise ConfigurationError(
+                    f"unknown packet engine {self.engine!r}; "
+                    f"valid: {VALID_ENGINES}"
+                )
 
 
 class ExtensionCampaign:

@@ -65,6 +65,8 @@ class Link:
         self.delivered = 0
         self.lost = 0
         self.offered = 0
+        self.cleared = 0
+        self._propagating = 0
         self._enqueue_times: dict[int, float] = {}
         self._last_delivery_s = 0.0
 
@@ -90,12 +92,64 @@ class Link:
 
     def send(self, packet: Packet) -> None:
         """Offer a packet to the link (called by the source node)."""
+        packet.ensure_id(self.sim.packet_ids)
         self.offered += 1
         if self._transmitting:
             if self.queue.offer(packet):
                 self._enqueue_times[packet.packet_id] = self.sim.now
             return
         self._begin_transmission(packet)
+
+    def clear_queue(self) -> list[Packet]:
+        """Drop every queued packet and release its tracked state.
+
+        The counterpart to calling ``self.queue.clear()`` directly —
+        which would leak the per-packet enqueue times this link keeps
+        for queueing-delay accounting.  Cleared packets are counted in
+        :attr:`cleared` (not as tail drops).
+        """
+        removed = self.queue.clear()
+        for packet in removed:
+            self._enqueue_times.pop(packet.packet_id, None)
+        self.cleared += len(removed)
+        return removed
+
+    @property
+    def in_flight(self) -> int:
+        """Packets currently owned by the link: queued, in
+        transmission, or propagating toward the destination."""
+        return len(self.queue) + (1 if self._transmitting else 0) + self._propagating
+
+    def check_conservation(self) -> None:
+        """Assert the link's packet-conservation invariant.
+
+        Every offered packet must be delivered, lost to the loss model,
+        tail-dropped by the queue, cleared via :meth:`clear_queue`, or
+        still in flight.  Raises :class:`ConfigurationError` on
+        violation (which would indicate leaked per-packet state).
+        """
+        accounted = (
+            self.delivered
+            + self.lost
+            + self.queue.drops
+            + self.cleared
+            + self.in_flight
+        )
+        if self.offered != accounted:
+            raise ConfigurationError(
+                f"packet conservation violated on {self.name}: offered="
+                f"{self.offered} != delivered={self.delivered} + lost="
+                f"{self.lost} + drops={self.queue.drops} + cleared="
+                f"{self.cleared} + in_flight={self.in_flight}"
+            )
+        stale = set(self._enqueue_times) - {
+            p.packet_id for p in self.queue._items
+        }
+        if stale:
+            raise ConfigurationError(
+                f"{self.name} leaked enqueue-time entries for packets "
+                f"{sorted(stale)[:10]}"
+            )
 
     def _begin_transmission(self, packet: Packet) -> None:
         self._transmitting = True
@@ -123,14 +177,21 @@ class Link:
             # clamped to be monotone.
             delivery_at = max(self.sim.now + total_delay, self._last_delivery_s)
             self._last_delivery_s = delivery_at
+            self._propagating += 1
             self.sim.schedule(delivery_at - self.sim.now, self._deliver, packet)
         next_packet = self.queue.poll()
         if next_packet is not None:
             self._begin_transmission(next_packet)
         else:
             self._transmitting = False
+            if self._enqueue_times:
+                # The queue is empty, so any remaining entries belong to
+                # packets removed behind the link's back (a direct
+                # ``queue.clear()``): purge instead of leaking them.
+                self._enqueue_times.clear()
 
     def _deliver(self, packet: Packet) -> None:
+        self._propagating -= 1
         self.delivered += 1
         packet.hops += 1
         self.dst.receive(packet, self)

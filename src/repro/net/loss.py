@@ -22,7 +22,15 @@ from repro.net.packet import Packet
 
 
 class LossModel(TypingProtocol):
-    """Decides the fate of each packet offered to a link."""
+    """Decides the fate of each packet offered to a link.
+
+    Models may additionally implement ``drop_mask(times_s)`` — a
+    batched equivalent returning a boolean array for a sorted vector of
+    transmission times, consuming the generator in the same order as
+    the equivalent sequence of ``should_drop`` calls.  The batch engine
+    (:mod:`repro.net.batch`) uses it when present and falls back to
+    per-packet ``should_drop`` otherwise.
+    """
 
     def should_drop(self, packet: Packet, now_s: float) -> bool:
         """Return True to drop ``packet`` at time ``now_s``."""
@@ -36,6 +44,10 @@ class NoLoss:
     def should_drop(self, packet: Packet, now_s: float) -> bool:
         """Always False."""
         return False
+
+    def drop_mask(self, times_s: np.ndarray) -> np.ndarray:
+        """All False, no generator consumption."""
+        return np.zeros(len(times_s), dtype=bool)
 
     def reset(self) -> None:
         """No state to clear."""
@@ -57,6 +69,18 @@ class BernoulliLoss:
         if self.rate == 0.0:
             return False
         return bool(self.rng.random() < self.rate)
+
+    def drop_mask(self, times_s: np.ndarray) -> np.ndarray:
+        """Batched draws, bit-identical to sequential ``should_drop``.
+
+        ``Generator.random(n)`` consumes the stream exactly like ``n``
+        scalar calls, so the scalar and batched paths drop the same
+        packets (the oracle-identity tests pin this).
+        """
+        n = len(times_s)
+        if self.rate == 0.0:
+            return np.zeros(n, dtype=bool)
+        return self.rng.random(n) < self.rate
 
     def reset(self) -> None:
         """No state to clear (draws are i.i.d.)."""
@@ -138,6 +162,22 @@ class GilbertElliottLoss:
             return False
         return bool(self.rng.random() < probability)
 
+    def drop_mask(self, times_s: np.ndarray) -> np.ndarray:
+        """Batched evaluation over sorted times.
+
+        The chain is inherently sequential (sojourn draws interleave
+        with drop draws), so this replays exactly the scalar call
+        pattern — same generator consumption, bit-identical mask — in a
+        tight loop free of the event-loop machinery.
+        """
+        mask = np.zeros(len(times_s), dtype=bool)
+        for index, now_s in enumerate(times_s):
+            self._advance(float(now_s))
+            probability = self.loss_bad if self._in_bad else self.loss_good
+            if probability != 0.0:
+                mask[index] = self.rng.random() < probability
+        return mask
+
 
 @dataclass
 class HandoverBurstLoss:
@@ -212,6 +252,35 @@ class HandoverBurstLoss:
             return False
         return bool(self.rng.random() < probability)
 
+    def probabilities(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`loss_probability_at` over sorted times.
+
+        Pure window geometry — no generator consumption and no cursor
+        movement, so it composes with the scalar path.
+        """
+        times = np.asarray(times_s, dtype=float)
+        probabilities = np.full(len(times), self.residual_loss)
+        for start, end, window_loss in self.burst_windows:
+            inside = (times >= start) & (times <= end)
+            np.maximum(probabilities, np.where(inside, window_loss, 0.0),
+                       out=probabilities)
+        return probabilities
+
+    def drop_mask(self, times_s: np.ndarray) -> np.ndarray:
+        """Batched drop decisions, bit-identical to scalar evaluation.
+
+        The scalar path draws a uniform only where the probability is
+        non-zero; the batch draws one block for exactly those
+        positions, preserving the stream alignment.
+        """
+        probabilities = self.probabilities(times_s)
+        mask = np.zeros(len(probabilities), dtype=bool)
+        drawing = probabilities > 0.0
+        n_draws = int(drawing.sum())
+        if n_draws:
+            mask[drawing] = self.rng.random(n_draws) < probabilities[drawing]
+        return mask
+
     @classmethod
     def from_handovers(
         cls,
@@ -281,6 +350,31 @@ class CompositeLoss:
         if dropped:
             return True
         return self.extra_rate > 0.0 and self.rng.random() < self.extra_rate
+
+    def drop_mask(self, times_s: np.ndarray) -> np.ndarray:
+        """Batched composite decisions (component order preserved).
+
+        Components with a ``drop_mask`` evaluate batched; others fall
+        back per-packet.  The extra-rate uniform is drawn only where no
+        component dropped, matching the scalar short-circuit.
+        """
+        times = np.asarray(times_s, dtype=float)
+        dropped = np.zeros(len(times), dtype=bool)
+        for model in self.models:
+            batched = getattr(model, "drop_mask", None)
+            if batched is not None:
+                dropped |= batched(times)
+            else:
+                component = np.zeros(len(times), dtype=bool)
+                for index, now_s in enumerate(times):
+                    component[index] = model.should_drop(None, float(now_s))
+                dropped |= component
+        if self.extra_rate > 0.0:
+            survivors = ~dropped
+            n_draws = int(survivors.sum())
+            if n_draws:
+                dropped[survivors] = self.rng.random(n_draws) < self.extra_rate
+        return dropped
 
     def reset(self) -> None:
         """Reset every component that carries state."""

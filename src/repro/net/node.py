@@ -68,6 +68,7 @@ class Node:
 
     def send(self, packet: Packet) -> None:
         """Originate or forward a packet toward its destination."""
+        packet.ensure_id(self.sim.packet_ids)
         if packet.dst == self.name:
             # Loopback: deliver immediately.
             self._deliver_local(packet)

@@ -56,7 +56,15 @@ class DropTailQueue:
         self._bytes -= packet.size_bytes
         return packet
 
-    def clear(self) -> None:
-        """Drop all queued packets (not counted as tail drops)."""
+    def clear(self) -> list[Packet]:
+        """Drop all queued packets (not counted as tail drops).
+
+        Returns the removed packets so owners tracking per-packet state
+        (e.g. :class:`repro.net.link.Link`'s enqueue times) can release
+        it.  Prefer ``Link.clear_queue()`` when the queue belongs to a
+        link — it performs that cleanup itself.
+        """
+        removed = list(self._items)
         self._items.clear()
         self._bytes = 0
+        return removed

@@ -3,7 +3,8 @@
 A classic heap-driven event loop.  Callbacks are scheduled at absolute or
 relative times; ties are broken by insertion order so runs are fully
 deterministic.  The simulator carries no global state — multiple
-simulators can coexist (the test suite relies on this).
+simulators can coexist (the test suite relies on this), and every
+per-run counter (event sequence, packet ids) lives on the instance.
 """
 
 from __future__ import annotations
@@ -14,6 +15,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.net.packet import PacketIdAllocator
+
+_COMPACT_MIN_HEAP = 64
+"""Never bother compacting heaps smaller than this."""
+
+_COMPACT_RATIO = 4
+"""Compact when cancelled entries outnumber live ones this many times."""
 
 
 @dataclass(order=True)
@@ -26,7 +34,7 @@ class _HeapEntry:
 class Event:
     """A scheduled callback.  Cancel with :meth:`cancel`."""
 
-    __slots__ = ("callback", "args", "cancelled", "time_s")
+    __slots__ = ("callback", "args", "cancelled", "fired", "time_s", "_on_cancel")
 
     def __init__(
         self, time_s: float, callback: Callable[..., None], args: tuple[Any, ...]
@@ -35,10 +43,17 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._on_cancel: Callable[[], None] | None = None
 
     def cancel(self) -> None:
-        """Prevent the callback from running (no-op if already fired)."""
+        """Prevent the callback from running (no-op if already fired
+        or already cancelled)."""
+        if self.fired or self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
 
 class Simulator:
@@ -49,6 +64,11 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1.0, my_callback, arg1)
         sim.run(until=10.0)
+
+    Attributes:
+        packet_ids: The run-scoped :class:`PacketIdAllocator` nodes and
+            links draw packet ids from — ids restart at 1 for every
+            fresh simulator.
     """
 
     def __init__(self) -> None:
@@ -56,6 +76,8 @@ class Simulator:
         self._sequence = itertools.count()
         self._now = 0.0
         self._running = False
+        self._live = 0
+        self.packet_ids = PacketIdAllocator()
 
     @property
     def now(self) -> float:
@@ -64,8 +86,26 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of *live* (not cancelled, not yet fired) events.
+
+        Cancelled events are excluded the moment :meth:`Event.cancel`
+        runs, even though their heap entries are only physically removed
+        when they surface (or at the next compaction) — so idle and
+        teardown logic can trust this count.
+        """
+        return self._live
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        # Lazily compact: a long-running flow cancels an RTO event per
+        # ACK, so the heap would otherwise grow without bound relative
+        # to the live set.
+        if (
+            len(self._heap) > _COMPACT_MIN_HEAP
+            and len(self._heap) > _COMPACT_RATIO * max(1, self._live)
+        ):
+            self._heap = [e for e in self._heap if not e.event.cancelled]
+            heapq.heapify(self._heap)
 
     def schedule(
         self, delay_s: float, callback: Callable[..., None], *args: Any
@@ -88,7 +128,9 @@ class Simulator:
                 f"cannot schedule at {time_s} < now {self._now}"
             )
         event = Event(time_s, callback, args)
+        event._on_cancel = self._note_cancel
         heapq.heappush(self._heap, _HeapEntry(time_s, next(self._sequence), event))
+        self._live += 1
         return event
 
     def run(self, until: float | None = None, max_events: int = 50_000_000) -> int:
@@ -114,6 +156,8 @@ class Simulator:
                 if executed >= max_events:
                     raise SimulationError(f"exceeded max_events={max_events}")
                 heapq.heappop(self._heap)
+                self._live -= 1
+                entry.event.fired = True
                 self._now = entry.time_s
                 entry.event.callback(*entry.event.args)
                 executed += 1

@@ -64,12 +64,24 @@ def run_iperf_tcp(
     duration_s: float = 10.0,
     download: bool = True,
     drain_s: float = 3.0,
+    engine: str | None = None,
 ) -> IperfResult:
     """Run a TCP throughput test over a built access path.
 
     ``download=True`` sends server->client (the usual iperf3 -R
-    direction for the paper's downlink measurements).
+    direction for the paper's downlink measurements).  ``engine``
+    overrides the path's resolved packet engine (``"event"`` runs the
+    heap-driven oracle, ``"batch"`` the vectorised engine of
+    :mod:`repro.net.batch`).
     """
+    from repro.net.batch import resolve_engine
+
+    if resolve_engine(engine if engine is not None else path.engine) == "batch":
+        from repro.net.batch import run_iperf_tcp_batch
+
+        return run_iperf_tcp_batch(
+            path, cc=cc, duration_s=duration_s, download=download, drain_s=drain_s
+        )
     src, dst = (path.server, path.client) if download else (path.client, path.server)
     flow = TcpFlow(path.network, src, dst, cc=cc, duration_s=duration_s,
                    start_s=path.network.sim.now)
@@ -93,12 +105,27 @@ def run_udp_burst(
     packet_bytes: int = 1472,
     download: bool = True,
     drain_s: float = 3.0,
+    engine: str | None = None,
 ) -> UdpBurstResult:
     """Blast UDP at a fixed rate and measure delivery (iperf3 -u).
 
     The paper uses UDP bursts to estimate the maximum achievable link
-    rate, normalising Figure 8's TCP results against it.
+    rate, normalising Figure 8's TCP results against it.  ``engine``
+    overrides the path's resolved packet engine.
     """
+    from repro.net.batch import resolve_engine
+
+    if resolve_engine(engine if engine is not None else path.engine) == "batch":
+        from repro.net.batch import run_udp_burst_batch
+
+        return run_udp_burst_batch(
+            path,
+            rate_bps,
+            duration_s=duration_s,
+            packet_bytes=packet_bytes,
+            download=download,
+            drain_s=drain_s,
+        )
     if rate_bps <= 0:
         raise ConfigurationError(f"rate must be positive: {rate_bps}")
     network = path.network

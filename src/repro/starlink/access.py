@@ -45,6 +45,7 @@ if TYPE_CHECKING:
 from repro.constants import SPEED_OF_LIGHT_M_S
 from repro.errors import ConfigurationError
 from repro.geo.coordinates import GeoPoint, great_circle_distance_m
+from repro.net.batch import VALID_ENGINES, resolve_engine
 from repro.net.link import Link
 from repro.net.loss import LossModel
 from repro.net.queues import DropTailQueue
@@ -97,6 +98,9 @@ class AccessConfig:
         transit_queue_mean_s: Mean queueing delay per transit hop.
         wifi_delay_s: Client-to-router Wi-Fi delay (broadband only).
         ran_delay_s: Radio-access delay (cellular only).
+        engine: Packet-path engine — ``"event"`` (heap-driven oracle),
+            ``"batch"`` (vectorised, see :mod:`repro.net.batch`), or
+            ``None`` to defer to ``REPRO_ENGINE`` / the event default.
     """
 
     dl_rate_bps: float | None = None
@@ -110,6 +114,13 @@ class AccessConfig:
     transit_queue_mean_s: float | None = None
     wifi_delay_s: float = 0.002
     ran_delay_s: float = 0.023
+    engine: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine is not None and self.engine not in VALID_ENGINES:
+            raise ConfigurationError(
+                f"unknown packet engine {self.engine!r}; valid: {VALID_ENGINES}"
+            )
 
 
 @dataclass
@@ -126,6 +137,9 @@ class AccessPath:
         access_forward: Client->core direction of the access link.
         access_reverse: Core->client direction of the access link
             (the downlink bottleneck for download tests).
+        engine: Resolved packet-path engine for flows over this path
+            (``"event"`` or ``"batch"``; packet-level consumers such as
+            :mod:`repro.nodes.iperf` dispatch on it).
     """
 
     network: Network
@@ -136,6 +150,7 @@ class AccessPath:
     bentpipe: BentPipeModel | None = None
     access_forward: Link | None = None
     access_reverse: Link | None = None
+    engine: str = "event"
 
 
 @dataclass
@@ -271,11 +286,23 @@ class Scenario:
 
 
 def _jitter_sampler(rng: np.random.Generator, mean_s: float):
-    """Exponential queueing-jitter sampler for an abstracted segment."""
+    """Exponential queueing-jitter sampler for an abstracted segment.
+
+    The returned callable carries a ``batch`` attribute drawing a whole
+    vector at once, which the batch engine uses.  Because one ``rng``
+    is shared by every sampler on a path, batched draws consume the
+    stream in per-link chunk order rather than global event order — so
+    end-to-end paths with jitter are statistically (not bit-) identical
+    across engines (DESIGN.md §10).
+    """
 
     def sample(now_s: float) -> float:
         return float(rng.exponential(mean_s))
 
+    def sample_batch(times_s) -> np.ndarray:
+        return rng.exponential(mean_s, size=len(times_s))
+
+    sample.batch = sample_batch
     return sample
 
 
@@ -510,6 +537,7 @@ def _build_starlink_path(
         bentpipe=bentpipe,
         access_forward=uplink,
         access_reverse=downlink,
+        engine=resolve_engine(config.engine),
     )
     network.compute_routes()
     return path
@@ -595,6 +623,7 @@ def _build_broadband_path(
         client=client,
         server="server",
         hop_names=[wifi_router, isp_edge] + hops,
+        engine=resolve_engine(config.engine),
     )
     network.compute_routes()
     return path
@@ -670,6 +699,7 @@ def _build_cellular_path(
         client=client,
         server="server",
         hop_names=[basestation, core] + hops,
+        engine=resolve_engine(config.engine),
     )
     network.compute_routes()
     return path
@@ -748,6 +778,7 @@ def _build_geo_path(
         client=client,
         server="server",
         hop_names=[terminal, teleport] + hops,
+        engine=resolve_engine(config.engine),
     )
     network.compute_routes()
     return path

@@ -384,6 +384,22 @@ class BentPipeModel:
                 return OUTAGE_RTT_PENALTY_S / 2.0
             return self.base_one_way_delay_s(t)
 
+        def delay_batch(times_s) -> np.ndarray:
+            # The serving satellite — and with it the bent-pipe delay —
+            # is fixed per 15 s scheduler epoch, so one scalar
+            # evaluation per epoch present in the chunk covers every
+            # packet (the batch engine's chunked event horizon).
+            times = np.asarray(times_s, dtype=float)
+            epochs = np.floor_divide(
+                times + time_offset_s, STARLINK_RESCHEDULE_INTERVAL_S
+            ).astype(np.int64)
+            unique, first, inverse = np.unique(
+                epochs, return_index=True, return_inverse=True
+            )
+            values = np.array([delay(float(times[i])) for i in first])
+            return values[inverse]
+
+        delay.batch = delay_batch
         return delay
 
     def wireless_extra_delay_provider(self, time_offset_s: float = 0.0):

@@ -1,0 +1,495 @@
+"""Batch packet-path engine: oracle identity, equivalence, selection.
+
+Three layers of contract against the heap-driven event engine
+(DESIGN.md §10):
+
+* **Single link: bit-identical.**  FIFO serialisation, tail-drop
+  admission, loss-model draws, and the monotone-delivery clamp must
+  reproduce the oracle ``Link`` decision-for-decision.
+* **End-to-end paths: statistically pinned.**  Multi-link RNG streams
+  are consumed in chunk order rather than global event order, so
+  engines are compared via pooled-over-seeds goodput/loss ratios.
+* **Selection plumbing.**  ``AccessConfig(engine=...)``, the
+  ``REPRO_ENGINE`` fallback, and CLI/experiment scoping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.cities import city
+from repro.net.batch import (
+    ENGINE_ENV,
+    BatchHop,
+    BatchPath,
+    fifo_horizon,
+    resolve_engine,
+    run_udp_burst_batch,
+    transmit_fifo,
+)
+from repro.net.link import Link
+from repro.net.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    HandoverBurstLoss,
+    NoLoss,
+)
+from repro.net.packet import Packet, Protocol
+from repro.net.queues import DropTailQueue
+from repro.net.simulator import Simulator
+from repro.nodes.iperf import run_iperf_tcp, run_udp_burst
+from repro.rng import stream
+from repro.starlink.access import AccessConfig, Scenario
+
+# -- helpers ----------------------------------------------------------------
+
+
+class _Sink:
+    def __init__(self, name="sink"):
+        self.name = name
+        self.received = []
+
+    def receive(self, packet, link):
+        self.received.append((packet, link.sim.now))
+
+
+class _Source:
+    def __init__(self, name="src"):
+        self.name = name
+
+
+def _packet(size=1000):
+    return Packet(src="src", dst="sink", protocol=Protocol.UDP, size_bytes=size)
+
+
+def _oracle_link_run(arrivals, sizes, rate_bps, capacity_bytes, loss, extra_delay):
+    """Drive an oracle ``Link`` with packets offered at ``arrivals``."""
+    sim = Simulator()
+    src, dst = _Source(), _Sink()
+    queue = DropTailQueue(capacity_bytes) if capacity_bytes else DropTailQueue()
+    link = Link(
+        sim,
+        src,
+        dst,
+        rate_bps=rate_bps,
+        delay=0.01,
+        queue=queue,
+        loss=loss,
+        extra_delay=extra_delay,
+    )
+    packets = [_packet(int(size)) for size in sizes]
+    for t, packet in zip(arrivals, packets):
+        sim.schedule_at(float(t), link.send, packet)
+    sim.run()
+    delivered = {id(p): t for p, t in dst.received}
+    mask = np.array([id(p) in delivered for p in packets])
+    times = np.array([delivered.get(id(p), np.nan) for p in packets])
+    queueing = np.array([p.queueing_s for p in packets])
+    return link, mask, times, queueing
+
+
+def _batch_hop(rate_bps, capacity_bytes, loss, extra_delay):
+    return BatchHop(
+        rate_bps=rate_bps,
+        delay=0.01,
+        queue_capacity_bytes=capacity_bytes,
+        loss=loss,
+        extra_delay=extra_delay,
+        name="test-hop",
+    )
+
+
+def _broadband(seed, engine, loss_factory=None):
+    path = Scenario.broadband(
+        city("london").location,
+        city("n_virginia").location,
+        AccessConfig(seed=seed, engine=engine),
+    ).build()
+    if loss_factory is not None:
+        # The download bottleneck link; both engines read ``link.loss``.
+        path.network.node("isp-edge").links["wifi-router"].loss = loss_factory(seed)
+        path.engine = engine
+    return path
+
+
+# -- FIFO horizon primitives ------------------------------------------------
+
+
+def test_fifo_horizon_matches_sequential_recursion():
+    rng = stream(7, "horizon")
+    arrivals = np.sort(rng.uniform(0.0, 1.0, size=200))
+    tx = rng.uniform(1e-4, 5e-3, size=200)
+    start, finish = fifo_horizon(arrivals, tx)
+    prev = 0.0
+    for i in range(200):
+        begin = max(arrivals[i], prev)
+        prev = begin + tx[i]
+        assert start[i] == pytest.approx(begin, abs=1e-12)
+        assert finish[i] == pytest.approx(prev, abs=1e-12)
+
+
+def test_fifo_horizon_busy_carry_delays_service():
+    arrivals = np.array([0.0, 1.0])
+    tx = np.array([0.1, 0.1])
+    start, finish = fifo_horizon(arrivals, tx, busy_until_s=0.5)
+    assert start[0] == pytest.approx(0.5)
+    assert finish[0] == pytest.approx(0.6)
+    assert start[1] == pytest.approx(1.0)  # server idle again by then
+
+
+def test_transmit_fifo_tail_drop_matches_oracle_link():
+    """Admission decisions and service times are bit-identical to the
+    event-driven Link + DropTailQueue under bursty overload."""
+    rng = stream(3, "drop")
+    arrivals = np.sort(rng.uniform(0.0, 0.2, size=120))
+    sizes = np.full(120, 1000.0)
+    rate, capacity = 1e6, 4000
+    link, oracle_mask, oracle_times, _ = _oracle_link_run(
+        arrivals, sizes, rate, capacity, NoLoss(), None
+    )
+    accepted, start, finish = transmit_fifo(arrivals, sizes, rate, capacity)
+    assert np.array_equal(accepted, oracle_mask)
+    assert link.queue.drops == int((~accepted).sum())
+    # Oracle delivery = finish + 10 ms propagation.
+    np.testing.assert_allclose(
+        finish[accepted] + 0.01, oracle_times[oracle_mask], atol=1e-9
+    )
+
+
+def test_transmit_fifo_idle_arrivals_never_dropped():
+    # Packets arriving at an idle server are admitted even when larger
+    # than the queue capacity (the capacity bounds *waiting* bytes).
+    arrivals = np.array([0.0, 10.0, 20.0])
+    sizes = np.array([3000.0, 3000.0, 3000.0])
+    accepted, _, _ = transmit_fifo(arrivals, sizes, 1e6, capacity_bytes=100)
+    assert accepted.all()
+
+
+# -- loss-model stream identity ---------------------------------------------
+
+
+def _loss_pair(kind):
+    """Two same-seeded instances of a loss model (scalar vs batched)."""
+
+    def make(seed=11):
+        rng = stream(seed, "lossid", kind)
+        if kind == "bernoulli":
+            return BernoulliLoss(0.3, rng=rng)
+        if kind == "gilbert":
+            return GilbertElliottLoss(
+                mean_good_s=0.05, mean_bad_s=0.02, loss_bad=0.9, rng=rng
+            )
+        windows = [(0.02, 0.05, 0.9), (0.11, 0.13, 1.0)]
+        return HandoverBurstLoss(windows, residual_loss=0.05, rng=rng)
+
+    return make(), make()
+
+
+@pytest.mark.parametrize("kind", ["bernoulli", "gilbert", "handover"])
+def test_drop_mask_bit_identical_to_scalar(kind):
+    scalar_model, batch_model = _loss_pair(kind)
+    times = np.sort(stream(5, "times").uniform(0.0, 0.2, size=300))
+    scalar = np.array([scalar_model.should_drop(None, float(t)) for t in times])
+    batched = batch_model.drop_mask(times)
+    assert np.array_equal(scalar, batched)
+
+
+@pytest.mark.parametrize("kind", ["bernoulli", "gilbert", "handover"])
+def test_batch_hop_identical_to_link_under_loss(kind):
+    """Full single-hop identity: queueing + tail drop + loss draws."""
+    scalar_model, batch_model = _loss_pair(kind)
+    rng = stream(9, "hop", kind)
+    arrivals = np.sort(rng.uniform(0.0, 0.3, size=150))
+    sizes = np.full(150, 1200.0)
+    rate, capacity = 2e6, 6000
+    link, oracle_mask, oracle_times, oracle_queueing = _oracle_link_run(
+        arrivals, sizes, rate, capacity, scalar_model, None
+    )
+    hop = _batch_hop(rate, capacity, batch_model, None)
+    delivered, handoff, queueing = hop.traverse(arrivals, sizes)
+    assert np.array_equal(delivered, oracle_mask)
+    np.testing.assert_allclose(handoff[delivered], oracle_times[oracle_mask], atol=1e-9)
+    np.testing.assert_allclose(
+        queueing[delivered], oracle_queueing[oracle_mask], atol=1e-9
+    )
+    assert (hop.offered, hop.delivered, hop.lost, hop.drops) == (
+        link.offered,
+        link.delivered,
+        link.lost,
+        link.queue.drops,
+    )
+    hop.check_conservation()
+    link.check_conservation()
+
+
+def test_monotone_delivery_clamp_matches_link():
+    """Stochastic extra delay never reorders packets on either engine."""
+
+    def jitter(seed=21):
+        rng = stream(seed, "jitter")
+
+        def sample(now_s):
+            return float(rng.exponential(0.005))
+
+        return sample
+
+    rng = stream(2, "mono")
+    arrivals = np.sort(rng.uniform(0.0, 0.1, size=80))
+    sizes = np.full(80, 500.0)
+    _, oracle_mask, oracle_times, _ = _oracle_link_run(
+        arrivals, sizes, 5e6, None, NoLoss(), jitter()
+    )
+    hop = _batch_hop(5e6, None, NoLoss(), jitter())
+    delivered, handoff, _ = hop.traverse(arrivals, sizes)
+    assert delivered.all() and oracle_mask.all()
+    assert np.all(np.diff(handoff) >= 0)
+    np.testing.assert_allclose(handoff, oracle_times, atol=1e-9)
+
+
+def test_batch_hop_busy_carry_across_chunks():
+    """Splitting a burst into chunks gives the same schedule as one call."""
+    rng = stream(17, "chunks")
+    arrivals = np.sort(rng.uniform(0.0, 0.05, size=100))
+    sizes = np.full(100, 1000.0)
+    whole = _batch_hop(1e6, None, NoLoss(), None)
+    _, handoff_whole, _ = whole.traverse(arrivals, sizes)
+    split = _batch_hop(1e6, None, NoLoss(), None)
+    _, first, _ = split.traverse(arrivals[:50], sizes[:50])
+    _, second, _ = split.traverse(arrivals[50:], sizes[50:])
+    np.testing.assert_allclose(
+        np.concatenate([first, second]), handoff_whole, atol=1e-12
+    )
+
+
+def test_batch_hop_conservation_detects_tampering():
+    hop = _batch_hop(1e6, 4000, BernoulliLoss(0.2, rng=stream(1, "c")), None)
+    arrivals = np.sort(stream(1, "ca").uniform(0.0, 0.5, size=200))
+    hop.traverse(arrivals, np.full(200, 1000.0))
+    hop.check_conservation()
+    hop.delivered += 1
+    with pytest.raises(ConfigurationError, match="conservation"):
+        hop.check_conservation()
+
+
+# -- queue overflow x loss interaction (both engines) ------------------------
+
+
+@pytest.mark.parametrize("loss_rate", [0.0, 0.3])
+def test_overflow_and_loss_interact_identically(loss_rate):
+    """Tail drops (pre-serialisation) and loss-model drops
+    (post-serialisation) compose the same way on both engines: a
+    tail-dropped packet must not consume a loss draw."""
+
+    def model(seed=31):
+        return BernoulliLoss(loss_rate, rng=stream(seed, "ovl"))
+
+    rng = stream(13, "ovl-arrivals")
+    # Heavy burst into a 3-packet queue: plenty of tail drops.
+    arrivals = np.sort(rng.uniform(0.0, 0.05, size=250))
+    sizes = np.full(250, 1000.0)
+    rate, capacity = 1e6, 3000
+    link, oracle_mask, oracle_times, _ = _oracle_link_run(
+        arrivals, sizes, rate, capacity, model(), None
+    )
+    hop = _batch_hop(rate, capacity, model(), None)
+    delivered, handoff, _ = hop.traverse(arrivals, sizes)
+    assert np.array_equal(delivered, oracle_mask)
+    np.testing.assert_allclose(handoff[delivered], oracle_times[oracle_mask], atol=1e-9)
+    assert hop.drops == link.queue.drops and hop.drops > 0
+    assert hop.lost == link.lost
+    if loss_rate:
+        assert hop.lost > 0
+    hop.check_conservation()
+    link.check_conservation()
+
+
+# -- end-to-end equivalence: UDP --------------------------------------------
+
+
+def test_udp_burst_engines_identical_below_capacity():
+    results = {}
+    for engine in ("event", "batch"):
+        path = _broadband(1, engine)
+        results[engine] = run_udp_burst(path, rate_bps=30e6, duration_s=2.0)
+    assert results["event"].packets_sent == results["batch"].packets_sent
+    assert results["event"].packets_received == results["batch"].packets_received
+    assert results["event"].loss_fraction == 0.0
+    assert results["batch"].loss_fraction == 0.0
+
+
+def test_udp_burst_engines_close_in_overload():
+    """Overload drops depend on FP rounding at queue-full boundaries;
+    engines may differ by a handful of packets, not more."""
+    results = {}
+    for engine in ("event", "batch"):
+        path = _broadband(1, engine)
+        results[engine] = run_udp_burst(path, rate_bps=100e6, duration_s=2.0)
+    event, batch = results["event"], results["batch"]
+    assert event.packets_sent == batch.packets_sent
+    assert batch.packets_received == pytest.approx(event.packets_received, rel=0.01)
+    assert batch.loss_fraction == pytest.approx(event.loss_fraction, abs=0.01)
+    assert event.loss_fraction > 0.2  # the workload genuinely overloads
+
+
+# -- end-to-end equivalence: TCP --------------------------------------------
+
+
+def _burst_loss(seed):
+    windows = [(t, t + 0.3, 0.9) for t in np.arange(1.0, 12.0, 4.0)]
+    return HandoverBurstLoss(
+        windows, residual_loss=0.0002, rng=stream(seed, "testloss")
+    )
+
+
+def _bernoulli_loss(seed):
+    return BernoulliLoss(0.002, rng=stream(seed, "testloss"))
+
+
+# Pooled-over-seeds goodput ratio bands (batch / event).  Single 4-s
+# flows are noisy per seed; pooling over seeds is the statistic that is
+# stable (measured spread documented in DESIGN.md §10).  Seeds avoid
+# the oracle's no-SACK pathology (a slow-start overshoot burst that
+# Reno/Veno retransmit one window per RTT for the whole flow), which
+# the round-based batch engine deliberately does not reproduce.
+TCP_EQUIVALENCE_CASES = [
+    ("cubic", None, (0.85, 1.30)),
+    ("reno", None, (0.85, 1.45)),
+    ("veno", None, (0.85, 1.45)),
+    ("cubic", _bernoulli_loss, (0.60, 1.70)),
+    ("reno", _bernoulli_loss, (0.60, 1.70)),
+    ("veno", _bernoulli_loss, (0.60, 1.70)),
+    ("cubic", _burst_loss, (0.60, 1.70)),
+    ("reno", _burst_loss, (0.60, 1.70)),
+    ("veno", _burst_loss, (0.60, 1.70)),
+]
+
+
+@pytest.mark.parametrize(
+    "cc,loss_factory,band",
+    TCP_EQUIVALENCE_CASES,
+    ids=[
+        f"{cc}-{'noloss' if f is None else f.__name__.lstrip('_')}"
+        for cc, f, _ in TCP_EQUIVALENCE_CASES
+    ],
+)
+def test_tcp_engines_statistically_equivalent(cc, loss_factory, band):
+    seeds = (1, 2)
+    goodput = {"event": 0.0, "batch": 0.0}
+    for engine in goodput:
+        for seed in seeds:
+            path = _broadband(seed, engine, loss_factory)
+            result = run_iperf_tcp(path, cc=cc, duration_s=4.0)
+            assert result.goodput_mbps > 0.0
+            goodput[engine] += result.goodput_mbps
+    ratio = goodput["batch"] / goodput["event"]
+    low, high = band
+    assert low <= ratio <= high, (
+        f"{cc}: pooled goodput ratio {ratio:.3f} outside [{low}, {high}] "
+        f"(event={goodput['event']:.1f}, batch={goodput['batch']:.1f} Mbps)"
+    )
+
+
+def test_delay_based_cca_ordering_preserved():
+    """Vegas backs off on queueing delay long before loss-based CCAs;
+    both engines must preserve that qualitative ordering even though
+    the batch engine's per-round RTT sampling biases Vegas high."""
+    for engine in ("event", "batch"):
+        vegas = run_iperf_tcp(_broadband(1, engine), cc="vegas", duration_s=4.0)
+        cubic = run_iperf_tcp(_broadband(1, engine), cc="cubic", duration_s=4.0)
+        assert vegas.goodput_mbps < 0.5 * cubic.goodput_mbps, engine
+
+
+def test_tcp_min_rtt_close_across_engines():
+    rtts = {}
+    for engine in ("event", "batch"):
+        rtts[engine] = run_iperf_tcp(
+            _broadband(1, engine), cc="cubic", duration_s=4.0
+        ).min_rtt_ms
+    assert rtts["batch"] == pytest.approx(rtts["event"], rel=0.05)
+
+
+# -- engine selection plumbing ----------------------------------------------
+
+
+def test_resolve_engine_precedence(monkeypatch):
+    monkeypatch.delenv(ENGINE_ENV, raising=False)
+    assert resolve_engine() == "event"
+    monkeypatch.setenv(ENGINE_ENV, "batch")
+    assert resolve_engine() == "batch"
+    assert resolve_engine("event") == "event"  # explicit beats env
+    with pytest.raises(ConfigurationError, match="unknown packet engine"):
+        resolve_engine("warp")
+    monkeypatch.setenv(ENGINE_ENV, "warp")
+    with pytest.raises(ConfigurationError, match="unknown packet engine"):
+        resolve_engine()
+
+
+def test_access_config_validates_engine():
+    with pytest.raises(ConfigurationError, match="unknown packet engine"):
+        AccessConfig(engine="warp")
+
+
+def test_built_path_resolves_engine_from_env(monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV, "batch")
+    assert _broadband(0, None).engine == "batch"
+    monkeypatch.delenv(ENGINE_ENV)
+    assert _broadband(0, None).engine == "event"
+
+
+def test_run_udp_burst_dispatches_on_path_engine():
+    direct = run_udp_burst_batch(_broadband(4, "event"), rate_bps=20e6, duration_s=1.0)
+    routed = run_udp_burst(_broadband(4, "batch"), rate_bps=20e6, duration_s=1.0)
+    assert routed == direct
+
+
+def test_run_iperf_explicit_engine_overrides_path():
+    event_path = _broadband(4, "event")
+    result = run_udp_burst(event_path, rate_bps=20e6, duration_s=1.0, engine="batch")
+    assert result == run_udp_burst_batch(
+        _broadband(4, "event"), rate_bps=20e6, duration_s=1.0
+    )
+
+
+def test_campaign_config_validates_engine():
+    from repro.extension.campaign import CampaignConfig
+
+    with pytest.raises(ConfigurationError, match="unknown packet engine"):
+        CampaignConfig(engine="warp")
+    assert CampaignConfig(engine="batch").engine == "batch"
+
+
+def test_run_experiment_scopes_engine_env(monkeypatch):
+    import os
+
+    from repro.experiments import run_experiment
+    from repro.experiments.base import EXPERIMENTS, ExperimentResult
+
+    seen = {}
+
+    def fake_runner(seed=0, scale=1.0, n_workers=1):
+        seen["engine"] = os.environ.get(ENGINE_ENV)
+        return ExperimentResult(experiment_id="_engine_probe", title="probe")
+
+    monkeypatch.setitem(EXPERIMENTS, "_engine_probe", fake_runner)
+    monkeypatch.delenv(ENGINE_ENV, raising=False)
+    run_experiment("_engine_probe", engine="batch")
+    assert seen["engine"] == "batch"
+    assert ENGINE_ENV not in os.environ  # restored afterwards
+
+
+def test_cli_engine_flag_sets_env(monkeypatch):
+    import os
+
+    from repro.experiments.__main__ import apply_runtime_env
+
+    # setenv first so monkeypatch records the original (unset) state and
+    # teardown removes whatever apply_runtime_env writes.
+    monkeypatch.setenv(ENGINE_ENV, "event")
+
+    class Args:
+        engine = "batch"
+
+    apply_runtime_env(Args())
+    assert os.environ.get(ENGINE_ENV) == "batch"

@@ -165,3 +165,57 @@ def test_link_counters():
     assert link.offered == 4
     assert link.delivered == 4
     assert link.lost == 0
+
+
+def test_direct_queue_clear_does_not_leak_enqueue_times():
+    """Regression: clearing the queue behind the link's back stranded
+    the per-packet enqueue-time entries forever (an unbounded leak on
+    long campaigns that reset paths mid-run).  The link now purges the
+    map when it goes idle with an empty queue."""
+    sim = Simulator()
+    link, sink = _make_link(sim, rate_bps=1e5, delay=0.0)
+    for _ in range(5):
+        link.send(_packet(1000))
+    assert len(link._enqueue_times) == 4  # one in transmission, four queued
+    link.queue.clear()  # behind the link's back
+    sim.run()
+    assert link._enqueue_times == {}
+
+
+def test_clear_queue_keeps_conservation():
+    """``clear_queue`` releases tracked state and keeps the packet
+    conservation invariant (offered == delivered + lost + drops +
+    cleared + in-flight)."""
+    sim = Simulator()
+    link, sink = _make_link(
+        sim, rate_bps=1e5, delay=0.0, queue=DropTailQueue(3000)
+    )
+    for _ in range(6):
+        link.send(_packet(1000))
+    removed = link.clear_queue()
+    assert len(removed) == 3  # 1 transmitting, 3 queued, 2 tail-dropped
+    assert link.cleared == 3
+    assert link._enqueue_times == {}
+    link.check_conservation()
+    sim.run()
+    link.check_conservation()
+    assert len(sink.received) == 1
+
+
+def test_conservation_holds_under_loss_and_overflow():
+    sim = Simulator()
+    link, sink = _make_link(
+        sim,
+        rate_bps=1e5,
+        delay=0.005,
+        queue=DropTailQueue(2000),
+        loss=BernoulliLoss(0.5, rng=np.random.default_rng(3)),
+    )
+    for _ in range(10):
+        link.send(_packet(1000))
+    link.check_conservation()  # mid-run: in-flight accounted
+    sim.run()
+    link.check_conservation()
+    assert link.offered == 10
+    assert link.queue.drops > 0
+    assert link.lost > 0

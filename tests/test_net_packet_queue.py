@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.net.packet import Packet, Protocol
+from repro.net.packet import (
+    UNASSIGNED_PACKET_ID,
+    Packet,
+    PacketIdAllocator,
+    Protocol,
+)
 from repro.net.queues import DropTailQueue
 
 
@@ -13,8 +18,19 @@ def _packet(size=1500, **kwargs):
     return Packet(**defaults)
 
 
-def test_packet_ids_unique():
-    assert _packet().packet_id != _packet().packet_id
+def test_packet_created_unassigned():
+    # Ids are per-run: a packet gets one from the simulator it enters,
+    # never from process-global state.
+    assert _packet().packet_id == UNASSIGNED_PACKET_ID
+
+
+def test_packet_ids_unique_within_allocator():
+    allocator = PacketIdAllocator()
+    first, second = _packet(), _packet()
+    assert first.ensure_id(allocator) != second.ensure_id(allocator)
+    # ensure_id is idempotent: re-entering a simulator keeps the id.
+    assert first.ensure_id(allocator) == first.packet_id
+    assert allocator.allocated == 2
 
 
 def test_packet_rejects_bad_size():
@@ -36,12 +52,16 @@ def test_reply_template_swaps_endpoints():
 
 
 def test_copy_is_independent():
+    allocator = PacketIdAllocator()
     original = _packet()
+    original.ensure_id(allocator)
     original.payload["k"] = 1
     duplicate = original.copy()
     duplicate.payload["k"] = 2
     assert original.payload["k"] == 1
-    assert duplicate.packet_id != original.packet_id
+    # The copy is unassigned until it enters a simulator itself.
+    assert duplicate.packet_id == UNASSIGNED_PACKET_ID
+    assert duplicate.ensure_id(allocator) != original.packet_id
 
 
 def test_queue_fifo_order():
@@ -85,3 +105,39 @@ def test_queue_frees_space_after_poll():
     assert not queue.offer(_packet())
     queue.poll()
     assert queue.offer(_packet())
+
+
+def test_packet_ids_reproducible_fresh_vs_reused_process():
+    """Regression: ids came from a process-global ``itertools.count``,
+    so a run's ids depended on how many packets *earlier* runs in the
+    same process had created — fresh-process and reused-process
+    executions of the same scenario disagreed.  Ids are now allocated
+    per simulator run."""
+    from repro.net.link import Link
+    from repro.net.simulator import Simulator
+
+    class _Sink:
+        def __init__(self):
+            self.name = "sink"
+            self.ids = []
+
+        def receive(self, packet, link):
+            self.ids.append(packet.packet_id)
+
+    class _Source:
+        name = "src"
+
+    def run_once():
+        sim = Simulator()
+        sink = _Sink()
+        link = Link(sim, _Source(), sink, rate_bps=1e6, delay=0.001)
+        for _ in range(5):
+            link.send(_packet(size=1000, src="src", dst="sink"))
+        sim.run()
+        return sink.ids
+
+    first = run_once()
+    # A "reused process" second run must see the identical id sequence.
+    second = run_once()
+    assert first == second
+    assert first == [1, 2, 3, 4, 5]

@@ -151,3 +151,28 @@ def test_max_events_skips_cancelled_events():
         sim.schedule(float(i), lambda: None).cancel()
     sim.schedule(10.0, lambda: None)
     assert sim.run(max_events=1) == 1
+
+
+def test_pending_events_excludes_cancelled():
+    """Regression: ``pending_events`` reported raw heap length, so
+    cancelled-but-not-yet-popped entries (every rescheduled RTO) made
+    idle/teardown logic think work remained."""
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(3)]
+    events[1].cancel()
+    assert sim.pending_events == 2
+    events[1].cancel()  # double-cancel must not double-decrement
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_heap_compaction_bounds_cancelled_entries():
+    """A flow cancelling one event per ack must not grow the heap
+    without bound relative to the live set."""
+    sim = Simulator()
+    keep = [sim.schedule(1000.0 + i, lambda: None) for i in range(8)]
+    for i in range(5000):
+        sim.schedule(1.0 + i * 1e-3, lambda: None).cancel()
+    assert sim.pending_events == len(keep)
+    assert len(sim._heap) < 256  # lazily compacted, not 5008
