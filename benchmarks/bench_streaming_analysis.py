@@ -1,0 +1,115 @@
+"""Streaming analytics: O(segment) analysis memory, exact-mode identity.
+
+Three claims, matching the tentpole's acceptance criteria:
+
+* **Peak analysis RSS** — computing the Table 1 aggregates over a
+  million-record spill dataset with the streaming sketch fold costs
+  >= 5x less peak-RSS growth than the exact pipeline's materialised
+  record selections.  Each mode runs in a fresh subprocess
+  (``_streaming_rss_probe.py``) because ``ru_maxrss`` is a
+  process-wide high-water mark.
+* **Accuracy** — on that same dataset the streaming counts and
+  distinct-domain cells equal the exact ones, and every streaming
+  median lands within the 1 % rank-error bound of the exact column.
+* **Exact-mode identity** — ``--analytics exact`` produces exactly the
+  default pipeline's result (same rows, same metrics, bit for bit),
+  so the new mode plumbing cannot perturb the historical outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+#: Record count for the RSS probe — the issue's "1M records" regime.
+RSS_PROBE_RECORDS = 1_000_000
+
+RSS_REDUCTION_TARGET = 5.0
+
+
+def _run_probe(args: list[str]) -> dict:
+    probe = os.path.join(os.path.dirname(__file__), "_streaming_rss_probe.py")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(probe))), "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    out = subprocess.run(
+        [sys.executable, probe, *args],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+        timeout=900,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_streaming_analysis_peak_rss_reduction(benchmark, tmp_path):
+    """>= 5x lower analysis peak-RSS growth than exact at 1M records."""
+    directory = str(tmp_path / "segments")
+    built = _run_probe(["build", directory, str(RSS_PROBE_RECORDS)])
+    assert built["built"] == RSS_PROBE_RECORDS
+
+    def probe_both():
+        exact = _run_probe(["analyze", directory, "exact"])
+        streaming = _run_probe(["analyze", directory, "streaming"])
+        return exact, streaming
+
+    exact, streaming = benchmark.pedantic(probe_both, rounds=1, iterations=1)
+    for report in (exact, streaming):
+        assert report["n_records"] == RSS_PROBE_RECORDS
+        report["growth_kib"] = max(report["peak_kib"] - report["baseline_kib"], 1)
+
+    # Counts and #domain cells are exact even in streaming mode; the
+    # medians must agree within a generous value tolerance (the rank
+    # bound is far tighter than 2 % of the value on this distribution).
+    for key, cell in exact["cells"].items():
+        streamed = streaming["cells"][key]
+        assert streamed["n"] == cell["n"], key
+        assert streamed["domains"] == cell["domains"], key
+        assert abs(streamed["median"] - cell["median"]) <= 0.02 * abs(
+            cell["median"]
+        ), key
+
+    reduction = exact["growth_kib"] / streaming["growth_kib"]
+    print(
+        f"\nanalysis peak-RSS growth over {RSS_PROBE_RECORDS} records: "
+        f"exact {exact['growth_kib'] / 1024:.0f} MiB, "
+        f"streaming {streaming['growth_kib'] / 1024:.0f} MiB "
+        f"-> {reduction:.1f}x reduction"
+    )
+    assert reduction >= RSS_REDUCTION_TARGET, (
+        f"streaming analysis reduced peak RSS only {reduction:.1f}x "
+        f"(target {RSS_REDUCTION_TARGET}x)"
+    )
+
+
+def test_exact_mode_identical_to_default(benchmark):
+    """--analytics exact is a no-op: bit-identical experiment results."""
+    from repro.experiments import run_experiment
+
+    def run_both():
+        default = run_experiment("table1", seed=2, scale=0.15)
+        exact = run_experiment("table1", seed=2, scale=0.15, analytics="exact")
+        return default, exact
+
+    default, exact = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert exact.rows == default.rows
+
+    def value_metrics(result):
+        # campaign_wall_s / campaign_records_per_s are wall-clock
+        # measurements and legitimately differ between identical runs.
+        return {
+            key: value
+            for key, value in result.metrics.items()
+            if not key.startswith("campaign_")
+        }
+
+    assert value_metrics(exact) == value_metrics(default)
+    print(
+        f"\nexact-mode identity: {len(default.rows)} rows, "
+        f"{len(default.metrics)} metrics bit-identical to the default path"
+    )

@@ -7,6 +7,9 @@
   with weather history (Figure 4).
 * :mod:`repro.analysis.aschange` — detecting the exit-AS migration in
   the dataset and splitting distributions around it (Figure 3).
+* :mod:`repro.analysis.streaming` — mergeable quantile sketches and
+  O(segment)-memory streaming builders for the same figures/tables
+  (``--analytics streaming``).
 * :mod:`repro.analysis.tables` — plain-text table rendering for the
   experiment harness output.
 """
@@ -14,11 +17,20 @@
 from repro.analysis.aschange import detect_as_switch_time, split_around
 from repro.analysis.queueing import QueueingEstimate, max_min_queueing
 from repro.analysis.stats import ccdf, ecdf, median, percentile, summarize
+from repro.analysis.streaming import (
+    GroupedAccumulator,
+    QuantileSketch,
+    analytics_mode_for,
+    resolve_analytics,
+)
 from repro.analysis.tables import format_table
 from repro.analysis.weatherjoin import ptt_by_condition
 
 __all__ = [
+    "GroupedAccumulator",
+    "QuantileSketch",
     "QueueingEstimate",
+    "analytics_mode_for",
     "ccdf",
     "detect_as_switch_time",
     "ecdf",
@@ -27,6 +39,7 @@ __all__ = [
     "median",
     "percentile",
     "ptt_by_condition",
+    "resolve_analytics",
     "split_around",
     "summarize",
 ]

@@ -19,7 +19,7 @@ def _as_float_array(values) -> np.ndarray:
     without materialising Python objects."""
     if isinstance(values, np.ndarray):
         return np.asarray(values, dtype=float)
-    return np.asarray(list(values), dtype=float)
+    return np.fromiter(values, dtype=float)
 
 
 def median(values) -> float:
@@ -48,18 +48,24 @@ def ecdf(values) -> tuple[np.ndarray, np.ndarray]:
     Raises:
         DatasetError: on empty input.
     """
-    array = np.sort(_as_float_array(values))
+    array = _as_float_array(values)
     if array.size == 0:
         raise DatasetError("ecdf of empty data")
+    array = np.sort(array)
     probabilities = np.arange(1, array.size + 1) / array.size
     return array, probabilities
 
 
 def ccdf(values) -> tuple[np.ndarray, np.ndarray]:
-    """Complementary CDF: returns (sorted values, P[X >= x])."""
-    array = np.sort(_as_float_array(values))
+    """Complementary CDF: returns (sorted values, P[X >= x]).
+
+    Raises:
+        DatasetError: on empty input.
+    """
+    array = _as_float_array(values)
     if array.size == 0:
         raise DatasetError("ccdf of empty data")
+    array = np.sort(array)
     probabilities = 1.0 - np.arange(array.size) / array.size
     return array, probabilities
 
@@ -90,12 +96,13 @@ def summarize(values) -> Summary:
     array = _as_float_array(values)
     if array.size == 0:
         raise DatasetError("summary of empty data")
+    lo, p25, p50, p75, hi = np.percentile(array, [0, 25, 50, 75, 100])
     return Summary(
         n=int(array.size),
-        min=float(array.min()),
-        p25=float(np.percentile(array, 25)),
-        median=float(np.median(array)),
-        p75=float(np.percentile(array, 75)),
-        max=float(array.max()),
+        min=float(lo),
+        p25=float(p25),
+        median=float(p50),
+        p75=float(p75),
+        max=float(hi),
         mean=float(array.mean()),
     )

@@ -81,6 +81,15 @@ def main(argv: list[str] | None = None) -> int:
         "'batch' the vectorised engine (statistically equivalent, "
         ">=10x faster on packet-level experiments)",
     )
+    parser.add_argument(
+        "--analytics",
+        choices=("exact", "streaming", "auto"),
+        help="analysis path: 'exact' recomputes from full columns "
+        "(bit-identical to the historical pipeline), 'streaming' folds "
+        "backend segments through mergeable sketches in O(segment) "
+        "memory (quantiles within 1%% rank error, counts exact), "
+        "'auto' picks streaming only for large spill-backed datasets",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--dump-series",
@@ -152,6 +161,8 @@ def apply_runtime_env(args) -> None:
         os.environ["REPRO_STORAGE_DIR"] = args.storage_dir
     if getattr(args, "engine", None):
         os.environ["REPRO_ENGINE"] = args.engine
+    if getattr(args, "analytics", None):
+        os.environ["REPRO_ANALYTICS"] = args.analytics
 
 
 def dump_series(result, directory: str) -> list[str]:

@@ -69,6 +69,7 @@ def run_experiment(
     scale: float = 1.0,
     n_workers: int = 1,
     engine: str | None = None,
+    analytics: str | None = None,
 ) -> "ExperimentResult":
     """Run one experiment by id.
 
@@ -79,12 +80,18 @@ def run_experiment(
     ``REPRO_ENGINE`` fallback — experiments build their own
     ``AccessConfig`` behind the uniform signature, so the env var is
     the hand-off point (like the CLI's other ``REPRO_*`` knobs).
+    ``analytics`` selects the analysis path the same way (``"exact"``,
+    ``"streaming"`` or ``"auto"``, scoping ``REPRO_ANALYTICS``): exact
+    is bit-identical to the historical pipeline, streaming folds
+    backend segments through mergeable sketches in O(segment) memory
+    (quantile cells within a 1% rank-error bound, counts exact).
 
     Raises:
-        ConfigurationError: for unknown ids or engines.
+        ConfigurationError: for unknown ids, engines or analytics modes.
     """
     import os
 
+    from repro.analysis.streaming import ANALYTICS_ENV, resolve_analytics
     from repro.net.batch import ENGINE_ENV, resolve_engine
 
     try:
@@ -93,26 +100,45 @@ def run_experiment(
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    if engine is None:
-        return runner(seed=seed, scale=scale, n_workers=n_workers)
-    previous = os.environ.get(ENGINE_ENV)
-    os.environ[ENGINE_ENV] = resolve_engine(engine)
+    scoped: list[tuple[str, str, str | None]] = []
+    if engine is not None:
+        scoped.append((ENGINE_ENV, resolve_engine(engine), os.environ.get(ENGINE_ENV)))
+    if analytics is not None:
+        scoped.append(
+            (
+                ANALYTICS_ENV,
+                resolve_analytics(analytics),
+                os.environ.get(ANALYTICS_ENV),
+            )
+        )
+    for name, value, _ in scoped:
+        os.environ[name] = value
     try:
         return runner(seed=seed, scale=scale, n_workers=n_workers)
     finally:
-        if previous is None:
-            os.environ.pop(ENGINE_ENV, None)
-        else:
-            os.environ[ENGINE_ENV] = previous
+        for name, _, previous in scoped:
+            if previous is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous
 
 
 def run_all(
-    seed: int = 0, scale: float = 1.0, n_workers: int = 1, engine: str | None = None
+    seed: int = 0,
+    scale: float = 1.0,
+    n_workers: int = 1,
+    engine: str | None = None,
+    analytics: str | None = None,
 ) -> dict[str, "ExperimentResult"]:
     """Run every experiment; returns id -> result."""
     return {
         experiment_id: run_experiment(
-            experiment_id, seed=seed, scale=scale, n_workers=n_workers, engine=engine
+            experiment_id,
+            seed=seed,
+            scale=scale,
+            n_workers=n_workers,
+            engine=engine,
+            analytics=analytics,
         )
         for experiment_id in EXPERIMENTS
     }

@@ -16,6 +16,7 @@ Sydney's medians well above (roughly 2x) London's.
 
 from __future__ import annotations
 
+from repro.analysis.streaming import analytics_mode_for, stream_table1_stats
 from repro.experiments.base import ExperimentResult, campaign_metrics, register
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
 
@@ -60,13 +61,25 @@ def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResu
     ]
     rows = []
     metrics: dict[str, float] = {}
+    mode = analytics_mode_for(dataset, config=config)
+    grouped = stream_table1_stats(dataset) if mode == "streaming" else None
     for city_name in CITIES:
-        sl_n = dataset.request_count(city=city_name, is_starlink=True)
-        sl_dom = dataset.unique_domains(city=city_name, is_starlink=True)
-        sl_med = dataset.median_ptt_ms(city=city_name, is_starlink=True)
-        non_n = dataset.request_count(city=city_name, is_starlink=False)
-        non_dom = dataset.unique_domains(city=city_name, is_starlink=False)
-        non_med = dataset.median_ptt_ms(city=city_name, is_starlink=False)
+        if grouped is None:
+            sl_n = dataset.request_count(city=city_name, is_starlink=True)
+            sl_dom = dataset.unique_domains(city=city_name, is_starlink=True)
+            sl_med = dataset.median_ptt_ms(city=city_name, is_starlink=True)
+            non_n = dataset.request_count(city=city_name, is_starlink=False)
+            non_dom = dataset.unique_domains(city=city_name, is_starlink=False)
+            non_med = dataset.median_ptt_ms(city=city_name, is_starlink=False)
+        else:
+            # Counts and #domain are exact even in streaming mode; only
+            # the medians carry the sketch's bounded rank error.
+            sl_n = grouped.sketch((city_name, True)).n
+            sl_dom = grouped.distinct((city_name, True)).n
+            sl_med = grouped.sketch((city_name, True)).quantile(0.5)
+            non_n = grouped.sketch((city_name, False)).n
+            non_dom = grouped.distinct((city_name, False)).n
+            non_med = grouped.sketch((city_name, False)).quantile(0.5)
         rows.append([city_name, sl_n, sl_dom, sl_med, non_n, non_dom, non_med])
         metrics[f"{city_name}_starlink_median_ptt_ms"] = sl_med
         metrics[f"{city_name}_non_starlink_median_ptt_ms"] = non_med
@@ -91,6 +104,6 @@ def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResu
         notes=(
             "Synthetic campaign (see DESIGN.md); request counts scale with "
             "the scale parameter, medians are the calibrated quantities. "
-            f"Run: {campaign.last_run_stats.summary()}"
+            f"Analytics: {mode}. Run: {campaign.last_run_stats.summary()}"
         ),
     )

@@ -18,6 +18,7 @@ London UL roughly twice Seattle/Toronto.
 
 from __future__ import annotations
 
+from repro.analysis.streaming import analytics_mode_for, stream_speedtest_medians
 from repro.errors import DatasetError
 from repro.experiments.base import ExperimentResult, campaign_metrics, register
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
@@ -49,12 +50,27 @@ def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResu
     headers = ["city", "n tests", "DL median (Mbps)", "UL median (Mbps)"]
     rows = []
     metrics: dict[str, float] = {}
+    mode = analytics_mode_for(dataset, config=config)
+    streamed = stream_speedtest_medians(dataset) if mode == "streaming" else None
     for city_name in CITIES:
-        tests = dataset.select_speedtests(city=city_name, is_starlink=True)
-        if not tests:
-            raise DatasetError(f"campaign produced no speedtests for {city_name}")
-        dl, ul = dataset.median_speedtest_mbps(city_name, is_starlink=True)
-        rows.append([city_name, len(tests), dl, ul])
+        if streamed is None:
+            tests = dataset.select_speedtests(city=city_name, is_starlink=True)
+            if not tests:
+                raise DatasetError(
+                    f"campaign produced no speedtests for {city_name}"
+                )
+            n_tests = len(tests)
+            dl, ul = dataset.median_speedtest_mbps(city_name, is_starlink=True)
+        else:
+            if city_name not in streamed:
+                raise DatasetError(
+                    f"campaign produced no speedtests for {city_name}"
+                )
+            cell = streamed[city_name]
+            n_tests = cell["n"]
+            dl = cell["dl"].quantile(0.5)
+            ul = cell["ul"].quantile(0.5)
+        rows.append([city_name, n_tests, dl, ul])
         metrics[f"{city_name}_dl_mbps"] = dl
         metrics[f"{city_name}_ul_mbps"] = ul
     metrics["london_over_seattle_dl"] = (
@@ -75,4 +91,5 @@ def run(seed: int = 0, scale: float = 1.0, n_workers: int = 1) -> ExperimentResu
             f"{c}": f"DL={v[0]} UL={v[1]} Mbps" for c, v in PAPER.items()
         }
         | {"ratios": "London/Seattle ~1.4x DL, London/Toronto ~1.9x DL"},
+        notes=f"Analytics: {mode}.",
     )

@@ -60,6 +60,62 @@ _CODECS = {
 }
 
 
+#: Stored columns each derived page-load column is computed from; chunk
+#: reads load only these plus the stored columns actually requested.
+_DERIVED_INPUTS = {
+    "ptt_ms": tuple(
+        f"timing_{field}"
+        for field in (
+            "redirect_s",
+            "dns_s",
+            "connect_s",
+            "tls_s",
+            "request_s",
+            "response_s",
+        )
+    ),
+    "plt_ms": tuple(f"timing_{field}" for field in columnar.TIMING_FIELDS),
+}
+
+
+def _split_chunk_columns(kind: str, columns) -> tuple[tuple, tuple, tuple]:
+    """(stored columns to load, derived columns, requested order) for a
+    chunk-iteration request; unknown names raise up front."""
+    requested = tuple(columns)
+    if not requested:
+        raise DatasetError("column chunk request needs at least one column")
+    all_columns, _, _, _ = _CODECS[kind]
+    derived_names = columnar.PAGE_LOAD_DERIVED if kind == "page_loads" else ()
+    derived = tuple(name for name in requested if name in derived_names)
+    unknown = [
+        name
+        for name in requested
+        if name not in all_columns and name not in derived_names
+    ]
+    if unknown:
+        raise DatasetError(f"unknown {kind} column(s) {unknown}")
+    load = dict.fromkeys(
+        name for name in requested if name not in derived_names
+    )
+    for name in derived:
+        load.update(dict.fromkeys(_DERIVED_INPUTS[name]))
+    return tuple(load), derived, requested
+
+
+def _finish_chunk(
+    arrays: dict[str, np.ndarray], requested: tuple, derived: tuple
+) -> dict[str, np.ndarray]:
+    """Assemble one yielded chunk: stored columns pass through, derived
+    ones are computed per chunk (bitwise equal to full-column reads —
+    the derivation is elementwise)."""
+    return {
+        name: columnar.derived_page_load_column(name, arrays.__getitem__)
+        if name in derived
+        else arrays[name]
+        for name in requested
+    }
+
+
 def resolve_storage(config=None) -> str:
     """The storage backend name a campaign will use.
 
@@ -141,6 +197,14 @@ class DatasetBackend(Protocol):
 
     def speedtest_column(self, name: str) -> np.ndarray: ...
 
+    def iter_page_load_column_chunks(
+        self, columns
+    ) -> Iterator[dict[str, np.ndarray]]: ...
+
+    def iter_speedtest_column_chunks(
+        self, columns
+    ) -> Iterator[dict[str, np.ndarray]]: ...
+
     @property
     def n_page_loads(self) -> int: ...
 
@@ -217,6 +281,24 @@ class InMemoryBackend:
         if name not in columnar.SPEEDTEST_COLUMNS:
             raise DatasetError(f"unknown speedtest column {name!r}")
         return self._stored_column("speedtests", name)
+
+    def _iter_column_chunks(self, kind: str, columns):
+        load, derived, requested = _split_chunk_columns(kind, columns)
+        records = self.page_loads if kind == "page_loads" else self.speedtests
+        if not records:
+            return
+        # Everything is resident anyway; one chunk reuses the column cache.
+        arrays = {name: self._stored_column(kind, name) for name in load}
+        yield _finish_chunk(arrays, requested, derived)
+
+    def iter_page_load_column_chunks(self, columns):
+        """Stream page-load columns chunk-wise (one chunk: records are
+        already resident, so splitting buys nothing here)."""
+        return self._iter_column_chunks("page_loads", columns)
+
+    def iter_speedtest_column_chunks(self, columns):
+        """Stream speedtest columns chunk-wise (one chunk)."""
+        return self._iter_column_chunks("speedtests", columns)
 
     @property
     def n_page_loads(self) -> int:
@@ -354,6 +436,26 @@ class ColumnarBackend:
         if name not in columnar.SPEEDTEST_COLUMNS:
             raise DatasetError(f"unknown speedtest column {name!r}")
         return self._stored_column("speedtests", name)
+
+    def _iter_column_chunks(self, kind: str, columns):
+        load, derived, requested = _split_chunk_columns(kind, columns)
+        _, encode, _, _ = _CODECS[kind]
+        for chunk in self._chunks[kind]:
+            arrays = {name: chunk[name] for name in load}
+            yield _finish_chunk(arrays, requested, derived)
+        if self._staging[kind]:
+            staged = encode(self._staging[kind])
+            yield _finish_chunk(
+                {name: staged[name] for name in load}, requested, derived
+            )
+
+    def iter_page_load_column_chunks(self, columns):
+        """Stream page-load columns one stored chunk at a time."""
+        return self._iter_column_chunks("page_loads", columns)
+
+    def iter_speedtest_column_chunks(self, columns):
+        """Stream speedtest columns one stored chunk at a time."""
+        return self._iter_column_chunks("speedtests", columns)
 
     def _count(self, kind: str) -> int:
         columns, _, _, _ = _CODECS[kind]
@@ -631,6 +733,29 @@ class SpillBackend:
         if name not in columnar.SPEEDTEST_COLUMNS:
             raise DatasetError(f"unknown speedtest column {name!r}")
         return self._stored_column("speedtests", name)
+
+    def _iter_column_chunks(self, kind: str, columns):
+        load, derived, requested = _split_chunk_columns(kind, columns)
+        _, encode, _, _ = _CODECS[kind]
+        # One segment resident at a time, and only the needed members
+        # of each .npz — the O(segment) primitive streaming analytics
+        # folds over.
+        for entry in list(self._segments[kind]):
+            arrays = self._load_segment(kind, entry, columns=load)
+            yield _finish_chunk(arrays, requested, derived)
+        if self._staging[kind]:
+            staged = encode(self._staging[kind])
+            yield _finish_chunk(
+                {name: staged[name] for name in load}, requested, derived
+            )
+
+    def iter_page_load_column_chunks(self, columns):
+        """Stream page-load columns one on-disk segment at a time."""
+        return self._iter_column_chunks("page_loads", columns)
+
+    def iter_speedtest_column_chunks(self, columns):
+        """Stream speedtest columns one on-disk segment at a time."""
+        return self._iter_column_chunks("speedtests", columns)
 
     def _count(self, kind: str) -> int:
         stored = sum(entry["n"] for entry in self._segments[kind])

@@ -122,6 +122,14 @@ class CampaignConfig:
             analytic, so this is execution-only for the dataset itself;
             it is threaded into the :class:`AccessConfig` of paths the
             campaign builds.
+        analytics: Analytics mode for the figure/table aggregations
+            over this campaign's dataset (``"exact"``, ``"streaming"``
+            or ``"auto"``, see :mod:`repro.analysis.streaming`).  None
+            falls back to ``REPRO_ANALYTICS`` then ``auto`` (exact for
+            small/in-memory datasets, streaming sketches for large
+            spill-backed ones).  Execution-only: exact mode is
+            bit-identical to the historical outputs, streaming mode is
+            within the sketches' 1 % rank-error bound.
     """
 
     seed: int = 0
@@ -143,6 +151,7 @@ class CampaignConfig:
     storage_dir: str | None = None
     storage_segment_records: int = 4096
     engine: str | None = None
+    analytics: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -185,6 +194,14 @@ class CampaignConfig:
                 raise ConfigurationError(
                     f"unknown packet engine {self.engine!r}; "
                     f"valid: {VALID_ENGINES}"
+                )
+        if self.analytics is not None:
+            from repro.analysis.streaming import VALID_ANALYTICS
+
+            if self.analytics not in VALID_ANALYTICS:
+                raise ConfigurationError(
+                    f"unknown analytics mode {self.analytics!r}; "
+                    f"valid: {VALID_ANALYTICS}"
                 )
 
 

@@ -102,6 +102,22 @@ class Dataset:
         """One speedtest column as a numpy array."""
         return self._backend.speedtest_column(name)
 
+    def iter_page_load_column_chunks(self, columns):
+        """Stream page-load columns one backend chunk/segment at a time.
+
+        Yields ``{name: array}`` dicts holding only the requested
+        columns of one chunk; derived columns (``ptt_ms``/``plt_ms``)
+        are computed per chunk, bitwise equal to a full-column read.
+        On the spill backend this is the O(segment)-memory read path
+        the streaming analytics of :mod:`repro.analysis.streaming`
+        fold over.
+        """
+        return self._backend.iter_page_load_column_chunks(columns)
+
+    def iter_speedtest_column_chunks(self, columns):
+        """Stream speedtest columns one backend chunk/segment at a time."""
+        return self._backend.iter_speedtest_column_chunks(columns)
+
     # -- ingest ----------------------------------------------------------
 
     def add_page_load(self, record: PageLoadRecord) -> None:

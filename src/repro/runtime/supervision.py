@@ -174,20 +174,20 @@ def validate_shard_result(result, shard_id: int, user_indices) -> str | None:
     return None
 
 
-def _supervised_worker(
-    conn, config, shard_id, user_indices, timelines, attempt, fault_plan
-) -> None:
+def _supervised_worker(conn, task, attempt, fault_plan, task_fn) -> None:
     """Worker-process entry point (top-level so ``spawn`` can pickle it).
 
     Applies any injected fault for ``(shard_id, attempt)``, runs the
-    shard, and ships ``("ok", ShardResult)`` or ``("error", detail)``
-    back over the pipe.  A crash fault exits before sending anything —
-    exactly what a real abnormal death looks like from the parent.
+    shard task (``task_fn(*task)`` — :func:`run_shard` by default), and
+    ships ``("ok", result)`` or ``("error", detail)`` back over the
+    pipe.  A crash fault exits before sending anything — exactly what a
+    real abnormal death looks like from the parent.
     """
+    shard_id = task[1]
     fault = fault_plan.fault_for(shard_id, attempt) if fault_plan else None
     try:
         apply_pre_run(fault)
-        result = run_shard(config, shard_id, user_indices, timelines)
+        result = task_fn(*task)
         result = apply_post_run(fault, result)
         conn.send(("ok", result))
     except BaseException as exc:  # the parent retries; report, don't die silently
@@ -217,12 +217,18 @@ def supervise_shards(
     context=None,
     fault_plan: FaultPlan | None = None,
     on_success=None,
+    task_fn=run_shard,
+    validate_fn=validate_shard_result,
 ) -> tuple[list[ShardResult], list[ShardFailure]]:
     """Run shard tasks under supervision; returns (results, failures).
 
     Args:
-        tasks: ``(config, shard_id, user_indices, timelines)`` tuples
-            (the same shape the bare pool used).
+        tasks: ``(config, shard_id, user_indices, ...)`` tuples —
+            positions 1 and 2 must be the shard id and its user
+            indices (the supervisor's book-keeping keys); the whole
+            tuple is splatted into ``task_fn``.  The default shape is
+            the record path's ``(config, shard_id, user_indices,
+            timelines)``.
         n_workers: Concurrency cap; the supervisor never has more than
             ``min(n_workers, len(tasks))`` worker processes alive.
         policy: Retry/timeout policy (default: ``SupervisorPolicy()``).
@@ -234,6 +240,14 @@ def supervise_shards(
             :class:`ShardResult` as soon as it is accepted — the
             checkpoint spill hook, called before slower shards finish
             so a later kill loses as little as possible.
+        task_fn: The per-shard work (default :func:`run_shard`; the
+            sketch-reduce path of :mod:`repro.runtime.reduce` passes
+            its own).  Must be a top-level callable so ``spawn``
+            workers can pickle it, and must return a result whose
+            ``stats.attempts`` the supervisor may set.
+        validate_fn: ``(result, shard_id, user_indices) -> str | None``
+            result acceptance check (default
+            :func:`validate_shard_result`).
 
     Raises:
         ShardFailedError: A shard exhausted ``max_retries`` and the
@@ -275,19 +289,10 @@ def supervise_shards(
             process.join(timeout=_REAP_TIMEOUT_S)
 
     def launch(task, attempt: int) -> None:
-        config, shard_id, user_indices, timelines = task
         recv_conn, send_conn = context.Pipe(duplex=False)
         process = context.Process(
             target=_supervised_worker,
-            args=(
-                send_conn,
-                config,
-                shard_id,
-                user_indices,
-                timelines,
-                attempt,
-                fault_plan,
-            ),
+            args=(send_conn, task, attempt, fault_plan, task_fn),
             daemon=True,
         )
         process.start()
@@ -334,9 +339,7 @@ def supervise_shards(
                 reap(inflight.process)
                 conn.close()
                 if status == "ok":
-                    problem = validate_shard_result(
-                        payload, shard_id, user_indices
-                    )
+                    problem = validate_fn(payload, shard_id, user_indices)
                     if problem is None:
                         payload.stats.attempts = inflight.attempt + 1
                         accept(payload)
@@ -431,7 +434,7 @@ def supervise_shards(
             # Graceful degradation: final attempt in-process, faults
             # bypassed.  Determinism makes this bit-identical to what
             # a healthy worker would have produced.
-            result = run_shard(*task)
+            result = task_fn(*task)
             result.stats.attempts = policy.max_retries + 2
             accept(result)
     return [results[shard_id] for shard_id in sorted(results)], failures

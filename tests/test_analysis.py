@@ -55,6 +55,45 @@ def test_summary_fields():
     assert s.mean == 3
 
 
+def test_empty_inputs_raise_dataset_error():
+    # Every order-statistic entry point refuses empty data the same way,
+    # including ecdf/ccdf (which must check before sorting).
+    for fn in (median, ecdf, ccdf):
+        with pytest.raises(DatasetError):
+            fn([])
+    with pytest.raises(DatasetError):
+        percentile([], 50)
+    with pytest.raises(DatasetError):
+        summarize([])
+    with pytest.raises(DatasetError):
+        ecdf(np.empty(0))
+    with pytest.raises(DatasetError):
+        ccdf(np.empty(0))
+
+
+def test_summarize_quartiles_single_pass():
+    values = np.arange(101, dtype=float)
+    s = summarize(values)
+    assert (s.min, s.p25, s.median, s.p75, s.max) == (0.0, 25.0, 50.0, 75.0, 100.0)
+    assert s.mean == 50.0
+    # Quartiles must agree with np.percentile (the single-call source).
+    assert [s.min, s.p25, s.median, s.p75, s.max] == list(
+        np.percentile(values, [0, 25, 50, 75, 100])
+    )
+
+
+def test_as_float_array_no_copy_for_float_ndarray():
+    from repro.analysis.stats import _as_float_array
+
+    column = np.array([1.0, 2.0, 3.0])
+    assert _as_float_array(column) is column  # backend columns pass through
+    ints = np.array([1, 2, 3])
+    converted = _as_float_array(ints)
+    assert converted is not ints and converted.dtype == float
+    from_iter = _as_float_array(x for x in (1, 2, 3))
+    assert from_iter.dtype == float and list(from_iter) == [1.0, 2.0, 3.0]
+
+
 @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
 def test_median_between_min_max_property(values):
     m = median(values)
