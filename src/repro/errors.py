@@ -59,6 +59,27 @@ class ShardFailedError(SupervisionError):
         self.failures = list(failures)
 
 
+class CampaignCancelledError(SupervisionError):
+    """A campaign run was cancelled before every shard completed.
+
+    Raised by the supervised dispatcher when its ``should_stop`` seam
+    fires.  Shards that completed before the cancel were already
+    checkpointed (when a checkpoint store is configured), so a later
+    resume re-runs only what the cancel lost.
+
+    Attributes:
+        completed_shards: Shards accepted before the cancel took effect.
+        n_shards: Shards the cancelled run had planned in total.
+    """
+
+    def __init__(
+        self, message: str, completed_shards: int = 0, n_shards: int = 0
+    ):
+        super().__init__(message)
+        self.completed_shards = completed_shards
+        self.n_shards = n_shards
+
+
 class CheckpointError(ReproError):
     """A campaign checkpoint directory is unusable or inconsistent."""
 

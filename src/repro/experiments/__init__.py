@@ -20,6 +20,8 @@ from __future__ import annotations
 from repro.experiments.base import (
     EXPERIMENTS,
     ExperimentResult,
+    describe,
+    describe_all,
     register,
     run_all,
     run_experiment,
@@ -48,6 +50,8 @@ from repro.experiments import (  # noqa: F401  (registration imports)
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "describe",
+    "describe_all",
     "register",
     "run_all",
     "run_experiment",

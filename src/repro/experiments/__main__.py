@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.experiments table1 [--seed N] [--scale F]
     python -m repro.experiments all --scale 0.3
-    python -m repro.experiments --list
+    python -m repro.experiments --list [--json]
+    python -m repro.experiments serve --port 8000
 """
 
 from __future__ import annotations
@@ -92,6 +93,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --list: print the full registry metadata (id, doc "
+        "summary, knobs, artifact kind) as JSON instead of plain ids",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for 'serve' (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="listen port for 'serve' (default 8000; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--service-dir",
+        metavar="DIR",
+        help="working directory for 'serve' (checkpoints and spilled "
+        "campaign storage; default: a fresh temporary directory)",
+    )
+    parser.add_argument(
         "--dump-series",
         metavar="DIR",
         help="write any figure series (CDFs, time series) as CSV files",
@@ -105,9 +129,23 @@ def main(argv: list[str] | None = None) -> int:
     apply_runtime_env(args)
 
     if args.list or args.experiment is None:
-        for experiment_id in EXPERIMENTS:
-            print(experiment_id)
+        if args.json:
+            import json
+
+            from repro.experiments import describe_all
+
+            print(json.dumps({"experiments": describe_all()}, indent=2))
+        else:
+            for experiment_id in EXPERIMENTS:
+                print(experiment_id)
         return 0
+
+    if args.experiment == "serve":
+        from repro.service import serve
+
+        return serve(
+            host=args.host, port=args.port, service_dir=args.service_dir
+        )
 
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     any_failed = False

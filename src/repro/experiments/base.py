@@ -63,6 +63,71 @@ def register(experiment_id: str):
     return decorate
 
 
+def _artifact_kind(experiment_id: str) -> str:
+    """Which paper-artifact family an experiment id belongs to."""
+    for prefix, kind in (
+        ("table", "table"),
+        ("figure", "figure"),
+        ("ablation", "ablation"),
+        ("extension", "extension"),
+    ):
+        if experiment_id.startswith(prefix):
+            return kind
+    return "other"
+
+
+def _doc_summary(runner) -> str:
+    """First sentence-line of the runner's (or its module's) docstring."""
+    doc = inspect.getdoc(runner) or inspect.getdoc(
+        inspect.getmodule(runner)
+    )
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0].strip()
+
+
+def describe(experiment_id: str) -> dict:
+    """Machine-readable metadata of one registered experiment.
+
+    Returns a JSON-safe dict with the experiment's ``id``, its doc
+    ``summary``, the ``artifact`` kind (``table``/``figure``/
+    ``ablation``/``extension``), and the ``knobs`` the uniform runner
+    signature accepts (name + default each).  This is what
+    ``GET /v1/experiments`` serves and ``--list --json`` prints.
+
+    Raises:
+        ConfigurationError: for an unknown experiment id.
+    """
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    knobs = []
+    for name, parameter in inspect.signature(runner).parameters.items():
+        default = parameter.default
+        knobs.append(
+            {
+                "name": name,
+                "default": None
+                if default is inspect.Parameter.empty
+                else default,
+            }
+        )
+    return {
+        "id": experiment_id,
+        "summary": _doc_summary(runner),
+        "artifact": _artifact_kind(experiment_id),
+        "knobs": knobs,
+    }
+
+
+def describe_all() -> list[dict]:
+    """:func:`describe` for every experiment, in registry order."""
+    return [describe(experiment_id) for experiment_id in EXPERIMENTS]
+
+
 def run_experiment(
     experiment_id: str,
     seed: int = 0,

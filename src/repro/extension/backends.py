@@ -102,6 +102,14 @@ def _split_chunk_columns(kind: str, columns) -> tuple[tuple, tuple, tuple]:
     return tuple(load), derived, requested
 
 
+def _check_slice(offset: int, limit: int) -> None:
+    """Reject malformed pagination windows up front."""
+    if not isinstance(offset, int) or isinstance(offset, bool) or offset < 0:
+        raise DatasetError(f"slice offset must be an integer >= 0, got {offset!r}")
+    if not isinstance(limit, int) or isinstance(limit, bool) or limit < 0:
+        raise DatasetError(f"slice limit must be an integer >= 0, got {limit!r}")
+
+
 def _finish_chunk(
     arrays: dict[str, np.ndarray], requested: tuple, derived: tuple
 ) -> dict[str, np.ndarray]:
@@ -193,6 +201,10 @@ class DatasetBackend(Protocol):
 
     def iter_speedtests(self) -> Iterator[SpeedtestRecord]: ...
 
+    def page_load_slice(self, offset: int, limit: int) -> list[PageLoadRecord]: ...
+
+    def speedtest_slice(self, offset: int, limit: int) -> list[SpeedtestRecord]: ...
+
     def page_load_column(self, name: str) -> np.ndarray: ...
 
     def speedtest_column(self, name: str) -> np.ndarray: ...
@@ -257,6 +269,16 @@ class InMemoryBackend:
 
     def iter_speedtests(self) -> Iterator[SpeedtestRecord]:
         return iter(self.speedtests)
+
+    def page_load_slice(self, offset: int, limit: int) -> list[PageLoadRecord]:
+        """Records ``[offset, offset + limit)`` in append order (the
+        result-pagination primitive; O(limit) here)."""
+        _check_slice(offset, limit)
+        return self.page_loads[offset : offset + limit]
+
+    def speedtest_slice(self, offset: int, limit: int) -> list[SpeedtestRecord]:
+        _check_slice(offset, limit)
+        return self.speedtests[offset : offset + limit]
 
     def _stored_column(self, kind: str, name: str) -> np.ndarray:
         key = (kind, name)
@@ -408,6 +430,37 @@ class ColumnarBackend:
 
     def iter_speedtests(self) -> Iterator[SpeedtestRecord]:
         return self._iter("speedtests")
+
+    def _slice(self, kind: str, offset: int, limit: int) -> list:
+        """Decode only the chunks overlapping ``[offset, offset+limit)``."""
+        _check_slice(offset, limit)
+        columns, _, decode, _ = _CODECS[kind]
+        start, stop = offset, offset + limit
+        out: list = []
+        pos = 0
+        for chunk in self._chunks[kind]:
+            if pos >= stop:
+                break
+            n = len(chunk[columns[0]])
+            lo, hi = max(start - pos, 0), min(stop - pos, n)
+            if lo < hi:
+                out.extend(
+                    decode({name: chunk[name][lo:hi] for name in columns})
+                )
+            pos += n
+        staged = self._staging[kind]
+        lo, hi = max(start - pos, 0), min(stop - pos, len(staged))
+        if lo < hi:
+            out.extend(staged[lo:hi])
+        return out
+
+    def page_load_slice(self, offset: int, limit: int) -> list[PageLoadRecord]:
+        """Records ``[offset, offset + limit)``; only overlapping
+        chunks are decoded, so a page read is O(limit + chunk)."""
+        return self._slice("page_loads", offset, limit)
+
+    def speedtest_slice(self, offset: int, limit: int) -> list[SpeedtestRecord]:
+        return self._slice("speedtests", offset, limit)
 
     def _stored_column(self, kind: str, name: str) -> np.ndarray:
         key = (kind, name)
@@ -702,6 +755,40 @@ class SpillBackend:
 
     def iter_speedtests(self) -> Iterator[SpeedtestRecord]:
         return self._iter("speedtests")
+
+    def _slice(self, kind: str, offset: int, limit: int) -> list:
+        """Load (and decode) only the on-disk segments overlapping
+        ``[offset, offset + limit)`` — the manifest's per-segment
+        record counts make the seek free."""
+        _check_slice(offset, limit)
+        columns, _, decode, _ = _CODECS[kind]
+        start, stop = offset, offset + limit
+        out: list = []
+        pos = 0
+        for entry in list(self._segments[kind]):
+            if pos >= stop:
+                break
+            n = entry["n"]
+            lo, hi = max(start - pos, 0), min(stop - pos, n)
+            if lo < hi:
+                arrays = self._load_segment(kind, entry)
+                out.extend(
+                    decode({name: arrays[name][lo:hi] for name in columns})
+                )
+            pos += n
+        staged = self._staging[kind]
+        lo, hi = max(start - pos, 0), min(stop - pos, len(staged))
+        if lo < hi:
+            out.extend(staged[lo:hi])
+        return out
+
+    def page_load_slice(self, offset: int, limit: int) -> list[PageLoadRecord]:
+        """Records ``[offset, offset + limit)``; a page read touches
+        only the overlapping segments, never the whole dataset."""
+        return self._slice("page_loads", offset, limit)
+
+    def speedtest_slice(self, offset: int, limit: int) -> list[SpeedtestRecord]:
+        return self._slice("speedtests", offset, limit)
 
     def _stored_column(self, kind: str, name: str) -> np.ndarray:
         key = (kind, name)

@@ -22,7 +22,7 @@ identical to the serial run.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.constants import STARLINK_RESCHEDULE_INTERVAL_S
 from repro.errors import ConfigurationError
@@ -203,6 +203,152 @@ class CampaignConfig:
                     f"unknown analytics mode {self.analytics!r}; "
                     f"valid: {VALID_ANALYTICS}"
                 )
+
+    # -- canonical JSON codec ---------------------------------------------
+
+    @classmethod
+    def execution_only_fields(cls) -> frozenset[str]:
+        """Fields that steer execution, never the dataset's bits.
+
+        Exactly the set :func:`repro.runtime.checkpoint.campaign_fingerprint`
+        excludes — the codec's single source of truth for which knobs
+        two interchangeable configs may differ in.
+        """
+        from repro.runtime.checkpoint import EXECUTION_ONLY_FIELDS
+
+        return EXECUTION_ONLY_FIELDS
+
+    def to_json_dict(self) -> dict:
+        """Canonical JSON-safe rendering of every field.
+
+        The wire/document form of a campaign config: plain JSON types
+        only (tuples become lists), one key per dataclass field, and a
+        guaranteed bit-exact round-trip through
+        :meth:`from_json_dict`.  Checkpoint metadata and the campaign
+        service's submission body both speak this dialect.
+        """
+        data = {}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            data[field.name] = value
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data) -> "CampaignConfig":
+        """Decode :meth:`to_json_dict` output (or any submitted JSON).
+
+        Strict by design: unknown keys are rejected with an error
+        naming each offending key (a typo must never silently become a
+        default), and every value is type-checked against its field
+        before ``__post_init__`` runs the semantic validation.  Absent
+        keys take their defaults, so a partial document is a valid
+        submission.
+
+        Raises:
+            ConfigurationError: naming the unknown or mistyped key(s).
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                "a campaign config document must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown CampaignConfig key(s) {unknown}; "
+                f"known keys: {sorted(known)}"
+            )
+        kwargs = {}
+        for name, value in data.items():
+            decode = _CONFIG_FIELD_DECODERS.get(name)
+            if decode is None:
+                raise ConfigurationError(
+                    f"CampaignConfig field {name!r} has no wire decoder "
+                    "registered; add it to _CONFIG_FIELD_DECODERS"
+                )
+            kwargs[name] = decode(name, value)
+        return cls(**kwargs)
+
+
+def _decode_int(name: str, value):
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"CampaignConfig key {name!r} must be an integer, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _decode_float(name: str, value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"CampaignConfig key {name!r} must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+def _decode_bool(name: str, value):
+    if not isinstance(value, bool):
+        raise ConfigurationError(
+            f"CampaignConfig key {name!r} must be a boolean, got {value!r}"
+        )
+    return value
+
+
+def _optional(decode):
+    def decoder(name: str, value):
+        return None if value is None else decode(name, value)
+
+    return decoder
+
+
+def _decode_str(name: str, value):
+    if not isinstance(value, str):
+        raise ConfigurationError(
+            f"CampaignConfig key {name!r} must be a string, got {value!r}"
+        )
+    return value
+
+
+def _decode_cities(name: str, value):
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(city, str) for city in value
+    ):
+        raise ConfigurationError(
+            f"CampaignConfig key {name!r} must be a list of city names "
+            f"or null, got {value!r}"
+        )
+    return tuple(value)
+
+
+#: Field-by-field wire decoders; every dataclass field must appear here
+#: (enforced by the codec test) so a new field cannot silently skip
+#: validation.
+_CONFIG_FIELD_DECODERS = {
+    "seed": _decode_int,
+    "duration_s": _decode_float,
+    "request_fraction": _decode_float,
+    "shell_planes": _decode_int,
+    "shell_sats_per_plane": _decode_int,
+    "cities": _optional(_decode_cities),
+    "speedtest_boost": _decode_float,
+    "n_workers": _decode_int,
+    "precompute_timelines": _optional(_decode_bool),
+    "mp_start_method": _optional(_decode_str),
+    "shard_timeout_s": _optional(_decode_float),
+    "max_shard_retries": _optional(_decode_int),
+    "retry_backoff_s": _optional(_decode_float),
+    "checkpoint_dir": _optional(_decode_str),
+    "resume": _decode_bool,
+    "storage": _optional(_decode_str),
+    "storage_dir": _optional(_decode_str),
+    "storage_segment_records": _decode_int,
+    "engine": _optional(_decode_str),
+    "analytics": _optional(_decode_str),
+}
 
 
 class ExtensionCampaign:

@@ -25,6 +25,43 @@ from repro.extension.records import PageLoadRecord, SpeedtestRecord
 from repro.web.timing import NavigationTiming
 
 
+def page_load_to_dict(record: PageLoadRecord) -> dict:
+    """JSON-safe dict form of one page-load record (the JSONL line and
+    the service's results-endpoint row share this shape)."""
+    timing = record.timing
+    return {
+        "type": "page_load",
+        "user_id": record.user_id,
+        "city": record.city,
+        "region": record.region,
+        "isp": record.isp,
+        "is_starlink": record.is_starlink,
+        "exit_asn": record.exit_asn,
+        "t_s": record.t_s,
+        "domain": record.domain,
+        "rank": record.rank,
+        "is_popular": record.is_popular,
+        "timing": {k: getattr(timing, k) for k in timing.__dataclass_fields__}
+        if hasattr(timing, "__dataclass_fields__")
+        else vars(timing),
+    }
+
+
+def speedtest_to_dict(record: SpeedtestRecord) -> dict:
+    """JSON-safe dict form of one speedtest record."""
+    return {
+        "type": "speedtest",
+        "user_id": record.user_id,
+        "city": record.city,
+        "isp": record.isp,
+        "is_starlink": record.is_starlink,
+        "t_s": record.t_s,
+        "download_mbps": record.download_mbps,
+        "upload_mbps": record.upload_mbps,
+        "ping_ms": record.ping_ms,
+    }
+
+
 def _median(values: list[float]) -> float:
     if not values:
         raise DatasetError("median of an empty selection")
@@ -117,6 +154,16 @@ class Dataset:
     def iter_speedtest_column_chunks(self, columns):
         """Stream speedtest columns one backend chunk/segment at a time."""
         return self._backend.iter_speedtest_column_chunks(columns)
+
+    def page_load_slice(self, offset: int, limit: int) -> list[PageLoadRecord]:
+        """Page-load records ``[offset, offset + limit)`` in append
+        order — the pagination primitive behind the service's results
+        endpoint; backends touch only the overlapping chunks/segments."""
+        return self._backend.page_load_slice(offset, limit)
+
+    def speedtest_slice(self, offset: int, limit: int) -> list[SpeedtestRecord]:
+        """Speedtest records ``[offset, offset + limit)`` in append order."""
+        return self._backend.speedtest_slice(offset, limit)
 
     # -- ingest ----------------------------------------------------------
 
@@ -223,43 +270,9 @@ class Dataset:
         """Write the dataset as JSON Lines (one record per line)."""
         with Path(path).open("w", encoding="utf-8") as handle:
             for record in self._backend.iter_page_loads():
-                payload = {
-                    "type": "page_load",
-                    "user_id": record.user_id,
-                    "city": record.city,
-                    "region": record.region,
-                    "isp": record.isp,
-                    "is_starlink": record.is_starlink,
-                    "exit_asn": record.exit_asn,
-                    "t_s": record.t_s,
-                    "domain": record.domain,
-                    "rank": record.rank,
-                    "is_popular": record.is_popular,
-                    "timing": vars(record.timing)
-                    if not hasattr(record.timing, "__dataclass_fields__")
-                    else {
-                        k: getattr(record.timing, k)
-                        for k in record.timing.__dataclass_fields__
-                    },
-                }
-                handle.write(json.dumps(payload) + "\n")
+                handle.write(json.dumps(page_load_to_dict(record)) + "\n")
             for test in self._backend.iter_speedtests():
-                handle.write(
-                    json.dumps(
-                        {
-                            "type": "speedtest",
-                            "user_id": test.user_id,
-                            "city": test.city,
-                            "isp": test.isp,
-                            "is_starlink": test.is_starlink,
-                            "t_s": test.t_s,
-                            "download_mbps": test.download_mbps,
-                            "upload_mbps": test.upload_mbps,
-                            "ping_ms": test.ping_ms,
-                        }
-                    )
-                    + "\n"
-                )
+                handle.write(json.dumps(speedtest_to_dict(test)) + "\n")
 
     @classmethod
     def from_jsonl(

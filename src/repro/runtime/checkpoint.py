@@ -65,6 +65,11 @@ EXECUTION_ONLY_FIELDS = frozenset(
         "storage",
         "storage_dir",
         "storage_segment_records",
+        # Engine/analytics select *how* results are computed, never
+        # what the campaign dataset contains (campaign page loads are
+        # analytic; exact analytics is the bit-identical default).
+        "engine",
+        "analytics",
     }
 )
 
@@ -213,6 +218,8 @@ class CheckpointStore:
         self.directory = os.path.join(
             root, f"campaign-{self.fingerprint[:16]}"
         )
+        to_json = getattr(config, "to_json_dict", None)
+        self._config_json = to_json() if callable(to_json) else None
         self._ensured = False
 
     @classmethod
@@ -250,11 +257,30 @@ class CheckpointStore:
                     f"{self.fingerprint!r}"
                 )
         else:
+            # The store is self-describing: alongside the fingerprint
+            # it records the canonical JSON form of the config that
+            # wrote it (when the config speaks the codec), so tooling
+            # can reconstruct the campaign without ad-hoc dict
+            # handling.
+            meta = {"fingerprint": self.fingerprint}
+            if self._config_json is not None:
+                meta["config"] = self._config_json
             self._write_atomic(
-                meta_path,
-                json.dumps({"fingerprint": self.fingerprint}).encode("utf-8"),
+                meta_path, json.dumps(meta, sort_keys=True).encode("utf-8")
             )
         self._ensured = True
+
+    def stored_config(self) -> dict | None:
+        """The codec JSON of the config that created this store, when
+        the store's ``meta.json`` recorded one."""
+        meta_path = os.path.join(self.directory, _META_FILENAME)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        config = meta.get("config")
+        return config if isinstance(config, dict) else None
 
     def _shard_path(self, shard_id: int) -> str:
         return os.path.join(self.directory, f"shard-{shard_id:04d}.ckpt")

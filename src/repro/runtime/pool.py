@@ -27,7 +27,7 @@ import multiprocessing
 import os
 import time
 
-from repro.errors import ConfigurationError
+from repro.errors import CampaignCancelledError, ConfigurationError
 from repro.extension.backends import backend_for_config
 from repro.extension.storage import Dataset
 from repro.runtime.checkpoint import CheckpointStore, resume_requested
@@ -98,6 +98,9 @@ def run_campaign_sharded(
     fault_plan=None,
     checkpoint: CheckpointStore | None = None,
     resume: bool | None = None,
+    on_event=None,
+    on_result=None,
+    should_stop=None,
 ) -> tuple[Dataset, CampaignRunStats]:
     """Run a campaign sharded per-user over ``n_workers`` processes.
 
@@ -122,6 +125,18 @@ def run_campaign_sharded(
         resume: Adopt surviving checkpointed shards instead of
             re-running them; default derives from ``config.resume`` /
             ``REPRO_RESUME``.
+        on_event: Progress-callback seam — one dict per lifecycle
+            transition (``campaign_planned``, ``shard_resumed``, plus
+            everything :func:`supervise_shards` emits); the campaign
+            service streams these over SSE.
+        on_result: Invoked with every accepted shard result (fresh,
+            recovered, or run in-process) as soon as it exists —
+            after the checkpoint spill — so callers can fold
+            incremental aggregates while slower shards still run.
+        should_stop: Cancellation seam polled between shards (and
+            every dispatch cycle when supervising); a true return
+            raises :class:`~repro.errors.CampaignCancelledError`
+            after the in-flight workers are torn down.
 
     Returns:
         ``(dataset, stats)`` — the merged dataset plus per-shard
@@ -147,23 +162,51 @@ def run_campaign_sharded(
     expected_indices = {
         index for _, indices in planned for index in indices
     }
+    def emit(event_type: str, **data) -> None:
+        if on_event is not None:
+            on_event({"type": event_type, **data})
+
+    def cancelled() -> bool:
+        return should_stop is not None and should_stop()
+
     if checkpoint is None:
         checkpoint = CheckpointStore.from_config(config)
     if resume is None:
         resume = resume_requested(config)
+    emit(
+        "campaign_planned",
+        n_shards=len(planned),
+        n_users=len(users),
+        n_workers=n_workers,
+    )
     # Recovered shards are CheckpointedShard segments (lazy columnar
     # payloads) that duck-type ShardResult for the merge.
     recovered: dict = {}
     if checkpoint is not None and resume:
         recovered = checkpoint.load_matching(planned)
-        for result in recovered.values():
+        for shard_id in sorted(recovered):
+            result = recovered[shard_id]
             result.stats.resumed = True
+            emit(
+                "shard_resumed",
+                shard_id=shard_id,
+                n_page_loads=result.stats.n_page_loads,
+                n_speedtests=result.stats.n_speedtests,
+            )
+            if on_result is not None:
+                on_result(result)
     remaining = [
         (shard_id, indices)
         for shard_id, indices in planned
         if shard_id not in recovered
     ]
-    on_success = checkpoint.save if checkpoint is not None else None
+
+    def on_success(result) -> None:
+        if checkpoint is not None:
+            checkpoint.save(result)
+        if on_result is not None:
+            on_result(result)
+
     failures: list = []
     n_worker_processes = 0
     fresh: list[ShardResult] = []
@@ -174,11 +217,27 @@ def run_campaign_sharded(
         elif n_workers == 1 or len(planned) == 1:
             # In-process path: no worker to crash, so no supervision
             # (and no fault injection — faults only run in workers).
+            # Cancellation is honoured at shard boundaries only.
             for shard_id, indices in remaining:
+                if cancelled():
+                    raise CampaignCancelledError(
+                        f"campaign cancelled with {len(recovered) + len(fresh)}"
+                        f"/{len(planned)} shards complete",
+                        completed_shards=len(recovered) + len(fresh),
+                        n_shards=len(planned),
+                    )
+                emit("shard_dispatched", shard_id=shard_id, attempt=0)
                 result = run_shard(config, shard_id, indices, timelines)
-                if on_success is not None:
-                    on_success(result)
+                on_success(result)
                 fresh.append(result)
+                emit(
+                    "shard_completed",
+                    shard_id=shard_id,
+                    attempts=1,
+                    n_page_loads=result.stats.n_page_loads,
+                    n_speedtests=result.stats.n_speedtests,
+                    wall_s=result.stats.wall_s,
+                )
         else:
             if policy is None:
                 policy = SupervisorPolicy.from_config(config)
@@ -210,6 +269,8 @@ def run_campaign_sharded(
                 context=context,
                 fault_plan=fault_plan,
                 on_success=on_success,
+                on_event=on_event,
+                should_stop=should_stop,
             )
     finally:
         if spill is not None:

@@ -250,6 +250,9 @@ def run_campaign_sketched(
     *,
     policy=None,
     fault_plan=None,
+    on_partial=None,
+    on_event=None,
+    should_stop=None,
 ) -> SketchReduceResult:
     """Run a campaign as a supervised sketch merge-reduce.
 
@@ -260,6 +263,17 @@ def run_campaign_sketched(
     :class:`ShardSketchResult` states and the parent reduces them —
     raw records never cross a process boundary and are never held
     centrally.  ``config.n_workers == 1`` folds in-process.
+
+    ``on_partial`` is the partial-merge emission seam: it is invoked
+    with ``(page_partial, speedtest_partials, completed, n_shards)``
+    every time a shard's states are folded into the running merge, in
+    completion order — the converging Table 1/3 cells the campaign
+    service streams over SSE while slower shards are still running.
+    Merge commutativity keeps every partial within the sketches' rank
+    error of the same cells over the covered users, and counts exact.
+    ``on_event``/``should_stop`` are forwarded to the supervisor
+    (progress events; cooperative cancellation raising
+    :class:`~repro.errors.CampaignCancelledError`).
     """
     from repro.extension.campaign import ExtensionCampaign
     from repro.runtime.pool import _pool_context
@@ -289,12 +303,68 @@ def run_campaign_sketched(
     failures: list = []
     n_worker_processes = 0
     spill: TimelineSpill | None = None
+    # Running partial merge, fed in completion order as shards land.
+    partial_page = (
+        GroupedAccumulator(compression=spec.compression)
+        if spec.page_load_keys
+        else None
+    )
+    partial_speed = {
+        value: GroupedAccumulator(compression=spec.compression)
+        for value in (spec.speedtest_values if spec.speedtest_keys else ())
+    }
+    folded = 0
+
+    def fold_partial(result) -> None:
+        nonlocal folded
+        if partial_page is not None and result.page_load_state is not None:
+            partial_page.merge(
+                GroupedAccumulator.from_state(result.page_load_state)
+            )
+        for value, state in result.speedtest_states.items():
+            if value in partial_speed:
+                partial_speed[value].merge(GroupedAccumulator.from_state(state))
+        folded += 1
+        if on_partial is not None:
+            on_partial(partial_page, partial_speed, folded, len(planned))
+
+    def emit(event_type: str, **data) -> None:
+        if on_event is not None:
+            on_event({"type": event_type, **data})
+
+    emit(
+        "campaign_planned",
+        n_shards=len(planned),
+        n_users=len(users),
+        n_workers=n_workers,
+    )
     try:
         if n_workers == 1 or len(planned) == 1:
-            fresh = [
-                run_shard_sketch(config, shard_id, indices, timelines, spec)
-                for shard_id, indices in planned
-            ]
+            from repro.errors import CampaignCancelledError
+
+            fresh = []
+            for shard_id, indices in planned:
+                if should_stop is not None and should_stop():
+                    raise CampaignCancelledError(
+                        f"campaign cancelled with {len(fresh)}/{len(planned)} "
+                        "shards complete",
+                        completed_shards=len(fresh),
+                        n_shards=len(planned),
+                    )
+                emit("shard_dispatched", shard_id=shard_id, attempt=0)
+                result = run_shard_sketch(
+                    config, shard_id, indices, timelines, spec
+                )
+                fresh.append(result)
+                fold_partial(result)
+                emit(
+                    "shard_completed",
+                    shard_id=shard_id,
+                    attempts=1,
+                    n_page_loads=result.stats.n_page_loads,
+                    n_speedtests=result.stats.n_speedtests,
+                    wall_s=result.stats.wall_s,
+                )
         else:
             if policy is None:
                 policy = SupervisorPolicy.from_config(config)
@@ -314,8 +384,11 @@ def run_campaign_sketched(
                 policy=policy,
                 context=context,
                 fault_plan=fault_plan,
+                on_success=fold_partial,
                 task_fn=run_shard_sketch,
                 validate_fn=validate_sketch_result,
+                on_event=on_event,
+                should_stop=should_stop,
             )
     finally:
         if spill is not None:

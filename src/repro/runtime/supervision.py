@@ -35,7 +35,11 @@ import os
 import time
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, ShardFailedError
+from repro.errors import (
+    CampaignCancelledError,
+    ConfigurationError,
+    ShardFailedError,
+)
 from repro.runtime.faults import FaultPlan, apply_post_run, apply_pre_run
 from repro.runtime.shard import ShardResult, run_shard
 
@@ -219,6 +223,8 @@ def supervise_shards(
     on_success=None,
     task_fn=run_shard,
     validate_fn=validate_shard_result,
+    on_event=None,
+    should_stop=None,
 ) -> tuple[list[ShardResult], list[ShardFailure]]:
     """Run shard tasks under supervision; returns (results, failures).
 
@@ -248,6 +254,18 @@ def supervise_shards(
         validate_fn: ``(result, shard_id, user_indices) -> str | None``
             result acceptance check (default
             :func:`validate_shard_result`).
+        on_event: Progress-callback seam: invoked with one small dict
+            per lifecycle transition — ``shard_dispatched`` /
+            ``shard_completed`` / ``shard_failed`` /
+            ``shard_degraded`` — as it happens (see DESIGN.md §12).
+            Called on the supervising thread; must be cheap and must
+            not raise.
+        should_stop: Cancellation seam: a zero-argument callable
+            polled once per dispatch cycle.  When it returns true the
+            supervisor terminates every in-flight worker, abandons the
+            pending queue and raises :class:`CampaignCancelledError`
+            — results accepted so far were already handed to
+            ``on_success``, so a checkpointed run resumes from them.
 
     Raises:
         ShardFailedError: A shard exhausted ``max_retries`` and the
@@ -255,6 +273,7 @@ def supervise_shards(
             shard is still driven to completion (and checkpointed via
             ``on_success``) first, so a resume re-runs only what's
             missing.
+        CampaignCancelledError: ``should_stop`` fired mid-run.
     """
     policy = policy if policy is not None else SupervisorPolicy()
     context = context if context is not None else multiprocessing.get_context()
@@ -269,14 +288,47 @@ def supervise_shards(
     pending: list[tuple[tuple, int, float]] = [(task, 0, 0.0) for task in tasks]
     running: dict = {}
 
+    def emit(event_type: str, **data) -> None:
+        if on_event is not None:
+            on_event({"type": event_type, **data})
+
+    def cancelled() -> bool:
+        return should_stop is not None and should_stop()
+
+    def raise_cancelled() -> None:
+        raise CampaignCancelledError(
+            f"campaign cancelled with {len(results)}/{len(tasks)} "
+            "shards complete",
+            completed_shards=len(results),
+            n_shards=len(tasks),
+        )
+
     def accept(result: ShardResult) -> None:
         results[result.shard_id] = result
         if on_success is not None:
             on_success(result)
+        stats = getattr(result, "stats", None)
+        emit(
+            "shard_completed",
+            shard_id=result.shard_id,
+            attempts=getattr(stats, "attempts", 1),
+            n_page_loads=getattr(stats, "n_page_loads", 0),
+            n_speedtests=getattr(stats, "n_speedtests", 0),
+            wall_s=getattr(stats, "wall_s", 0.0),
+        )
 
     def fail(task, attempt: int, failure: ShardFailure) -> None:
         failures.append(failure)
-        if attempt < policy.max_retries:
+        will_retry = attempt < policy.max_retries
+        emit(
+            "shard_failed",
+            shard_id=failure.shard_id,
+            attempt=failure.attempt,
+            kind=failure.kind,
+            detail=failure.detail,
+            will_retry=will_retry,
+        )
+        if will_retry:
             ready_at = time.monotonic() + policy.backoff_s(attempt)
             pending.append((task, attempt + 1, ready_at))
         else:
@@ -305,9 +357,12 @@ def supervise_shards(
             else None
         )
         running[recv_conn] = _InFlight(process, task, attempt, now, deadline)
+        emit("shard_dispatched", shard_id=task[1], attempt=attempt)
 
     try:
         while pending or running:
+            if cancelled():
+                raise_cancelled()
             now = time.monotonic()
             launchable = [
                 entry for entry in pending if entry[2] <= now
@@ -431,9 +486,12 @@ def supervise_shards(
                 failures=failures,
             )
         for task in exhausted:
+            if cancelled():
+                raise_cancelled()
             # Graceful degradation: final attempt in-process, faults
             # bypassed.  Determinism makes this bit-identical to what
             # a healthy worker would have produced.
+            emit("shard_degraded", shard_id=task[1])
             result = task_fn(*task)
             result.stats.attempts = policy.max_retries + 2
             accept(result)

@@ -1,0 +1,75 @@
+"""The service's unified HTTP error surface.
+
+Every error response the campaign service produces — bad submissions,
+unknown ids, conflicting lifecycle operations, internal failures — has
+the same JSON shape::
+
+    {"error": {"code": "invalid_config", "message": "...", "detail": null}}
+
+``code`` is a stable machine-readable slug (clients branch on it),
+``message`` is human-readable, and ``detail`` optionally carries
+structured context (e.g. the offending key of a rejected config).
+Handlers raise :class:`ApiError`; the HTTP layer renders it with the
+matching 4xx/5xx status.  Unexpected exceptions become a 500
+``internal`` error carrying the exception message — never a bare
+traceback on the wire.
+"""
+
+from __future__ import annotations
+
+
+class ApiError(Exception):
+    """An error with a designated HTTP status and stable error code.
+
+    Attributes:
+        status: HTTP status code (4xx for caller mistakes, 5xx for
+            service-side failures).
+        code: Stable machine-readable slug (``invalid_config``,
+            ``not_found``, ``conflict``, ``internal``, ...).
+        message: Human-readable description.
+        detail: Optional JSON-safe structured context.
+    """
+
+    def __init__(
+        self, status: int, code: str, message: str, detail=None
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+    def body(self) -> dict:
+        """The response payload (the service's one error shape)."""
+        return {
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "detail": self.detail,
+            }
+        }
+
+
+def invalid_request(message: str, detail=None) -> ApiError:
+    """400: the request itself is malformed (non-config problems)."""
+    return ApiError(400, "invalid_request", message, detail)
+
+
+def invalid_config(message: str, detail=None) -> ApiError:
+    """400: the submitted campaign config failed codec validation."""
+    return ApiError(400, "invalid_config", message, detail)
+
+
+def not_found(message: str, detail=None) -> ApiError:
+    """404: no such route or campaign id."""
+    return ApiError(404, "not_found", message, detail)
+
+
+def conflict(message: str, detail=None) -> ApiError:
+    """409: the operation conflicts with the campaign's current state."""
+    return ApiError(409, "conflict", message, detail)
+
+
+def internal(message: str, detail=None) -> ApiError:
+    """500: the service failed; the message names the cause, no traceback."""
+    return ApiError(500, "internal", message, detail)

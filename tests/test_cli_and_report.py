@@ -18,6 +18,27 @@ def test_cli_list(capsys):
     assert "extension_isl" in out
 
 
+def test_cli_list_json(capsys):
+    import json
+
+    from repro.experiments import describe_all
+
+    assert main(["--list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiments"] == describe_all()
+    by_id = {entry["id"]: entry for entry in payload["experiments"]}
+    assert by_id["table1"]["artifact"] == "table"
+    assert {"id", "summary", "artifact", "knobs"} <= set(by_id["table1"])
+
+
+def test_describe_unknown_experiment():
+    from repro.errors import ConfigurationError
+    from repro.experiments import describe
+
+    with pytest.raises(ConfigurationError):
+        describe("figure99")
+
+
 def test_cli_runs_cheap_experiment(capsys):
     assert main(["figure1"]) == 0
     out = capsys.readouterr().out

@@ -278,3 +278,44 @@ def test_config_rejects_bad_storage():
         CampaignConfig(**CFG, storage_segment_records=0)
     with pytest.raises(ConfigurationError):
         make_backend("bogus")
+
+
+# -- pagination slices (the service's results endpoint) ----------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_slices_match_list_slicing(backend, tmp_path):
+    """``page_load_slice``/``speedtest_slice`` equal list slicing on
+    every backend, including windows that straddle segment boundaries
+    and staged (unflushed) spill records."""
+    records = [_page_load(i, user=f"u-{i % 3}") for i in range(23)]
+    tests = [_speedtest(i) for i in range(9)]
+    dataset = Dataset(
+        backend=make_backend(backend, directory=str(tmp_path), segment_records=8)
+    )
+    dataset.extend_page_loads(records)
+    dataset.extend_speedtests(tests)
+    windows = [(0, 5), (5, 8), (6, 4), (8, 100), (21, 5), (23, 5), (0, 0)]
+    for offset, limit in windows:
+        assert (
+            dataset.page_load_slice(offset, limit)
+            == records[offset : offset + limit]
+        )
+    for offset, limit in [(0, 4), (2, 4), (8, 3), (9, 1)]:
+        assert (
+            dataset.speedtest_slice(offset, limit)
+            == tests[offset : offset + limit]
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_slice_rejects_malformed_windows(backend, tmp_path):
+    dataset = Dataset(
+        backend=make_backend(backend, directory=str(tmp_path), segment_records=8)
+    )
+    dataset.extend_page_loads([_page_load(i) for i in range(3)])
+    for offset, limit in [(-1, 5), (0, -1), (0.5, 5), (0, "ten"), (True, 2)]:
+        with pytest.raises(DatasetError):
+            dataset.page_load_slice(offset, limit)
+        with pytest.raises(DatasetError):
+            dataset.speedtest_slice(offset, limit)
