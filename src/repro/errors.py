@@ -80,6 +80,27 @@ class CampaignCancelledError(SupervisionError):
         self.n_shards = n_shards
 
 
+class FabricError(SupervisionError):
+    """The multi-host campaign fabric reached an unrecoverable state.
+
+    Raised by the fabric coordinator when a shard exhausts its
+    re-dispatch budget, when every local worker dies with work still
+    unclaimed, or when a fabric directory belongs to a different
+    campaign fingerprint.
+    """
+
+
+class LeaseLostError(FabricError):
+    """A worker's shard lease vanished or was fenced mid-run.
+
+    Raised by the heartbeat path when the lease file is gone, carries a
+    different owner token, or a coordinator fence names this worker's
+    token.  The worker must stop treating the shard as its own —
+    though it may still *speculatively* finish and offer a manifest
+    (first valid manifest wins; the loser is discarded).
+    """
+
+
 class CheckpointError(ReproError):
     """A campaign checkpoint directory is unusable or inconsistent."""
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments all --scale 0.3
     python -m repro.experiments --list [--json]
     python -m repro.experiments serve --port 8000
+    python -m repro.experiments coordinate --fabric-dir DIR [--fabric-workers N]
+    python -m repro.experiments worker --fabric-dir DIR
 """
 
 from __future__ import annotations
@@ -116,6 +118,51 @@ def main(argv: list[str] | None = None) -> int:
         "campaign storage; default: a fresh temporary directory)",
     )
     parser.add_argument(
+        "--fabric-dir",
+        metavar="DIR",
+        help="shared coordination directory for 'coordinate'/'worker' "
+        "(every fabric participant must see the same path)",
+    )
+    parser.add_argument(
+        "--fabric-config",
+        metavar="FILE",
+        help="campaign config JSON (the codec format) for 'coordinate'; "
+        "default: a stock CampaignConfig with --seed",
+    )
+    parser.add_argument(
+        "--fabric-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="local worker processes 'coordinate' spawns alongside the "
+        "coordinator (default 0: workers join via 'repro worker')",
+    )
+    parser.add_argument(
+        "--fabric-shards",
+        type=int,
+        metavar="N",
+        help="shard count for 'coordinate' (default: the config's "
+        "n_workers, capped by the population size)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        metavar="SECONDS",
+        help="shard lease TTL: a lease whose heartbeat is older than "
+        "this is revoked and re-dispatched (default 10s)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        metavar="SECONDS",
+        help="worker lease heartbeat period (default: TTL / 3)",
+    )
+    parser.add_argument(
+        "--worker-id",
+        metavar="ID",
+        help="stable identity for 'worker' (default: <hostname>-<pid>)",
+    )
+    parser.add_argument(
         "--dump-series",
         metavar="DIR",
         help="write any figure series (CDFs, time series) as CSV files",
@@ -147,6 +194,12 @@ def main(argv: list[str] | None = None) -> int:
             host=args.host, port=args.port, service_dir=args.service_dir
         )
 
+    if args.experiment == "coordinate":
+        return run_coordinate(args)
+
+    if args.experiment == "worker":
+        return run_fabric_worker_cli(args)
+
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     any_failed = False
     for experiment_id in ids:
@@ -170,6 +223,87 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{experiment_id} in {time.time() - started:.1f}s]")
         print()
     return 1 if any_failed else 0
+
+
+def _fabric_campaign_config(args):
+    """The campaign config 'coordinate' publishes in its plan."""
+    import json
+
+    from repro.extension.campaign import CampaignConfig
+
+    if getattr(args, "fabric_config", None):
+        with open(args.fabric_config, "r", encoding="utf-8") as handle:
+            return CampaignConfig.from_json_dict(json.load(handle))
+    return CampaignConfig(seed=args.seed)
+
+
+def run_coordinate(args) -> int:
+    """The 'coordinate' verb: plan, watch, recover, merge one campaign."""
+    from repro.errors import ReproError
+    from repro.runtime.fabric import run_fabric_campaign
+    from repro.runtime.lease import DEFAULT_LEASE_TTL_S
+
+    if not args.fabric_dir:
+        print("coordinate needs --fabric-dir", file=sys.stderr)
+        return 2
+    config = _fabric_campaign_config(args)
+
+    def on_event(event) -> None:
+        detail = " ".join(
+            f"{key}={event[key]}"
+            for key in ("shard_id", "worker_id", "attempt", "reason", "detail")
+            if event.get(key) is not None
+        )
+        print(f"[fabric] {event['type']} {detail}".rstrip())
+
+    try:
+        dataset, stats = run_fabric_campaign(
+            config,
+            n_workers=args.fabric_workers,
+            fabric_dir=args.fabric_dir,
+            n_shards=args.fabric_shards,
+            lease_ttl_s=(
+                args.lease_ttl
+                if args.lease_ttl is not None
+                else DEFAULT_LEASE_TTL_S
+            ),
+            heartbeat_interval_s=args.heartbeat_interval,
+            on_event=on_event,
+        )
+    except ReproError as exc:
+        print(f"coordinate failed: {exc}", file=sys.stderr)
+        return 1
+    print(stats.summary())
+    print(
+        f"dataset: {dataset.n_page_loads} page loads, "
+        f"{dataset.n_speedtests} speedtests"
+    )
+    return 0
+
+
+def run_fabric_worker_cli(args) -> int:
+    """The 'worker' verb: join a fabric directory and work until done."""
+    from repro.errors import ReproError
+    from repro.runtime.fabric import run_fabric_worker
+
+    if not args.fabric_dir:
+        print("worker needs --fabric-dir", file=sys.stderr)
+        return 2
+    try:
+        summary = run_fabric_worker(
+            args.fabric_dir,
+            worker_id=args.worker_id,
+            heartbeat_interval_s=args.heartbeat_interval,
+        )
+    except ReproError as exc:
+        print(f"worker failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"[worker {summary['worker_id']}] "
+        f"completed={summary['shards_completed']} "
+        f"discarded={summary['manifests_discarded']}"
+    )
+    return 0
 
 
 def apply_runtime_env(args) -> None:

@@ -25,6 +25,8 @@ excluded from the campaign checkpoint fingerprint, and
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import os
 import tempfile
@@ -596,10 +598,23 @@ class SpillBackend:
         self._next_segment: dict[str, int] = {kind: 0 for kind in _KINDS}
         self._column_cache: dict[tuple[str, str], np.ndarray] = {}
 
+    #: Subdirectory bad segments are moved into by :meth:`quarantine`.
+    QUARANTINE_DIR = "quarantine"
+
     @classmethod
-    def open(cls, directory: str) -> "SpillBackend":
+    def open(cls, directory: str, verify: bool = False) -> "SpillBackend":
         """Reopen a previously flushed spill directory for reading and
-        further appends."""
+        further appends.
+
+        With ``verify=True`` every manifest-listed segment is read and
+        checked against its recorded sha256 up front; a truncated or
+        bit-flipped segment raises a precise :class:`DatasetError`
+        naming the bad file (rather than surfacing later, mid-stream,
+        from whichever read happens to touch it first).  Callers that
+        want to *recover* instead of fail — the fabric's re-dispatch
+        path — catch the error and hand the named segment to
+        :meth:`quarantine`.
+        """
         manifest_path = os.path.join(directory, cls.MANIFEST)
         try:
             with open(manifest_path, "r", encoding="utf-8") as handle:
@@ -623,6 +638,10 @@ class SpillBackend:
             entries = manifest.get("kinds", {}).get(kind, [])
             backend._segments[kind] = list(entries)
             backend._next_segment[kind] = len(entries)
+        if verify:
+            for kind in _KINDS:
+                for entry in backend._segments[kind]:
+                    backend._load_segment(kind, entry)
         return backend
 
     # -- persistence helpers -------------------------------------------
@@ -634,6 +653,11 @@ class SpillBackend:
         tmp_path = f"{path}.tmp.{os.getpid()}"
         with open(tmp_path, "wb") as handle:
             handle.write(data)
+            # fsync before the rename: os.replace is atomic in the
+            # namespace only, so without it a crash can promote an
+            # empty temp file to the segment's final name.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
 
     def _write_manifest(self) -> None:
@@ -648,9 +672,6 @@ class SpillBackend:
         )
 
     def _save_segment(self, kind: str, arrays: dict[str, np.ndarray]) -> dict:
-        import hashlib
-        import io
-
         index = self._next_segment[kind]
         self._next_segment[kind] += 1
         file_name = f"{self._PREFIX[kind]}-{index:05d}.npz"
@@ -668,22 +689,90 @@ class SpillBackend:
     def _load_segment(
         self, kind: str, entry: dict, columns=None
     ) -> dict[str, np.ndarray]:
+        """One segment's (requested) columns, checksum-verified.
+
+        The whole file is read and hashed against the manifest's
+        sha256 *before* npz decoding, so truncation and bit flips both
+        fail with a precise error naming the bad segment — never a
+        cryptic zipfile traceback from deep inside numpy.
+        """
         path = self._segment_path(entry)
         all_columns, _, _, _ = _CODECS[kind]
         wanted = tuple(columns) if columns is not None else all_columns
         try:
-            with np.load(path) as npz:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise DatasetError(
+                f"unreadable spill segment {entry['file']} (manifest "
+                f"says {entry['n']} records): {exc}"
+            ) from exc
+        expected = entry.get("sha256")
+        if expected:
+            digest = hashlib.sha256(data).hexdigest()
+            if digest != expected:
+                raise DatasetError(
+                    f"spill segment {entry['file']} failed its checksum "
+                    f"(manifest sha256 {expected[:12]}…, file on disk "
+                    f"{digest[:12]}…, {len(data)} bytes) — torn write "
+                    f"or bit flip"
+                )
+        try:
+            with np.load(io.BytesIO(data)) as npz:
                 arrays = {name: npz[name] for name in wanted}
         except (OSError, ValueError, KeyError) as exc:
             raise DatasetError(
-                f"torn spill segment {path} (manifest says {entry['n']} "
-                f"records): {exc}"
+                f"torn spill segment {entry['file']} (manifest says "
+                f"{entry['n']} records): {exc}"
             ) from exc
         if any(len(arrays[name]) != entry["n"] for name in wanted):
             raise DatasetError(
-                f"spill segment {path} length disagrees with its manifest"
+                f"spill segment {entry['file']} length disagrees with "
+                f"its manifest (expected {entry['n']} records)"
             )
         return arrays
+
+    def quarantine(self, kind: str, file_name: str, reason: str) -> dict:
+        """Move a bad segment aside and drop it from the manifest.
+
+        The recovery half of the torn-write story: after a
+        :class:`DatasetError` names a segment, callers (the fabric's
+        re-dispatch path, or an operator) quarantine it — the file
+        moves into ``<directory>/quarantine/`` for post-mortem, the
+        manifest is rewritten without it, and the returned report says
+        exactly what was lost (``kind``, ``file``, ``n_records_lost``,
+        ``reason``, the quarantine ``path``) so the caller knows what
+        to recompute.  Unknown file names report without mutating.
+        """
+        if kind not in _KINDS:
+            raise DatasetError(f"unknown record kind {kind!r}")
+        entries = self._segments[kind]
+        match = next((e for e in entries if e["file"] == file_name), None)
+        report = {
+            "kind": kind,
+            "file": file_name,
+            "reason": reason,
+            "quarantined": False,
+            "n_records_lost": 0,
+            "path": None,
+        }
+        if match is None:
+            return report
+        quarantine_dir = os.path.join(self.directory, self.QUARANTINE_DIR)
+        os.makedirs(quarantine_dir, exist_ok=True)
+        target = os.path.join(quarantine_dir, file_name)
+        try:
+            os.replace(self._segment_path(match), target)
+        except FileNotFoundError:
+            report["reason"] = f"{reason} (segment file already missing)"
+        else:
+            report["quarantined"] = True
+            report["path"] = target
+        self._segments[kind] = [e for e in entries if e is not match]
+        self._write_manifest()
+        self._column_cache.clear()
+        report["n_records_lost"] = int(match["n"])
+        return report
 
     # -- ingest --------------------------------------------------------
 

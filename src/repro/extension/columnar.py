@@ -251,6 +251,12 @@ def write_checksummed_npz(
         handle.write(CONTAINER_MAGIC)
         handle.write(digest)
         handle.write(payload)
+        # Flush to stable storage *before* the rename: os.replace is
+        # atomic in the namespace but says nothing about data blocks —
+        # a power-loss-style kill between write and rename can
+        # otherwise expose a zero-length file under the final name.
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp_path, path)
     return path
 

@@ -16,6 +16,12 @@ reproducibility — and keeps it running when workers don't:
 * :mod:`repro.runtime.pool` — the worker-pool engine tying it together.
 * :mod:`repro.runtime.merge` — order-preserving recombination of
   per-shard datasets, validated against the planned partition.
+* :mod:`repro.runtime.lease` — filesystem shard leases (atomic claim,
+  heartbeats, fences, worker registry): the multi-host coordination
+  primitive.
+* :mod:`repro.runtime.fabric` — the fault-tolerant multi-host campaign
+  fabric: coordinator + independent workers over a shared directory,
+  with straggler re-dispatch, work stealing and chaos-tested recovery.
 
 The engine's invariant: a campaign run with ``n_workers=N`` produces a
 ``Dataset`` bit-for-bit identical to the serial run for every N — and,
@@ -31,13 +37,28 @@ from repro.runtime.checkpoint import (
     campaign_fingerprint,
     encode_user_records,
 )
+from repro.runtime.fabric import (
+    FabricCoordinator,
+    FabricRunStats,
+    fabric_status,
+    run_fabric_campaign,
+    run_fabric_worker,
+)
 from repro.runtime.faults import (
+    HOST_FAULT_KINDS,
     Fault,
     FaultKind,
     FaultPlan,
     corrupt_plan,
     crash_plan,
     hang_plan,
+    host_chaos_plan,
+)
+from repro.runtime.lease import (
+    LeaseDir,
+    LeaseHeartbeat,
+    LeaseRecord,
+    WorkerRegistry,
 )
 from repro.runtime.merge import merge_shard_results
 from repro.runtime.pool import (
@@ -55,6 +76,7 @@ from repro.runtime.shard import (
 from repro.runtime.supervision import (
     ShardFailure,
     SupervisorPolicy,
+    straggler_deadline_s,
     supervise_shards,
     validate_shard_result,
 )
@@ -63,24 +85,36 @@ __all__ = [
     "CampaignRunStats",
     "CheckpointedShard",
     "CheckpointStore",
+    "FabricCoordinator",
+    "FabricRunStats",
     "Fault",
     "FaultKind",
     "FaultPlan",
+    "HOST_FAULT_KINDS",
+    "LeaseDir",
+    "LeaseHeartbeat",
+    "LeaseRecord",
     "ShardFailure",
     "ShardResult",
     "ShardStats",
     "SupervisorPolicy",
     "TimelineSpill",
+    "WorkerRegistry",
     "campaign_fingerprint",
     "corrupt_plan",
     "crash_plan",
     "encode_user_records",
+    "fabric_status",
     "hang_plan",
+    "host_chaos_plan",
     "merge_shard_results",
     "plan_shards",
     "resolve_start_method",
     "run_campaign_sharded",
+    "run_fabric_campaign",
+    "run_fabric_worker",
     "run_shard",
+    "straggler_deadline_s",
     "supervise_shards",
     "validate_shard_result",
 ]

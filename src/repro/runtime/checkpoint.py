@@ -289,6 +289,11 @@ class CheckpointStore:
         tmp_path = f"{path}.tmp.{os.getpid()}"
         with open(tmp_path, "wb") as handle:
             handle.write(data)
+            # fsync before the rename so a crash can never promote an
+            # empty/partial temp file to the final name (the rename is
+            # only atomic in the namespace, not for data blocks).
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
 
     def save(self, result: ShardResult) -> str:

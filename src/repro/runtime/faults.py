@@ -46,6 +46,37 @@ class FaultKind(enum.Enum):
     #: Worker returns a tampered result (records dropped) — the
     #: partial-upload case; caught by result validation, then retried.
     CORRUPT = "corrupt"
+    # -- host-level kinds (fabric only; see repro.runtime.fabric) ------
+    #: Worker's lease is fenced mid-shard (simulated coordinator
+    #: revocation / shared-FS hiccup); the worker detects the loss on
+    #: its next heartbeat but still offers its manifest speculatively —
+    #: first valid manifest wins.
+    LEASE_LOSS = "lease_loss"
+    #: Worker truncates its spilled segment after writing the manifest —
+    #: the torn-upload case; caught by the coordinator's segment
+    #: validation, quarantined, and re-dispatched.
+    TORN_SEGMENT = "torn_segment"
+    #: Worker dies abruptly (``os._exit``) mid-shard *after* claiming —
+    #: heartbeats stop, the lease TTL expires, and the coordinator
+    #: re-dispatches.
+    DEAD_HEARTBEAT = "dead_heartbeat"
+    #: Worker keeps heartbeating but dawdles far past the fleet's
+    #: percentile deadline; the coordinator revokes and re-dispatches,
+    #: and the straggler's late manifest loses the first-wins race.
+    STRAGGLER = "straggler"
+
+
+#: Fault kinds applied by the fabric worker loop, not the supervised
+#: in-process worker — :func:`apply_pre_run` treats them as no-ops so a
+#: host-level plan is harmless under the single-host supervisor.
+HOST_FAULT_KINDS = frozenset(
+    {
+        FaultKind.LEASE_LOSS,
+        FaultKind.TORN_SEGMENT,
+        FaultKind.DEAD_HEARTBEAT,
+        FaultKind.STRAGGLER,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -160,15 +191,54 @@ def corrupt_plan(shard_ids, attempts=(0,)) -> FaultPlan:
     )
 
 
+def host_chaos_plan(
+    dead_shards=(),
+    straggler_shards=(),
+    torn_shards=(),
+    lease_loss_shards=(),
+    attempts=(0,),
+    straggle_s: float = 30.0,
+    dead_delay_s: float = 0.0,
+    exitcode: int = CRASH_EXITCODE,
+) -> FaultPlan:
+    """A host-level plan for the fabric chaos tests.
+
+    Kills workers mid-shard (``dead_shards`` → heartbeat expiry),
+    delays others into straggler territory (``straggler_shards`` →
+    deadline re-dispatch, late manifest discarded), tears spilled
+    segments (``torn_shards`` → quarantine + re-dispatch) and fences
+    live leases (``lease_loss_shards`` → speculative completion race).
+    """
+    faults: dict[tuple[int, int], Fault] = {}
+    for attempt in attempts:
+        for shard_id in dead_shards:
+            faults[(shard_id, attempt)] = Fault(
+                FaultKind.DEAD_HEARTBEAT,
+                delay_s=dead_delay_s,
+                exitcode=exitcode,
+            )
+        for shard_id in straggler_shards:
+            faults[(shard_id, attempt)] = Fault(
+                FaultKind.STRAGGLER, delay_s=straggle_s
+            )
+        for shard_id in torn_shards:
+            faults[(shard_id, attempt)] = Fault(FaultKind.TORN_SEGMENT)
+        for shard_id in lease_loss_shards:
+            faults[(shard_id, attempt)] = Fault(FaultKind.LEASE_LOSS)
+    return FaultPlan(faults)
+
+
 def apply_pre_run(fault: Fault | None) -> None:
     """Execute a fault's pre-run effect inside the worker process.
 
     ``CRASH`` never returns; ``HANG``/``SLOW`` sleep (a hang relies on
     the supervisor timeout killing the process before the sleep ends);
     ``CORRUPT`` is a no-op here — it tampers with the finished result
-    via :func:`apply_post_run` instead.
+    via :func:`apply_post_run` instead.  Host-level kinds
+    (:data:`HOST_FAULT_KINDS`) are no-ops too: they only mean something
+    to the fabric worker loop, which injects them itself.
     """
-    if fault is None:
+    if fault is None or fault.kind in HOST_FAULT_KINDS:
         return
     if fault.kind is FaultKind.CRASH:
         os._exit(fault.exitcode)

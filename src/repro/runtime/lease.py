@@ -1,0 +1,427 @@
+"""Filesystem shard leases: the coordination primitive of the fabric.
+
+The multi-host fabric (:mod:`repro.runtime.fabric`) coordinates
+through a shared directory — the one channel a fleet of heterogeneous
+measurement hosts can always agree on (local disk in tests, NFS or a
+FUSE-mounted object store in production).  This module owns the
+on-disk protocol:
+
+* **Leases** — ``leases/shard-0003.lease`` is claimed with
+  ``O_CREAT | O_EXCL`` (exactly one claimer wins the race, atomically,
+  on POSIX and NFSv3+ alike) and holds a JSON :class:`LeaseRecord`
+  naming the worker, a random ownership token, the attempt number and
+  the last heartbeat time.  Workers refresh ``heartbeat_at`` via
+  temp-file + ``os.replace``; a lease whose heartbeat is older than
+  its TTL is *expired* and may be revoked by the coordinator.
+* **Fences** — revocation writes ``shard-0003.fence`` naming the
+  revoked token before unlinking the lease.  A worker whose heartbeat
+  races the revocation can briefly resurrect its lease file, but its
+  *next* heartbeat sees the fence and raises
+  :class:`~repro.errors.LeaseLostError`; the coordinator's poll loop
+  re-clears resurrected fenced leases, so the race converges within
+  one heartbeat interval.
+* **Completion manifests** — ``manifests/shard-0003.json`` is also
+  created ``O_EXCL``: the *first* finished attempt wins, a late
+  duplicate (straggler that was re-dispatched) loses the create and
+  records a discard marker instead.  This is the load-bearing
+  arbitration: leases are advisory scheduling hints, but manifests are
+  exclusive, so no race above can ever double-merge a shard.
+* **Holds** — ``holds/shard-0003.json`` carries the coordinator's
+  bounded re-dispatch backoff (``not_before``) and the next attempt
+  number, so re-claims happen neither too eagerly nor with a reused
+  ``(shard, attempt)`` fault key.
+* **Worker registry** — ``workers/<worker_id>.json`` heartbeated
+  documents (state, current shard, completion counters) feeding
+  idle-worker detection, dead-worker lease revocation and the
+  service's ``GET /v1/campaigns/{id}/workers`` view.
+
+Timestamps are wall-clock (``time.time()``): leases must be comparable
+*across hosts*, which monotonic clocks are not.  The protocol
+tolerates the resulting skew because expiry only schedules work — a
+wrongly-expired lease costs a redundant recompute whose manifest then
+loses the ``O_EXCL`` race; it never corrupts the dataset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, replace
+
+from repro.errors import LeaseLostError
+
+#: Default lease TTL; production shards run minutes, tests override.
+DEFAULT_LEASE_TTL_S = 10.0
+
+#: Heartbeat period as a fraction of the TTL — three beats must be
+#: missed before a lease expires, so one slow poll never kills it.
+HEARTBEAT_FRACTION = 1.0 / 3.0
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>`` — unique per live worker process."""
+    import socket
+
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def write_json_atomic(path: str, doc: dict) -> None:
+    data = json.dumps(doc, sort_keys=True).encode("utf-8")
+    tmp_path = f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
+    with open(tmp_path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def read_json_doc(path: str) -> dict | None:
+    """A JSON document, or ``None`` when missing or (briefly) torn."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """One shard lease, as stored in its lease file.
+
+    Attributes:
+        shard_id: The shard this lease covers.
+        worker_id: The claiming worker's identity.
+        token: Random ownership token; heartbeat/release verify it so a
+            re-claimed lease is never refreshed by its old owner.
+        attempt: 0-based dispatch attempt (re-dispatches increment it).
+        claimed_at: Wall-clock claim time.
+        heartbeat_at: Wall-clock time of the latest heartbeat.
+        ttl_s: Heartbeat age beyond which the lease is expired.
+    """
+
+    shard_id: int
+    worker_id: str
+    token: str
+    attempt: int
+    claimed_at: float
+    heartbeat_at: float
+    ttl_s: float
+
+    def to_json_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "worker_id": self.worker_id,
+            "token": self.token,
+            "attempt": self.attempt,
+            "claimed_at": self.claimed_at,
+            "heartbeat_at": self.heartbeat_at,
+            "ttl_s": self.ttl_s,
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: dict) -> "LeaseRecord | None":
+        try:
+            return cls(
+                shard_id=int(doc["shard_id"]),
+                worker_id=str(doc["worker_id"]),
+                token=str(doc["token"]),
+                attempt=int(doc["attempt"]),
+                claimed_at=float(doc["claimed_at"]),
+                heartbeat_at=float(doc["heartbeat_at"]),
+                ttl_s=float(doc["ttl_s"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the heartbeat is older than the TTL allows."""
+        now = time.time() if now is None else now
+        return now - self.heartbeat_at > self.ttl_s
+
+    def held_s(self, now: float | None = None) -> float:
+        """Wall-clock seconds since this lease (attempt) was claimed."""
+        now = time.time() if now is None else now
+        return max(0.0, now - self.claimed_at)
+
+
+class LeaseDir:
+    """The lease protocol over one ``leases/`` directory.
+
+    All mutating operations are single-file atomic (``O_EXCL`` create,
+    temp + ``os.replace``, unlink); no operation ever needs a lock
+    spanning two files, which is what makes the protocol safe on any
+    shared filesystem with atomic rename.
+    """
+
+    def __init__(self, directory: str, ttl_s: float = DEFAULT_LEASE_TTL_S):
+        self.directory = directory
+        self.ttl_s = float(ttl_s)
+        os.makedirs(directory, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+
+    def lease_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard_id:04d}.lease")
+
+    def fence_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard_id:04d}.fence")
+
+    # -- claim / read --------------------------------------------------
+
+    def claim(
+        self, shard_id: int, worker_id: str, attempt: int = 0
+    ) -> LeaseRecord | None:
+        """Atomically claim a shard; ``None`` when someone else holds it.
+
+        Exactly one concurrent claimer wins: the lease file is created
+        with ``O_CREAT | O_EXCL``, which the filesystem arbitrates.
+        """
+        now = time.time()
+        record = LeaseRecord(
+            shard_id=shard_id,
+            worker_id=worker_id,
+            token=uuid.uuid4().hex,
+            attempt=attempt,
+            claimed_at=now,
+            heartbeat_at=now,
+            ttl_s=self.ttl_s,
+        )
+        path = self.lease_path(shard_id)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return None
+        try:
+            data = json.dumps(record.to_json_dict(), sort_keys=True)
+            os.write(fd, data.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return record
+
+    def read(self, shard_id: int) -> LeaseRecord | None:
+        """The current lease, or ``None`` (absent / mid-replace torn)."""
+        doc = read_json_doc(self.lease_path(shard_id))
+        return LeaseRecord.from_json_dict(doc) if doc else None
+
+    def read_all(self) -> list[LeaseRecord]:
+        """Every currently-readable lease, ordered by shard id."""
+        records = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".lease"):
+                continue
+            doc = read_json_doc(os.path.join(self.directory, name))
+            record = LeaseRecord.from_json_dict(doc) if doc else None
+            if record is not None:
+                records.append(record)
+        return records
+
+    # -- heartbeat -----------------------------------------------------
+
+    def heartbeat(self, record: LeaseRecord) -> LeaseRecord:
+        """Refresh ownership; raises :class:`LeaseLostError` when lost.
+
+        Lost means: a fence names this token, the lease file vanished,
+        or another token now owns the shard (revoked and re-claimed
+        between two beats).
+        """
+        fence = read_json_doc(self.fence_path(record.shard_id))
+        if fence is not None and fence.get("token") == record.token:
+            raise LeaseLostError(
+                f"lease for shard {record.shard_id} fenced: "
+                f"{fence.get('reason', 'revoked')}"
+            )
+        current = self.read(record.shard_id)
+        if current is None or current.token != record.token:
+            holder = current.worker_id if current else "nobody"
+            raise LeaseLostError(
+                f"lease for shard {record.shard_id} no longer held by "
+                f"{record.worker_id} (now: {holder})"
+            )
+        updated = replace(record, heartbeat_at=time.time())
+        write_json_atomic(
+            self.lease_path(record.shard_id), updated.to_json_dict()
+        )
+        return updated
+
+    # -- release / revoke ----------------------------------------------
+
+    def release(self, record: LeaseRecord) -> bool:
+        """Drop a lease we hold; ``False`` when it was already lost."""
+        current = self.read(record.shard_id)
+        if current is None or current.token != record.token:
+            return False
+        try:
+            os.unlink(self.lease_path(record.shard_id))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def revoke(self, shard_id: int, reason: str) -> LeaseRecord | None:
+        """Coordinator-side forced release (expiry, straggler, chaos).
+
+        Writes a fence naming the revoked token *before* unlinking the
+        lease, so the old owner's next heartbeat fails even if a racing
+        refresh resurrects the file; returns the revoked record (or
+        ``None`` if nothing readable was held).
+        """
+        current = self.read(shard_id)
+        if current is not None:
+            write_json_atomic(
+                self.fence_path(shard_id),
+                {
+                    "shard_id": shard_id,
+                    "token": current.token,
+                    "worker_id": current.worker_id,
+                    "attempt": current.attempt,
+                    "reason": reason,
+                    "fenced_at": time.time(),
+                },
+            )
+        try:
+            os.unlink(self.lease_path(shard_id))
+        except FileNotFoundError:
+            pass
+        return current
+
+    def clear_fence(self, shard_id: int) -> None:
+        """Drop a stale fence (after the shard completed or re-claimed)."""
+        try:
+            os.unlink(self.fence_path(shard_id))
+        except FileNotFoundError:
+            pass
+
+
+class LeaseHeartbeat:
+    """Background heartbeat thread for one held lease.
+
+    Beats every ``interval_s`` (default: TTL / 3) until stopped; on
+    :class:`LeaseLostError` it sets :attr:`lost` and stops beating —
+    the worker polls :attr:`lost` to learn it should stop treating the
+    shard as exclusively its own (it may still finish speculatively;
+    the manifest ``O_EXCL`` race decides who counts).
+    """
+
+    def __init__(
+        self,
+        leases: LeaseDir,
+        record: LeaseRecord,
+        interval_s: float | None = None,
+    ):
+        import threading
+
+        self.leases = leases
+        self.record = record
+        self.interval_s = (
+            float(interval_s)
+            if interval_s is not None
+            else max(0.05, leases.ttl_s * HEARTBEAT_FRACTION)
+        )
+        self.lost = threading.Event()
+        self.lost_reason: str | None = None
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> "LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.record = self.leases.heartbeat(self.record)
+            except LeaseLostError as exc:
+                self.lost_reason = str(exc)
+                self.lost.set()
+                return
+            except OSError:
+                # A transient shared-FS error must not kill the beat;
+                # the next interval retries, and a genuinely dead
+                # mount shows up as TTL expiry on the coordinator.
+                continue
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class WorkerRegistry:
+    """Heartbeated per-worker status documents under ``workers/``.
+
+    One JSON file per worker: identity, liveness heartbeat, current
+    state (``idle`` / ``running`` / ``exited``), the shard in hand and
+    completion counters.  The coordinator uses it to revoke a dead
+    worker's lease *before* TTL expiry and to observe idle capacity
+    (work stealing: revoked shards are re-claimable by any idle
+    worker); the service renders it at ``/v1/campaigns/{id}/workers``.
+    """
+
+    def __init__(self, directory: str, worker_id: str, ttl_s: float):
+        self.directory = directory
+        self.worker_id = worker_id
+        self.ttl_s = float(ttl_s)
+        self._state = "idle"
+        self._shard_id: int | None = None
+        self._completed = 0
+        self._discarded = 0
+        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, f"{self.worker_id}.json")
+
+    def write(self, state: str | None = None) -> None:
+        if state is not None:
+            self._state = state
+        write_json_atomic(
+            self.path,
+            {
+                "worker_id": self.worker_id,
+                "pid": os.getpid(),
+                "state": self._state,
+                "shard_id": self._shard_id,
+                "shards_completed": self._completed,
+                "manifests_discarded": self._discarded,
+                "heartbeat_at": time.time(),
+                "ttl_s": self.ttl_s,
+            },
+        )
+
+    def set_running(self, shard_id: int) -> None:
+        self._shard_id = shard_id
+        self.write("running")
+
+    def set_idle(self, completed: bool = False, discarded: bool = False) -> None:
+        if completed:
+            self._completed += 1
+        if discarded:
+            self._discarded += 1
+        self._shard_id = None
+        self.write("idle")
+
+    def set_exited(self) -> None:
+        self._shard_id = None
+        self.write("exited")
+
+    @staticmethod
+    def read_all(directory: str) -> list[dict]:
+        """Every readable worker document, ordered by worker id."""
+        docs = []
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            doc = read_json_doc(os.path.join(directory, name))
+            if doc is not None:
+                docs.append(doc)
+        return docs

@@ -35,6 +35,8 @@ import os
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import (
     CampaignCancelledError,
     ConfigurationError,
@@ -176,6 +178,39 @@ def validate_shard_result(result, shard_id: int, user_indices) -> str | None:
             f"user-index set mismatch (missing {missing}, surplus {surplus})"
         )
     return None
+
+
+def straggler_deadline_s(
+    durations_s,
+    percentile: float = 95.0,
+    multiplier: float = 3.0,
+    floor_s: float = 1.0,
+    min_samples: int = 3,
+) -> float | None:
+    """Percentile-based per-shard deadline from observed durations.
+
+    The fabric coordinator (and any future adaptive timeout policy)
+    calls this with the wall-clock durations of shards that already
+    completed: a shard still held past ``multiplier`` times the
+    ``percentile``-th duration is a straggler worth re-dispatching.
+    Returns ``None`` until ``min_samples`` durations exist — with too
+    few samples any deadline is noise, and a premature revocation
+    would churn a healthy fleet.  ``floor_s`` bounds the deadline from
+    below so uniformly tiny shards don't produce a hair-trigger.
+    """
+    if multiplier <= 0:
+        raise ConfigurationError(
+            f"straggler multiplier must be positive, got {multiplier}"
+        )
+    if not 0.0 < percentile <= 100.0:
+        raise ConfigurationError(
+            f"straggler percentile must be in (0, 100], got {percentile}"
+        )
+    samples = [float(d) for d in durations_s]
+    if len(samples) < max(1, min_samples):
+        return None
+    reference = float(np.percentile(np.asarray(samples), percentile))
+    return max(float(floor_s), multiplier * reference)
 
 
 def _supervised_worker(conn, task, attempt, fault_plan, task_fn) -> None:

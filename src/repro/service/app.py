@@ -15,6 +15,7 @@ GET       ``/v1/campaigns/{id}``             one campaign's status
 POST      ``/v1/campaigns/{id}/cancel``      cooperative cancellation
 GET       ``/v1/campaigns/{id}/events``      SSE lifecycle + aggregate stream
 GET       ``/v1/campaigns/{id}/results``     paginated rows / columns / aggregates
+GET       ``/v1/campaigns/{id}/workers``     live fabric lease/worker view
 ========  =================================  =================================
 
 The events route streams Server-Sent Events over a chunked HTTP/1.1
@@ -167,6 +168,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._require(method, "GET")
                 self._send_results(self.service.get(campaign_id), query)
                 return
+            if action == "workers":
+                self._require(method, "GET")
+                self._send_json(200, self.service.workers(campaign_id))
+                return
         raise not_found(f"no route {self.path!r}")
 
     def _require(self, method: str, expected: str) -> None:
@@ -258,9 +263,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "kind must be one of ('page_loads', 'speedtests', "
                 f"'aggregates'), got {kind!r}"
             )
-        if campaign.mode != "records":
+        if campaign.mode not in ("records", "fabric"):
             raise invalid_request(
-                f"campaign {campaign.id} ran in sketch mode; only "
+                f"campaign {campaign.id} ran in {campaign.mode} mode; only "
                 "kind=aggregates is available (no records were retained)"
             )
         offset = self._query_int(query, "offset", 0)

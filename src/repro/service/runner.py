@@ -13,7 +13,12 @@ driving the supervised runtime:
   incremental aggregate partials streamed over SSE;
 * ``sketch`` mode runs :func:`repro.runtime.reduce.run_campaign_sketched`
   — no records are centralised, the partial merges come straight off
-  the reduce's ``on_partial`` seam.
+  the reduce's ``on_partial`` seam;
+* ``fabric`` mode runs :func:`repro.runtime.fabric.run_fabric_campaign`
+  — shard leases, heartbeats, straggler re-dispatch and work stealing
+  over a per-campaign fabric directory; records are retained like
+  ``records`` mode, every lease transition streams over SSE, and
+  ``GET /v1/campaigns/{id}/workers`` serves the live fleet view.
 
 The state machine is ``pending → running → completed | failed |
 cancelled``.  Cancellation is cooperative: the HTTP layer sets the
@@ -55,8 +60,12 @@ from repro.service.errors import (
 )
 from repro.service.events import EventLog
 
-#: Campaign execution modes a submission may request.
-VALID_MODES = ("records", "sketch")
+#: Campaign execution modes a submission may request.  ``fabric`` runs
+#: the multi-host campaign fabric (:mod:`repro.runtime.fabric`): shard
+#: leases, heartbeats, straggler re-dispatch — records are retained
+#: like ``records`` mode, and ``GET /v1/campaigns/{id}/workers`` serves
+#: the live lease/worker view.
+VALID_MODES = ("records", "sketch", "fabric")
 
 #: States in which a campaign accepts no further lifecycle operations.
 TERMINAL_STATES = frozenset({"completed", "failed", "cancelled"})
@@ -85,6 +94,8 @@ class Campaign:
     run_stats: object = None
     #: Shard count from the campaign_planned event.
     n_shards: int = 0
+    #: The fabric coordination directory (fabric mode only).
+    fabric_dir: str | None = None
 
     def status(self) -> dict:
         """The JSON status document of this campaign."""
@@ -111,6 +122,7 @@ class Campaign:
             "config": self.config.to_json_dict(),
             "error": self.error,
             "result": result,
+            "fabric_dir": self.fabric_dir,
         }
 
 
@@ -242,6 +254,10 @@ class CampaignService:
             resume_from=resume_from,
             fault_plan=fault_plan,
         )
+        if mode == "fabric":
+            campaign.fabric_dir = os.path.join(
+                self.service_dir, "campaigns", campaign_id, "fabric"
+            )
         with self._lock:
             self._campaigns[campaign_id] = campaign
         campaign.events.append(
@@ -281,10 +297,13 @@ class CampaignService:
             updates["storage_dir"] = os.path.join(
                 self.service_dir, "campaigns", campaign_id, "storage"
             )
-        if config.mp_start_method is None and config.n_workers > 1:
+        if config.mp_start_method is None and (
+            config.n_workers > 1 or mode == "fabric"
+        ):
             # The service parent is threaded (HTTP handlers, runner
             # threads); fork from a threaded process can inherit locks
             # mid-acquisition, so workers spawn fresh interpreters.
+            # Fabric mode always spawns worker processes, even for one.
             updates["mp_start_method"] = "spawn"
         if resume_from is not None:
             if mode != "records":
@@ -331,6 +350,8 @@ class CampaignService:
         try:
             if campaign.mode == "sketch":
                 self._run_sketch(campaign)
+            elif campaign.mode == "fabric":
+                self._run_fabric(campaign)
             else:
                 self._run_records(campaign)
         except CampaignCancelledError as exc:
@@ -431,6 +452,78 @@ class CampaignService:
                 **campaign.aggregates,
             }
         )
+
+    def _run_fabric(self, campaign: Campaign) -> None:
+        """Fabric mode: leases + heartbeats + re-dispatch, records kept.
+
+        The coordinator (and its local worker processes) run inside the
+        service; the fabric directory lives under the campaign's
+        service subdirectory, so external ``repro worker`` processes on
+        the same filesystem may join mid-run.  Accepted shards fold
+        into the same incremental aggregates as records mode, and every
+        lease transition streams out over the campaign's SSE event log.
+        """
+        from repro.runtime.fabric import run_fabric_campaign
+
+        config = campaign.config
+        page, speed = new_accumulators()
+        folded = 0
+
+        def on_result(result) -> None:
+            nonlocal folded
+            fold_record_result(page, speed, result)
+            folded += 1
+            campaign.aggregates = aggregate_payload(page, speed)
+            campaign.events.append(
+                {
+                    "type": "aggregate_partial",
+                    "completed_shards": folded,
+                    "n_shards": campaign.n_shards,
+                    **campaign.aggregates,
+                }
+            )
+
+        dataset, stats = run_fabric_campaign(
+            config,
+            n_workers=config.n_workers,
+            fabric_dir=campaign.fabric_dir,
+            fault_plan=campaign.fault_plan,
+            on_event=self._on_event(campaign),
+            on_result=on_result,
+            should_stop=campaign.cancel_event.is_set,
+        )
+        campaign.dataset = dataset
+        campaign.run_stats = stats
+        campaign.aggregates = aggregate_payload(page, speed)
+        campaign.events.append(
+            {
+                "type": "aggregate_final",
+                "completed_shards": folded,
+                "n_shards": campaign.n_shards,
+                **campaign.aggregates,
+            }
+        )
+
+    def workers(self, campaign_id: str) -> dict:
+        """The live lease/heartbeat/worker view of a fabric campaign.
+
+        Backs ``GET /v1/campaigns/{id}/workers``; valid at any point in
+        the campaign's life (before planning it reports an unplanned
+        fabric).  Non-fabric campaigns have no worker fleet → 409.
+        """
+        campaign = self.get(campaign_id)
+        if campaign.mode != "fabric" or campaign.fabric_dir is None:
+            raise conflict(
+                f"campaign {campaign_id} runs in {campaign.mode!r} mode; "
+                "the workers view exists for fabric campaigns only"
+            )
+        from repro.runtime.fabric import fabric_status
+
+        return {
+            "id": campaign.id,
+            "state": campaign.state,
+            **fabric_status(campaign.fabric_dir),
+        }
 
     def _run_sketch(self, campaign: Campaign) -> None:
         from repro.runtime.reduce import run_campaign_sketched

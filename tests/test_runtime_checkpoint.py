@@ -149,6 +149,46 @@ def test_store_detects_bit_flips(tmp_path):
     assert store.load(0, [0, 1]) is not None
 
 
+def test_store_fsyncs_before_rename(tmp_path, monkeypatch):
+    """The atomic spill must reach the platter before the rename makes
+    it visible, or a power cut can promote an empty file.  Guard the
+    fsync-then-replace ordering against regression."""
+    import repro.runtime.checkpoint as checkpoint_mod
+
+    synced: list[int] = []
+    replaced_after_sync: list[bool] = []
+    real_fsync = os.fsync
+    real_replace = os.replace
+
+    def spy_fsync(fd):
+        synced.append(fd)
+        return real_fsync(fd)
+
+    def spy_replace(src, dst):
+        replaced_after_sync.append(bool(synced))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(checkpoint_mod.os, "fsync", spy_fsync)
+    monkeypatch.setattr(checkpoint_mod.os, "replace", spy_replace)
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    store.save(run_shard(config, 0, [0]))
+    assert synced, "save() must fsync the temp file"
+    assert replaced_after_sync and all(replaced_after_sync)
+
+
+def test_store_survives_zero_length_promoted_file(tmp_path):
+    """The torn-state shape the fsync fix prevents — a promoted but
+    empty segment — must still read as "recompute", never crash."""
+    config = CampaignConfig(**SMALL)
+    store = CheckpointStore(str(tmp_path), config)
+    path = store.save(run_shard(config, 0, [0]))
+    with open(path, "wb"):
+        pass  # truncate to zero bytes
+    assert os.path.getsize(path) == 0
+    assert store.load(0, [0]) is None
+
+
 def test_store_ignores_legacy_pickle_spills(tmp_path):
     """Spill files from the pickled-object era fail the frame check and
     are recomputed, never unpickled."""

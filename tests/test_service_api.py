@@ -437,6 +437,82 @@ def test_sketch_campaign_serves_only_aggregates(port, records_campaign):
     assert sketch_aggregates["speedtests"] == record_aggregates["speedtests"]
 
 
+# -- fabric mode -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fabric_campaign(port):
+    _, submitted = api(
+        port,
+        "POST",
+        "/v1/campaigns",
+        {"config": {**DATA, "n_workers": 2}, "mode": "fabric"},
+    )
+    final = wait_terminal(port, submitted["id"])
+    assert final["state"] == "completed", final
+    return final
+
+
+def test_fabric_campaign_results_identical_to_serial(
+    port, fabric_campaign, serial_dataset
+):
+    """A fabric-mode campaign over HTTP serves the bit-identical rows:
+    lease-dispatched workers, manifest merge, same dataset."""
+    assert fabric_campaign["mode"] == "fabric"
+    # fabric workers are separate processes under a threaded parent, so
+    # the service forces spawn
+    assert fabric_campaign["config"]["mp_start_method"] == "spawn"
+    _, page = api(
+        port,
+        "GET",
+        f"/v1/campaigns/{fabric_campaign['id']}/results"
+        "?kind=page_loads&limit=10000",
+    )
+    expected = json.loads(
+        json.dumps([page_load_to_dict(r) for r in serial_dataset.page_loads])
+    )
+    assert page["total"] == len(expected)
+    assert page["rows"] == expected
+
+
+def test_fabric_event_stream_carries_lease_transitions(
+    port, fabric_campaign
+):
+    events, stopped = read_all_events(port, fabric_campaign["id"])
+    assert stopped == "campaign_completed"
+    types = [event["data"]["type"] for event in events]
+    assert "campaign_planned" in types
+    assert "lease_claimed" in types
+    assert "shard_completed" in types
+    assert types.index("lease_claimed") < types.index("shard_completed")
+
+
+def test_fabric_workers_view(port, fabric_campaign):
+    status, payload = api(
+        port, "GET", f"/v1/campaigns/{fabric_campaign['id']}/workers"
+    )
+    assert status == 200
+    assert payload["id"] == fabric_campaign["id"]
+    assert payload["state"] == "completed"
+    assert payload["planned"] is True
+    assert payload["terminal"] == "DONE"
+    assert payload["completed_shards"] == payload["n_shards"] > 0
+    assert payload["leases"] == []  # every lease was released
+    for worker in payload["workers"]:
+        assert {"worker_id", "state", "heartbeat_age_s"} <= set(worker)
+
+
+def test_workers_view_conflicts_for_records_campaigns(
+    port, records_campaign
+):
+    status, payload = api(
+        port, "GET", f"/v1/campaigns/{records_campaign['id']}/workers"
+    )
+    assert status == 409
+    assert payload["error"]["code"] == "conflict"
+    assert "fabric" in payload["error"]["message"]
+
+
 # -- cancel / resume lifecycle (the ISSUE.md E2E) --------------------------
 
 

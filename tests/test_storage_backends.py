@@ -8,6 +8,8 @@ backend mechanics: segment rollover, streaming iteration, manifest
 reopen, column access exactness, deletion.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -227,6 +229,77 @@ def test_spill_open_rejects_bad_manifest(tmp_path):
     (tmp_path / "manifest.json").write_text("{not json", encoding="utf-8")
     with pytest.raises(DatasetError):
         SpillBackend.open(str(tmp_path))
+
+
+def test_spill_torn_segment_named_precisely(tmp_path):
+    """A truncated segment fails with a DatasetError that names the
+    bad file and the torn-write diagnosis — not a numpy traceback."""
+    backend = SpillBackend(directory=str(tmp_path), segment_records=8)
+    dataset = Dataset(backend=backend)
+    dataset.extend_page_loads([_page_load(i) for i in range(20)])
+    dataset.flush()
+    entry = backend._segments["page_loads"][1]
+    path = tmp_path / entry["file"]
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    reopened = SpillBackend.open(str(tmp_path))
+    with pytest.raises(DatasetError) as excinfo:
+        Dataset(backend=reopened).page_loads
+    message = str(excinfo.value)
+    assert entry["file"] in message
+    assert "torn write or bit flip" in message
+    # A flipped bit is caught the same way, by checksum not by zipfile.
+    corrupted = bytearray(blob)
+    corrupted[len(blob) // 3] ^= 0x01
+    path.write_bytes(bytes(corrupted))
+    with pytest.raises(DatasetError, match=entry["file"]):
+        Dataset(backend=SpillBackend.open(str(tmp_path))).page_loads
+
+
+def test_spill_open_verify_fails_fast(tmp_path):
+    backend = SpillBackend(directory=str(tmp_path), segment_records=4)
+    dataset = Dataset(backend=backend)
+    dataset.extend_page_loads([_page_load(i) for i in range(8)])
+    dataset.flush()
+    bad = backend._segments["page_loads"][0]["file"]
+    (tmp_path / bad).write_bytes(b"not an npz")
+    SpillBackend.open(str(tmp_path))  # lazy open still succeeds ...
+    with pytest.raises(DatasetError, match=bad):
+        SpillBackend.open(str(tmp_path), verify=True)  # ... verify doesn't
+
+
+def test_spill_quarantine_and_report(tmp_path):
+    """The recovery path: quarantine the named segment, get a report of
+    exactly what was lost, and keep working with the survivors."""
+    backend = SpillBackend(directory=str(tmp_path), segment_records=8)
+    dataset = Dataset(backend=backend)
+    records = [_page_load(i) for i in range(20)]
+    dataset.extend_page_loads(records)
+    dataset.flush()
+    entry = backend._segments["page_loads"][1]
+    path = tmp_path / entry["file"]
+    path.write_bytes(path.read_bytes()[:10])
+    report = backend.quarantine(
+        "page_loads", entry["file"], "checksum mismatch"
+    )
+    assert report["quarantined"] is True
+    assert report["n_records_lost"] == 8
+    assert report["kind"] == "page_loads"
+    assert os.path.exists(report["path"])
+    assert report["path"].endswith(
+        os.path.join(SpillBackend.QUARANTINE_DIR, entry["file"])
+    )
+    # The manifest no longer lists the segment: the reopened backend
+    # verifies clean and serves the surviving records.
+    reopened = Dataset(backend=SpillBackend.open(str(tmp_path), verify=True))
+    survivors = records[:8] + records[16:]
+    assert reopened.page_loads == survivors
+    # Quarantining an unknown file reports without mutating anything.
+    noop = backend.quarantine("page_loads", "no-such-file.npz", "test")
+    assert noop["quarantined"] is False
+    assert noop["n_records_lost"] == 0
+    with pytest.raises(DatasetError):
+        backend.quarantine("bogus_kind", entry["file"], "test")
 
 
 def test_jsonl_round_trip_across_backends(tmp_path):
