@@ -1,0 +1,69 @@
+"""Fabric coordination overhead: FsStore vs the object-store substrate.
+
+One fault-free fabric campaign per store kind over the same shard plan,
+each asserted bit-identical to the serial run (the substrate must never
+show up in the data).  The benchmark records per-shard coordination
+overhead — campaign wall time minus the serial compute floor, divided
+by the shard count — in ``extra_info``, so the trajectory file tracks
+how much the object store's envelope/lock arbitration costs per shard
+relative to plain POSIX primitives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extension.campaign import CampaignConfig, ExtensionCampaign
+from repro.runtime import run_fabric_campaign
+
+#: Big enough that shards do real work, small enough for CI; the
+#: coordination overhead being measured is per-shard, not per-record.
+SCALED = dict(
+    seed=3,
+    duration_s=6 * 86_400.0,
+    request_fraction=0.3,
+    cities=("london", "seattle", "sydney"),
+)
+
+N_WORKERS = 2
+N_SHARDS = 8
+
+
+@pytest.fixture(scope="module")
+def serial_dataset():
+    return ExtensionCampaign(CampaignConfig(**SCALED)).run()
+
+
+@pytest.mark.parametrize("store_kind", ["fs", "object"])
+def test_fabric_store_coordination_overhead(
+    benchmark, store_kind, serial_dataset
+):
+    config = CampaignConfig(**SCALED)
+
+    def fabric():
+        return run_fabric_campaign(
+            config,
+            n_workers=N_WORKERS,
+            n_shards=N_SHARDS,
+            lease_ttl_s=10.0,
+            heartbeat_interval_s=0.2,
+            poll_interval_s=0.02,
+            fabric_store=store_kind,
+        )
+
+    dataset, stats = benchmark.pedantic(fabric, rounds=1, iterations=1)
+
+    # Identity first: the substrate must be invisible in the data.
+    assert dataset.page_loads == serial_dataset.page_loads
+    assert dataset.speedtests == serial_dataset.speedtests
+    assert stats.store_kind == store_kind
+    assert stats.redispatched_shards == 0
+
+    compute_s = sum(shard.wall_s for shard in stats.shards)
+    overhead_s = max(0.0, stats.wall_s - compute_s / N_WORKERS)
+    benchmark.extra_info["store"] = store_kind
+    benchmark.extra_info["n_shards"] = stats.n_shards
+    benchmark.extra_info["per_shard_overhead_s"] = (
+        overhead_s / stats.n_shards
+    )
+    benchmark.extra_info["merge_s"] = stats.merge_s

@@ -145,6 +145,16 @@ def main(argv: list[str] | None = None) -> int:
         "n_workers, capped by the population size)",
     )
     parser.add_argument(
+        "--fabric-store",
+        choices=("fs", "object"),
+        metavar="KIND",
+        help="coordination store for 'coordinate'/'worker': 'fs' (POSIX "
+        "primitives on the shared directory, the default) or 'object' "
+        "(object-store semantics: conditional PUTs, prefix listing); "
+        "default: the directory's STORE sentinel, then "
+        "REPRO_FABRIC_STORE, then 'fs'",
+    )
+    parser.add_argument(
         "--lease-ttl",
         type=float,
         metavar="SECONDS",
@@ -268,6 +278,7 @@ def run_coordinate(args) -> int:
                 else DEFAULT_LEASE_TTL_S
             ),
             heartbeat_interval_s=args.heartbeat_interval,
+            fabric_store=args.fabric_store,
             on_event=on_event,
         )
     except ReproError as exc:
@@ -294,6 +305,7 @@ def run_fabric_worker_cli(args) -> int:
             args.fabric_dir,
             worker_id=args.worker_id,
             heartbeat_interval_s=args.heartbeat_interval,
+            store_kind=args.fabric_store,
         )
     except ReproError as exc:
         print(f"worker failed: {exc}", file=sys.stderr)
@@ -335,6 +347,8 @@ def apply_runtime_env(args) -> None:
         os.environ["REPRO_ENGINE"] = args.engine
     if getattr(args, "analytics", None):
         os.environ["REPRO_ANALYTICS"] = args.analytics
+    if getattr(args, "fabric_store", None):
+        os.environ["REPRO_FABRIC_STORE"] = args.fabric_store
 
 
 def dump_series(result, directory: str) -> list[str]:

@@ -16,12 +16,18 @@ reproducibility — and keeps it running when workers don't:
 * :mod:`repro.runtime.pool` — the worker-pool engine tying it together.
 * :mod:`repro.runtime.merge` — order-preserving recombination of
   per-shard datasets, validated against the planned partition.
-* :mod:`repro.runtime.lease` — filesystem shard leases (atomic claim,
-  heartbeats, fences, worker registry): the multi-host coordination
-  primitive.
+* :mod:`repro.runtime.store` — the coordination-store seam: one
+  five-primitive protocol (create-exclusive, conditional replace,
+  point read, delete, prefix listing) over POSIX files (``FsStore``)
+  or object-store semantics (``ObjectStore`` backends, tolerating
+  list-after-write lag), selected per fabric directory.
+* :mod:`repro.runtime.lease` — shard leases over the store (atomic
+  claim, heartbeats, fences, worker registry): the multi-host
+  coordination primitive.
 * :mod:`repro.runtime.fabric` — the fault-tolerant multi-host campaign
-  fabric: coordinator + independent workers over a shared directory,
-  with straggler re-dispatch, work stealing and chaos-tested recovery.
+  fabric: coordinator + independent workers over a shared coordination
+  namespace, with straggler re-dispatch, work stealing and
+  chaos-tested recovery.
 
 The engine's invariant: a campaign run with ``n_workers=N`` produces a
 ``Dataset`` bit-for-bit identical to the serial run for every N — and,
@@ -73,6 +79,16 @@ from repro.runtime.shard import (
     plan_shards,
     run_shard,
 )
+from repro.runtime.store import (
+    CoordinationStore,
+    DirObjectStore,
+    FsStore,
+    MemoryObjectStore,
+    ObjectStore,
+    StoredObject,
+    make_store,
+    resolve_store_kind,
+)
 from repro.runtime.supervision import (
     ShardFailure,
     SupervisorPolicy,
@@ -85,18 +101,24 @@ __all__ = [
     "CampaignRunStats",
     "CheckpointedShard",
     "CheckpointStore",
+    "CoordinationStore",
+    "DirObjectStore",
     "FabricCoordinator",
     "FabricRunStats",
     "Fault",
     "FaultKind",
     "FaultPlan",
+    "FsStore",
     "HOST_FAULT_KINDS",
     "LeaseDir",
     "LeaseHeartbeat",
     "LeaseRecord",
+    "MemoryObjectStore",
+    "ObjectStore",
     "ShardFailure",
     "ShardResult",
     "ShardStats",
+    "StoredObject",
     "SupervisorPolicy",
     "TimelineSpill",
     "WorkerRegistry",
@@ -107,9 +129,11 @@ __all__ = [
     "fabric_status",
     "hang_plan",
     "host_chaos_plan",
+    "make_store",
     "merge_shard_results",
     "plan_shards",
     "resolve_start_method",
+    "resolve_store_kind",
     "run_campaign_sharded",
     "run_fabric_campaign",
     "run_fabric_worker",

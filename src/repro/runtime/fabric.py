@@ -5,19 +5,26 @@ points; the single-host supervisor (:mod:`repro.runtime.supervision`)
 already treats *process* death as routine, and this module extends the
 same posture to *hosts*.  A campaign runs as one coordinator plus any
 number of worker processes — on one machine or many — that share
-nothing but a directory:
+nothing but a coordination namespace: a
+:class:`~repro.runtime.store.CoordinationStore` rooted at the fabric
+directory, driven by POSIX primitives (``--fabric-store fs``, the
+default) or object-store semantics (``--fabric-store object``) when
+the fleet shares a bucket rather than a filesystem.  The directory
+records its store kind in a ``STORE`` sentinel, so late-joining
+workers adopt the coordinator's choice automatically.
 
 * The **coordinator** derives the shard plan deterministically from
   the :class:`~repro.extension.campaign.CampaignConfig` (fingerprinted
   — see :func:`~repro.runtime.checkpoint.campaign_fingerprint`) and
-  publishes it as ``plan.json``; restarting a coordinator over an
-  existing fabric directory *adopts* the plan and every already-valid
-  manifest, so coordinator death loses nothing either.
+  publishes it as ``plan.json`` with a create-exclusive put;
+  restarting a coordinator over an existing fabric directory *adopts*
+  the plan and every already-valid manifest, so coordinator death
+  loses nothing either.
 * **Workers** (``repro.experiments worker`` on any host) claim shard
   leases atomically, heartbeat while computing, spill each finished
   shard as a checksummed columnar segment through the established
   :class:`~repro.runtime.checkpoint.CheckpointStore` format, and offer
-  a completion manifest created ``O_EXCL`` — first valid manifest
+  a completion manifest created exclusively — first valid manifest
   wins, always (see :mod:`repro.runtime.lease`).
 * The **coordinator loop** revokes leases whose heartbeats expired
   (worker death), whose holder's registry entry says ``exited``
@@ -31,8 +38,8 @@ nothing but a directory:
   torn segments are quarantined and the shard re-dispatched.
 * Every lease transition (claimed / expired / lost / straggler /
   re-dispatched / stolen / completed / discarded / quarantined) is
-  appended to the coordinator's structured ``log.jsonl`` and kept on
-  the returned :class:`FabricRunStats`.
+  appended to the coordinator's structured log (``log.jsonl`` through
+  the store) and kept on the returned :class:`FabricRunStats`.
 
 Correctness rests on two pillars.  (1) *Determinism*: every record is
 a pure function of ``(config, user)``, so any re-dispatch recomputes
@@ -40,10 +47,18 @@ bit-identical data — a campaign with workers killed mid-run merges to
 exactly the serial dataset.  (2) *Exclusive manifests*: leases are
 advisory scheduling hints whose races (revocation vs. heartbeat,
 double claim after a fence) at worst cost a redundant recompute; the
-``O_EXCL`` manifest create is the single arbiter of which attempt's
+create-exclusive manifest put is the single arbiter of which attempt's
 segment merges, so no timing skew between hosts can double-count or
-mix attempts.  The final merge reuses the campaign-wide partition
-validation of :mod:`repro.runtime.merge` end to end.
+mix attempts.  Because arbitration is conditional puts and point reads
+only — never listings — the protocol also tolerates list-after-write
+lag on object-store backends.  The final merge reuses the
+campaign-wide partition validation of :mod:`repro.runtime.merge` end
+to end.
+
+The data plane (spilled shard segments, quarantined files) stays on
+the shared filesystem in both modes: segments are bulk checksummed
+columnar blobs whose integrity the checkpoint format already owns, and
+only the *coordination* metadata needs the store's arbitration.
 """
 
 from __future__ import annotations
@@ -68,17 +83,20 @@ from repro.runtime.lease import (
     LeaseHeartbeat,
     WorkerRegistry,
     default_worker_id,
-    read_json_doc,
-    write_json_atomic,
 )
 from repro.runtime.merge import merge_shard_results
 from repro.runtime.shard import CampaignRunStats, plan_shards, run_shard
+from repro.runtime.store import (
+    CoordinationStore,
+    FsStore,
+    make_store,
+)
 from repro.runtime.supervision import straggler_deadline_s
 
-#: ``plan.json`` schema version.
-PLAN_VERSION = 1
+#: ``plan.json`` schema version (2 adds the advisory ``store`` field).
+PLAN_VERSION = 2
 
-#: Terminal marker files the coordinator drops at the fabric root;
+#: Terminal marker keys the coordinator puts at the fabric root;
 #: their presence is the workers' exit signal.
 DONE_MARKER = "DONE"
 CANCELLED_MARKER = "CANCELLED"
@@ -88,9 +106,47 @@ _MARKERS = (DONE_MARKER, CANCELLED_MARKER, FAILED_MARKER)
 #: Default cap on re-dispatches of one shard before the campaign fails.
 DEFAULT_MAX_REDISPATCHES = 8
 
+#: Coordination-namespace key layout (identical across store kinds;
+#: under ``FsStore`` each key is the same file PR 9's fabric wrote).
+PLAN_KEY = "plan.json"
+LOG_KEY = "log.jsonl"
+LEASES_PREFIX = "leases/"
+WORKERS_PREFIX = "workers/"
+DISCARDS_PREFIX = "discards/"
+
+
+def _hold_key(shard_id: int) -> str:
+    return f"holds/shard-{shard_id:04d}.json"
+
+
+def _manifest_key(shard_id: int) -> str:
+    return f"manifests/shard-{shard_id:04d}.json"
+
+
+def _rejected_key(shard_id: int, attempt: int) -> str:
+    return f"manifests/shard-{shard_id:04d}.rejected-{attempt}.json"
+
+
+def _discard_key(shard_id: int, token: str) -> str:
+    return f"discards/shard-{shard_id:04d}-{token}.json"
+
+
+def terminal_marker(store: CoordinationStore) -> str | None:
+    """The terminal marker present in a coordination namespace, if any."""
+    for name in _MARKERS:
+        if store.exists(name):
+            return name
+    return None
+
 
 class FabricPaths:
-    """The layout of one fabric directory (shared by all participants)."""
+    """The filesystem layout of one fabric directory.
+
+    The data plane (``segments/``, ``quarantine/``) always lives here;
+    under the default ``fs`` store the coordination keys map onto the
+    same paths too, which is what keeps PR 9 fabric directories (and
+    on-disk debugging) layout-identical.
+    """
 
     def __init__(self, root: str):
         self.root = root
@@ -137,7 +193,7 @@ class FabricPaths:
         return os.path.join(self.root, name)
 
     def terminal_marker(self) -> str | None:
-        """The terminal marker present at the root, if any."""
+        """The terminal marker present at the root (FS view), if any."""
         for name in _MARKERS:
             if os.path.exists(self.marker_path(name)):
                 return name
@@ -178,19 +234,22 @@ def write_or_adopt_plan(
     paths: FabricPaths,
     n_shards: int | None = None,
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    store: CoordinationStore | None = None,
 ) -> FabricPlan:
     """Publish ``plan.json`` — or adopt an existing one.
 
-    The plan is created ``O_EXCL`` so two racing coordinators agree on
-    one partition.  An existing plan is adopted only when its campaign
-    fingerprint matches this config (a fabric directory never mixes
-    campaigns); its shard partition and TTL win over the arguments, so
-    a restarted coordinator with a different ``n_shards`` still merges
-    the original partition.
+    The plan is created with the store's create-exclusive put so two
+    racing coordinators agree on one partition.  An existing plan is
+    adopted only when its campaign fingerprint matches this config (a
+    fabric directory never mixes campaigns); its shard partition and
+    TTL win over the arguments, so a restarted coordinator with a
+    different ``n_shards`` still merges the original partition.
     """
+    if store is None:
+        store = FsStore(paths.root)
     fingerprint = campaign_fingerprint(config)
-    existing = read_json_doc(paths.plan)
-    if existing is None and not os.path.exists(paths.plan):
+    existing = store.get_json(PLAN_KEY)
+    if existing is None and not store.exists(PLAN_KEY):
         users = _campaign_users(config)
         if n_shards is None:
             n_shards = max(1, min(getattr(config, "n_workers", 1), len(users)))
@@ -210,32 +269,21 @@ def write_or_adopt_plan(
             "fingerprint": fingerprint,
             "lease_ttl_s": float(lease_ttl_s),
             "created_at": time.time(),
+            "store": store.kind,
             "shards": [
                 {"shard_id": shard_id, "user_indices": list(indices)}
                 for shard_id, indices in planned
             ],
             "config": to_json() if callable(to_json) else None,
         }
-        data = json.dumps(doc, sort_keys=True).encode("utf-8")
-        try:
-            fd = os.open(
-                paths.plan, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
-            )
-        except FileExistsError:
-            pass  # a racing coordinator won; adopt below
-        else:
-            try:
-                os.write(fd, data)
-                os.fsync(fd)
-            finally:
-                os.close(fd)
+        if store.put_json_if_absent(PLAN_KEY, doc) is not None:
             return FabricPlan(
                 fingerprint=fingerprint,
                 lease_ttl_s=float(lease_ttl_s),
                 shards=tuple(planned),
                 config_json=doc["config"],
             )
-        existing = read_json_doc(paths.plan)
+        existing = store.get_json(PLAN_KEY)  # a racing coordinator won
     if existing is None:
         raise FabricError(f"unreadable fabric plan at {paths.plan}")
     if existing.get("fingerprint") != fingerprint:
@@ -260,9 +308,13 @@ def write_or_adopt_plan(
     )
 
 
-def load_plan(paths: FabricPaths) -> FabricPlan | None:
+def load_plan(
+    paths: FabricPaths, store: CoordinationStore | None = None
+) -> FabricPlan | None:
     """Read an already-published plan (worker side); ``None`` if absent."""
-    doc = read_json_doc(paths.plan)
+    if store is None:
+        store = FsStore(paths.root)
+    doc = store.get_json(PLAN_KEY)
     if doc is None:
         return None
     try:
@@ -293,8 +345,10 @@ class FabricRunStats(CampaignRunStats):
     discarded_manifests: int = 0
     #: Torn segments moved aside before their shard was re-dispatched.
     quarantined_segments: int = 0
-    #: The coordinator's structured lease-transition log (also on disk
-    #: as ``log.jsonl`` in the fabric directory).
+    #: The coordination store kind the campaign ran over.
+    store_kind: str = "fs"
+    #: The coordinator's structured lease-transition log (also in the
+    #: coordination namespace as ``log.jsonl``).
     lease_log: list = field(default_factory=list)
 
     def transitions(self, event_type: str) -> list[dict]:
@@ -304,7 +358,7 @@ class FabricRunStats(CampaignRunStats):
     def summary(self) -> str:
         base = super().summary()
         return (
-            f"{base} [fabric: {self.n_shards} shards, "
+            f"{base} [fabric/{self.store_kind}: {self.n_shards} shards, "
             f"{self.redispatched_shards} re-dispatched, "
             f"{self.stolen_shards} stolen, "
             f"{self.discarded_manifests} discarded, "
@@ -345,24 +399,29 @@ def run_fabric_worker(
     poll_interval_s: float = 0.05,
     plan_wait_s: float = 60.0,
     idle_exit_s: float | None = None,
+    store_kind: str | None = None,
 ) -> dict:
     """One fabric worker: claim → run → spill → manifest, until done.
 
     Startable on any host that mounts ``fabric_dir`` (the
-    ``repro worker`` CLI verb wraps this).  The worker waits for
-    ``plan.json`` (up to ``plan_wait_s``), rebuilds the campaign config
-    from it, then loops: claim any unmanifested, unheld shard; run it
-    with a lease heartbeat thread refreshing ownership; spill the
-    result as a checksummed segment; offer the completion manifest
-    (``O_EXCL`` — a lost race writes a discard marker instead).  Exits
-    when the coordinator drops a terminal marker, or after
-    ``idle_exit_s`` without claimable work (``None`` waits
+    ``repro worker`` CLI verb wraps this).  The worker resolves the
+    coordination store (explicit ``store_kind`` > the directory's
+    ``STORE`` sentinel > ``REPRO_FABRIC_STORE`` > ``fs`` — re-checked
+    while waiting, so a worker started before the coordinator adopts
+    whatever the coordinator binds), waits for ``plan.json`` (up to
+    ``plan_wait_s``), rebuilds the campaign config from it, then
+    loops: claim any unmanifested, unheld shard; run it with a lease
+    heartbeat thread refreshing ownership; spill the result as a
+    checksummed segment; offer the completion manifest with a
+    create-exclusive put (a lost race writes a discard marker
+    instead).  Exits when the coordinator drops a terminal marker, or
+    after ``idle_exit_s`` without claimable work (``None`` waits
     indefinitely).  Host-level faults from ``fault_plan`` (keyed
     ``(shard_id, attempt)``) are injected here — see
     :data:`~repro.runtime.faults.HOST_FAULT_KINDS`.
 
     Returns a summary dict (``worker_id``, ``shards_completed``,
-    ``manifests_discarded``).
+    ``manifests_discarded``, ``store``).
     """
     from repro.extension.campaign import CampaignConfig
 
@@ -370,13 +429,15 @@ def run_fabric_worker(
     paths.ensure()
     worker_id = worker_id or default_worker_id()
     deadline = time.time() + plan_wait_s
-    plan = load_plan(paths)
+    store = make_store(fabric_dir, store_kind)
+    plan = load_plan(paths, store=store)
     while plan is None:
-        if paths.terminal_marker() is not None:
+        if terminal_marker(store) is not None:
             return {
                 "worker_id": worker_id,
                 "shards_completed": 0,
                 "manifests_discarded": 0,
+                "store": store.kind,
             }
         if time.time() > deadline:
             raise FabricError(
@@ -384,21 +445,32 @@ def run_fabric_worker(
                 f"{plan_wait_s:.0f}s"
             )
         time.sleep(poll_interval_s)
-        plan = load_plan(paths)
+        # Re-resolve: the coordinator may have bound the directory to a
+        # store kind (the sentinel) after this worker started waiting.
+        store = make_store(fabric_dir, store_kind)
+        plan = load_plan(paths, store=store)
     if plan.config_json is None:
         raise FabricError(
             f"fabric plan at {paths.plan} carries no config; workers "
             "cannot rebuild the campaign"
         )
     config = CampaignConfig.from_json_dict(plan.config_json)
-    store = CheckpointStore(paths.segments, config)
-    if store.fingerprint != plan.fingerprint:
+    ckpt = CheckpointStore(paths.segments, config)
+    if ckpt.fingerprint != plan.fingerprint:
         raise FabricError(
             f"plan fingerprint {plan.fingerprint!r} does not match the "
-            f"config it carries ({store.fingerprint!r})"
+            f"config it carries ({ckpt.fingerprint!r})"
         )
-    leases = LeaseDir(paths.leases, ttl_s=plan.lease_ttl_s)
-    registry = WorkerRegistry(paths.workers, worker_id, ttl_s=plan.lease_ttl_s)
+    leases = LeaseDir(
+        paths.leases, ttl_s=plan.lease_ttl_s, store=store, prefix=LEASES_PREFIX
+    )
+    registry = WorkerRegistry(
+        paths.workers,
+        worker_id,
+        ttl_s=plan.lease_ttl_s,
+        store=store,
+        prefix=WORKERS_PREFIX,
+    )
     registry.write("idle")
     beat_s = (
         float(heartbeat_interval_s)
@@ -409,15 +481,15 @@ def run_fabric_worker(
     discarded = 0
     idle_since = time.time()
     try:
-        while paths.terminal_marker() is None:
+        while terminal_marker(store) is None:
             progress = False
             for shard_id, indices in plan.shards:
-                if paths.terminal_marker() is not None:
+                if terminal_marker(store) is not None:
                     break
-                if os.path.exists(paths.manifest_path(shard_id)):
+                if store.exists(_manifest_key(shard_id)):
                     continue
                 attempt = 0
-                hold = read_json_doc(paths.hold_path(shard_id))
+                hold = store.get_json(_hold_key(shard_id))
                 if hold is not None:
                     if float(hold.get("not_before", 0.0)) > time.time():
                         continue
@@ -428,9 +500,10 @@ def run_fabric_worker(
                 progress = True
                 outcome = _run_claimed_shard(
                     paths,
+                    store,
                     leases,
                     registry,
-                    store,
+                    ckpt,
                     config,
                     record,
                     indices,
@@ -455,14 +528,16 @@ def run_fabric_worker(
         "worker_id": worker_id,
         "shards_completed": completed,
         "manifests_discarded": discarded,
+        "store": store.kind,
     }
 
 
 def _run_claimed_shard(
     paths: FabricPaths,
+    store: CoordinationStore,
     leases: LeaseDir,
     registry: WorkerRegistry,
-    store: CheckpointStore,
+    ckpt: CheckpointStore,
     config,
     record,
     indices,
@@ -484,7 +559,7 @@ def _run_claimed_shard(
     try:
         if fault is not None and fault.kind is FaultKind.DEAD_HEARTBEAT:
             # Die like a host does: no cleanup, no release — the lease
-            # file stays behind and its heartbeat simply stops.
+            # stays behind and its heartbeat simply stops.
             time.sleep(fault.delay_s)
             os._exit(fault.exitcode)
         result = run_shard(config, shard_id, list(indices), None)
@@ -499,7 +574,7 @@ def _run_claimed_shard(
             # speculatively — first valid manifest wins.
             leases.revoke(shard_id, "injected lease loss")
             heartbeat.lost.wait(timeout=max(1.0, 4 * heartbeat.interval_s))
-        segment_path = store.save(result)
+        segment_path = ckpt.save(result)
         if fault is not None and fault.kind is FaultKind.TORN_SEGMENT:
             _truncate_file(segment_path)
         manifest = {
@@ -514,12 +589,12 @@ def _run_claimed_shard(
             "lease_lost": heartbeat.lost.is_set(),
             "completed_at": time.time(),
         }
-        if _write_excl_json(paths.manifest_path(shard_id), manifest):
+        if store.put_json_if_absent(_manifest_key(shard_id), manifest):
             outcome = "completed"
         else:
             outcome = "discarded"
-            write_json_atomic(
-                paths.discard_path(shard_id, record.token),
+            store.put_json(
+                _discard_key(shard_id, record.token),
                 {
                     **manifest,
                     "reason": "manifest already present (lost the "
@@ -542,7 +617,7 @@ def _run_claimed_shard(
 
 
 def _fabric_worker_entry(
-    fabric_dir, worker_id, heartbeat_interval_s, fault_plan
+    fabric_dir, worker_id, heartbeat_interval_s, fault_plan, store_kind=None
 ) -> None:
     """Local worker-process entry point (top-level: spawn-picklable)."""
     run_fabric_worker(
@@ -550,6 +625,7 @@ def _fabric_worker_entry(
         worker_id=worker_id,
         heartbeat_interval_s=heartbeat_interval_s,
         fault_plan=fault_plan,
+        store_kind=store_kind,
     )
 
 
@@ -574,16 +650,27 @@ class FabricCoordinator:
         redispatch_backoff_base_s: float = 0.05,
         redispatch_backoff_max_s: float = 2.0,
         max_redispatches: int = DEFAULT_MAX_REDISPATCHES,
+        store_kind: str | None = None,
         on_event=None,
     ):
         self.config = config
         self.paths = FabricPaths(fabric_dir)
         self.paths.ensure()
+        self.store = make_store(fabric_dir, store_kind, create_sentinel=True)
         self.plan = write_or_adopt_plan(
-            config, self.paths, n_shards=n_shards, lease_ttl_s=lease_ttl_s
+            config,
+            self.paths,
+            n_shards=n_shards,
+            lease_ttl_s=lease_ttl_s,
+            store=self.store,
         )
-        self.leases = LeaseDir(self.paths.leases, ttl_s=self.plan.lease_ttl_s)
-        self.store = CheckpointStore(self.paths.segments, config)
+        self.leases = LeaseDir(
+            self.paths.leases,
+            ttl_s=self.plan.lease_ttl_s,
+            store=self.store,
+            prefix=LEASES_PREFIX,
+        )
+        self.ckpt = CheckpointStore(self.paths.segments, config)
         self.poll_interval_s = poll_interval_s
         self.straggler_percentile = straggler_percentile
         self.straggler_multiplier = straggler_multiplier
@@ -617,18 +704,17 @@ class FabricCoordinator:
         event = {"type": event_type, "t": time.time(), **data}
         self.lease_log.append(event)
         try:
-            with open(self.paths.log, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(event, sort_keys=True) + "\n")
-        except OSError:
+            self.store.append_line(
+                LOG_KEY, json.dumps(event, sort_keys=True)
+            )
+        except (OSError, FabricError):
             pass  # the in-memory log still records the transition
         if self.on_event is not None:
             self.on_event(event)
         return event
 
     def _marker(self, name: str, **data) -> None:
-        write_json_atomic(
-            self.paths.marker_path(name), {"at": time.time(), **data}
-        )
+        self.store.put_json(name, {"at": time.time(), **data})
 
     # -- run -----------------------------------------------------------
 
@@ -655,6 +741,7 @@ class FabricCoordinator:
             n_users=len(self.plan.expected_indices),
             n_workers=len(local_workers) or None,
             fingerprint=self.plan.fingerprint,
+            store=self.store.kind,
         )
         try:
             while len(accepted) < self.plan.n_shards:
@@ -680,7 +767,7 @@ class FabricCoordinator:
                 time.sleep(self.poll_interval_s)
         except Exception as exc:
             if not isinstance(exc, CampaignCancelledError):
-                if self.paths.terminal_marker() is None:
+                if terminal_marker(self.store) is None:
                     self._marker(FAILED_MARKER, reason=str(exc))
                 self._log("campaign_failed", reason=str(exc))
             raise
@@ -718,6 +805,7 @@ class FabricCoordinator:
             stolen_shards=self._counters["stolen"],
             discarded_manifests=self._counters["discarded"],
             quarantined_segments=self._counters["quarantined"],
+            store_kind=self.store.kind,
             lease_log=list(self.lease_log),
         )
         return dataset, stats
@@ -729,10 +817,10 @@ class FabricCoordinator:
         for shard_id, indices in self.plan.shards:
             if shard_id in accepted:
                 continue
-            path = self.paths.manifest_path(shard_id)
-            if not os.path.exists(path):
+            obj = self.store.get(_manifest_key(shard_id))
+            if obj is None:
                 continue
-            doc = read_json_doc(path)
+            doc = obj.json()
             if doc is None:
                 # Possibly observed mid-write on a laggy shared FS;
                 # give it one TTL to become readable, then treat it as
@@ -744,7 +832,7 @@ class FabricCoordinator:
                     )
                 continue
             self._manifest_first_seen.pop(shard_id, None)
-            segment = self.store.load(shard_id, list(indices))
+            segment = self.ckpt.load(shard_id, list(indices))
             if segment is None:
                 self._reject_manifest(
                     shard_id,
@@ -793,10 +881,7 @@ class FabricCoordinator:
                 stolen=stolen,
             )
             self.leases.clear_fence(shard_id)
-            try:
-                os.unlink(self.paths.hold_path(shard_id))
-            except FileNotFoundError:
-                pass
+            self.store.delete(_hold_key(shard_id))
             if on_result is not None:
                 on_result(segment)
 
@@ -816,13 +901,10 @@ class FabricCoordinator:
         )
         # The hold (with the bumped attempt) is in place; only now make
         # the shard claimable again by moving the manifest aside.
-        try:
-            os.replace(
-                self.paths.manifest_path(shard_id),
-                self.paths.rejected_path(shard_id, attempt),
-            )
-        except FileNotFoundError:
-            pass
+        obj = self.store.get(_manifest_key(shard_id))
+        if obj is not None:
+            self.store.put(_rejected_key(shard_id, attempt), obj.data)
+        self.store.delete(_manifest_key(shard_id))
         self._manifest_first_seen.pop(shard_id, None)
 
     def quarantine_segment(
@@ -840,7 +922,7 @@ class FabricCoordinator:
             os.path.join(self.paths.root, segment_rel)
             if isinstance(segment_rel, str)
             else os.path.join(
-                self.store.directory, f"shard-{shard_id:04d}.ckpt"
+                self.ckpt.directory, f"shard-{shard_id:04d}.ckpt"
             )
         )
         report = {
@@ -865,15 +947,12 @@ class FabricCoordinator:
     # -- discard intake ------------------------------------------------
 
     def _scan_discards(self) -> None:
-        try:
-            names = sorted(os.listdir(self.paths.discards))
-        except OSError:
-            return
-        for name in names:
+        for key in self.store.list_prefix(DISCARDS_PREFIX):
+            name = key.rsplit("/", 1)[-1]
             if not name.endswith(".json") or name in self._seen_discards:
                 continue
             self._seen_discards.add(name)
-            doc = read_json_doc(os.path.join(self.paths.discards, name)) or {}
+            doc = self.store.get_json(key) or {}
             self._counters["discarded"] += 1
             self._log(
                 "manifest_discarded",
@@ -900,7 +979,7 @@ class FabricCoordinator:
         held = {r.shard_id: r for r in self.leases.read_all()}
         workers = {
             doc.get("worker_id"): doc
-            for doc in WorkerRegistry.read_all(self.paths.workers)
+            for doc in WorkerRegistry.read_all(self.store, WORKERS_PREFIX)
         }
         deadline = self._straggler_deadline()
         for shard_id, _indices in self.plan.shards:
@@ -913,7 +992,7 @@ class FabricCoordinator:
                 if (
                     shard_id in self._seen_token
                     and shard_id not in self._pending
-                    and not os.path.exists(self.paths.manifest_path(shard_id))
+                    and not self.store.exists(_manifest_key(shard_id))
                 ):
                     token = self._seen_token.pop(shard_id)
                     worker = self._holder.get(shard_id)
@@ -1005,8 +1084,8 @@ class FabricCoordinator:
             self.redispatch_backoff_base_s * (2.0 ** (count - 1)),
             self.redispatch_backoff_max_s,
         )
-        write_json_atomic(
-            self.paths.hold_path(shard_id),
+        self.store.put_json(
+            _hold_key(shard_id),
             {
                 "shard_id": shard_id,
                 "attempt": next_attempt,
@@ -1065,13 +1144,16 @@ def run_fabric_campaign(
     straggler_floor_s: float = 5.0,
     straggler_min_samples: int = 3,
     max_redispatches: int = DEFAULT_MAX_REDISPATCHES,
+    fabric_store: str | None = None,
     on_event=None,
     on_result=None,
     should_stop=None,
 ):
     """Run one campaign on the fabric with local worker processes.
 
-    The one-machine convenience wrapper: publishes the plan, spawns
+    The one-machine convenience wrapper: binds the coordination store
+    (``fabric_store``: ``fs``/``object``/``None`` = sentinel, then
+    ``REPRO_FABRIC_STORE``, then ``fs``), publishes the plan, spawns
     ``n_workers`` local fabric workers (under the campaign's resolved
     multiprocessing start method), drives the coordinator loop, and
     tears the workers down once a terminal marker lands.  Additional
@@ -1079,7 +1161,8 @@ def run_fabric_campaign(
     time — the coordinator does not distinguish them from local ones.
 
     Returns ``(dataset, FabricRunStats)`` — the dataset bit-identical
-    to the serial run regardless of the fault schedule survived.
+    to the serial run regardless of the fault schedule survived and
+    the store kind coordinated through.
     """
     from repro.runtime.pool import resolve_start_method
 
@@ -1103,6 +1186,7 @@ def run_fabric_campaign(
         straggler_floor_s=straggler_floor_s,
         straggler_min_samples=straggler_min_samples,
         max_redispatches=max_redispatches,
+        store_kind=fabric_store,
         on_event=on_event,
     )
     import multiprocessing
@@ -1117,6 +1201,7 @@ def run_fabric_campaign(
                 f"{default_worker_id()}-w{rank}",
                 heartbeat_interval_s,
                 fault_plan,
+                coordinator.store.kind,
             ),
             daemon=True,
         )
@@ -1147,28 +1232,32 @@ def run_fabric_campaign(
     return dataset, stats
 
 
-def fabric_status(fabric_dir: str) -> dict:
+def fabric_status(fabric_dir: str, store_kind: str | None = None) -> dict:
     """Live lease/heartbeat/worker view of one fabric directory.
 
     The JSON document behind ``GET /v1/campaigns/{id}/workers`` and the
     CLI's progress display: the registered workers (with heartbeat
     ages), every held lease (with expiry state), and shard completion
-    counts.  Read-only — safe to call from any process at any time.
+    counts.  Read-only — safe to call from any process at any time;
+    the store kind is auto-detected from the directory's sentinel.
     """
     paths = FabricPaths(fabric_dir)
+    store = make_store(fabric_dir, store_kind)
     now = time.time()
-    plan = load_plan(paths)
+    plan = load_plan(paths, store=store)
     ttl_s = plan.lease_ttl_s if plan is not None else DEFAULT_LEASE_TTL_S
     lease_docs = []
-    if os.path.isdir(paths.leases):
-        for record in LeaseDir(paths.leases, ttl_s=ttl_s).read_all():
-            doc = record.to_json_dict()
-            doc["heartbeat_age_s"] = max(0.0, now - record.heartbeat_at)
-            doc["held_s"] = record.held_s(now)
-            doc["expired"] = record.expired(now)
-            lease_docs.append(doc)
+    leases = LeaseDir(
+        paths.leases, ttl_s=ttl_s, store=store, prefix=LEASES_PREFIX
+    )
+    for record in leases.read_all():
+        doc = record.to_json_dict()
+        doc["heartbeat_age_s"] = max(0.0, now - record.heartbeat_at)
+        doc["held_s"] = record.held_s(now)
+        doc["expired"] = record.expired(now)
+        lease_docs.append(doc)
     worker_docs = []
-    for doc in WorkerRegistry.read_all(paths.workers):
+    for doc in WorkerRegistry.read_all(store, WORKERS_PREFIX):
         doc = dict(doc)
         beat = doc.get("heartbeat_at")
         if isinstance(beat, (int, float)):
@@ -1180,14 +1269,15 @@ def fabric_status(fabric_dir: str) -> dict:
         completed = sum(
             1
             for shard_id, _ in plan.shards
-            if os.path.exists(paths.manifest_path(shard_id))
+            if store.exists(_manifest_key(shard_id))
         )
     return {
         "fabric_dir": fabric_dir,
+        "store": store.kind,
         "planned": plan is not None,
         "n_shards": n_shards,
         "completed_shards": completed,
-        "terminal": paths.terminal_marker(),
+        "terminal": terminal_marker(store),
         "workers": worker_docs,
         "leases": lease_docs,
     }

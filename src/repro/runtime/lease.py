@@ -1,27 +1,31 @@
-"""Filesystem shard leases: the coordination primitive of the fabric.
+"""Shard leases: the coordination primitive of the fabric.
 
 The multi-host fabric (:mod:`repro.runtime.fabric`) coordinates
-through a shared directory — the one channel a fleet of heterogeneous
-measurement hosts can always agree on (local disk in tests, NFS or a
-FUSE-mounted object store in production).  This module owns the
-on-disk protocol:
+through a :class:`~repro.runtime.store.CoordinationStore` — a shared
+directory driven by POSIX primitives (:class:`~repro.runtime.store.FsStore`,
+the default) or an object-store-semantics backend
+(:class:`~repro.runtime.store.ObjectStore`) when the fleet shares a
+bucket rather than a filesystem.  This module owns the lease protocol
+over that store:
 
-* **Leases** — ``leases/shard-0003.lease`` is claimed with
-  ``O_CREAT | O_EXCL`` (exactly one claimer wins the race, atomically,
-  on POSIX and NFSv3+ alike) and holds a JSON :class:`LeaseRecord`
-  naming the worker, a random ownership token, the attempt number and
-  the last heartbeat time.  Workers refresh ``heartbeat_at`` via
-  temp-file + ``os.replace``; a lease whose heartbeat is older than
-  its TTL is *expired* and may be revoked by the coordinator.
+* **Leases** — ``leases/shard-0003.lease`` is claimed with the store's
+  create-exclusive primitive (``O_CREAT | O_EXCL`` on POSIX,
+  PUT-if-absent on an object store: exactly one claimer wins the race,
+  atomically) and holds a JSON :class:`LeaseRecord` naming the worker,
+  a random ownership token, the attempt number and the last heartbeat
+  time.  Workers refresh ``heartbeat_at`` with a *conditional replace*
+  against the etag of the version they read, so a beat that raced a
+  revocation loses cleanly instead of resurrecting the lease; a lease
+  whose heartbeat is older than its TTL is *expired* and may be
+  revoked by the coordinator.
 * **Fences** — revocation writes ``shard-0003.fence`` naming the
-  revoked token before unlinking the lease.  A worker whose heartbeat
-  races the revocation can briefly resurrect its lease file, but its
-  *next* heartbeat sees the fence and raises
-  :class:`~repro.errors.LeaseLostError`; the coordinator's poll loop
-  re-clears resurrected fenced leases, so the race converges within
+  revoked token before deleting the lease.  A worker whose heartbeat
+  interleaves with the revocation either loses the conditional
+  replace immediately or sees the fence on its next beat; both raise
+  :class:`~repro.errors.LeaseLostError`, so the race converges within
   one heartbeat interval.
 * **Completion manifests** — ``manifests/shard-0003.json`` is also
-  created ``O_EXCL``: the *first* finished attempt wins, a late
+  created exclusively: the *first* finished attempt wins, a late
   duplicate (straggler that was re-dispatched) loses the create and
   records a discard marker instead.  This is the load-bearing
   arbitration: leases are advisory scheduling hints, but manifests are
@@ -35,11 +39,18 @@ on-disk protocol:
   idle-worker detection, dead-worker lease revocation and the
   service's ``GET /v1/campaigns/{id}/workers`` view.
 
+Correctness never rests on the store's *listing* primitive, which may
+lag behind writes on object stores: every arbitration above is a
+conditional put or a point read (both read-after-write consistent),
+and :meth:`LeaseDir.read_all` / :meth:`WorkerRegistry.read_all` feed
+only scheduling decisions, where a lagged listing at worst delays a
+revocation by one poll.
+
 Timestamps are wall-clock (``time.time()``): leases must be comparable
 *across hosts*, which monotonic clocks are not.  The protocol
 tolerates the resulting skew because expiry only schedules work — a
 wrongly-expired lease costs a redundant recompute whose manifest then
-loses the ``O_EXCL`` race; it never corrupts the dataset.
+loses the create-exclusive race; it never corrupts the dataset.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ import uuid
 from dataclasses import dataclass, replace
 
 from repro.errors import LeaseLostError
+from repro.runtime.store import CoordinationStore, FsStore
 
 #: Default lease TTL; production shards run minutes, tests override.
 DEFAULT_LEASE_TTL_S = 10.0
@@ -89,7 +101,7 @@ def read_json_doc(path: str) -> dict | None:
 
 @dataclass(frozen=True)
 class LeaseRecord:
-    """One shard lease, as stored in its lease file.
+    """One shard lease, as stored in its lease object.
 
     Attributes:
         shard_id: The shard this lease covers.
@@ -148,26 +160,48 @@ class LeaseRecord:
 
 
 class LeaseDir:
-    """The lease protocol over one ``leases/`` directory.
+    """The lease protocol over one key prefix of a coordination store.
 
-    All mutating operations are single-file atomic (``O_EXCL`` create,
-    temp + ``os.replace``, unlink); no operation ever needs a lock
-    spanning two files, which is what makes the protocol safe on any
-    shared filesystem with atomic rename.
+    All mutating operations are single-key atomic (create-exclusive,
+    conditional replace, delete); no operation ever needs a lock
+    spanning two keys, which is what makes the protocol safe on any
+    backend with those primitives — a shared POSIX filesystem
+    (:class:`~repro.runtime.store.FsStore`, the default when
+    constructed with a directory path) or an object store.
     """
 
-    def __init__(self, directory: str, ttl_s: float = DEFAULT_LEASE_TTL_S):
+    def __init__(
+        self,
+        directory: str | None = None,
+        ttl_s: float = DEFAULT_LEASE_TTL_S,
+        *,
+        store: CoordinationStore | None = None,
+        prefix: str = "",
+    ):
+        if store is None:
+            if directory is None:
+                raise ValueError("LeaseDir needs a directory or a store")
+            store = FsStore(directory)
+        self.store = store
+        self.prefix = prefix
         self.directory = directory
         self.ttl_s = float(ttl_s)
-        os.makedirs(directory, exist_ok=True)
 
-    # -- paths ---------------------------------------------------------
+    # -- keys / paths ---------------------------------------------------
+
+    def lease_key(self, shard_id: int) -> str:
+        return f"{self.prefix}shard-{shard_id:04d}.lease"
+
+    def fence_key(self, shard_id: int) -> str:
+        return f"{self.prefix}shard-{shard_id:04d}.fence"
 
     def lease_path(self, shard_id: int) -> str:
-        return os.path.join(self.directory, f"shard-{shard_id:04d}.lease")
+        """Filesystem path of a lease (FS-backed stores only)."""
+        return self.store.path_for(self.lease_key(shard_id))
 
     def fence_path(self, shard_id: int) -> str:
-        return os.path.join(self.directory, f"shard-{shard_id:04d}.fence")
+        """Filesystem path of a fence (FS-backed stores only)."""
+        return self.store.path_for(self.fence_key(shard_id))
 
     # -- claim / read --------------------------------------------------
 
@@ -176,8 +210,10 @@ class LeaseDir:
     ) -> LeaseRecord | None:
         """Atomically claim a shard; ``None`` when someone else holds it.
 
-        Exactly one concurrent claimer wins: the lease file is created
-        with ``O_CREAT | O_EXCL``, which the filesystem arbitrates.
+        Exactly one concurrent claimer wins: the lease is created with
+        the store's create-exclusive primitive (``O_CREAT | O_EXCL`` on
+        POSIX, PUT-if-absent on an object store), which the backend
+        arbitrates.
         """
         now = time.time()
         record = LeaseRecord(
@@ -189,38 +225,32 @@ class LeaseDir:
             heartbeat_at=now,
             ttl_s=self.ttl_s,
         )
-        path = self.lease_path(shard_id)
-        try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-        except FileExistsError:
-            return None
-        try:
-            data = json.dumps(record.to_json_dict(), sort_keys=True)
-            os.write(fd, data.encode("utf-8"))
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        return record
+        etag = self.store.put_json_if_absent(
+            self.lease_key(shard_id), record.to_json_dict()
+        )
+        return record if etag is not None else None
 
     def read(self, shard_id: int) -> LeaseRecord | None:
         """The current lease, or ``None`` (absent / mid-replace torn)."""
-        doc = read_json_doc(self.lease_path(shard_id))
+        doc = self.store.get_json(self.lease_key(shard_id))
         return LeaseRecord.from_json_dict(doc) if doc else None
 
     def read_all(self) -> list[LeaseRecord]:
-        """Every currently-readable lease, ordered by shard id."""
+        """Every currently-listed lease, ordered by shard id.
+
+        Listing may lag on an object store, so a just-claimed lease can
+        be briefly absent here while :meth:`read` already sees it —
+        callers use this for scheduling only, never for arbitration.
+        """
         records = []
-        try:
-            names = sorted(os.listdir(self.directory))
-        except OSError:
-            return []
-        for name in names:
-            if not name.endswith(".lease"):
+        for key in self.store.list_prefix(self.prefix):
+            if not key.endswith(".lease"):
                 continue
-            doc = read_json_doc(os.path.join(self.directory, name))
+            doc = self.store.get_json(key)
             record = LeaseRecord.from_json_dict(doc) if doc else None
             if record is not None:
                 records.append(record)
+        records.sort(key=lambda record: record.shard_id)
         return records
 
     # -- heartbeat -----------------------------------------------------
@@ -228,17 +258,21 @@ class LeaseDir:
     def heartbeat(self, record: LeaseRecord) -> LeaseRecord:
         """Refresh ownership; raises :class:`LeaseLostError` when lost.
 
-        Lost means: a fence names this token, the lease file vanished,
-        or another token now owns the shard (revoked and re-claimed
-        between two beats).
+        Lost means: a fence names this token, the lease vanished,
+        another token now owns the shard (revoked and re-claimed
+        between two beats), or the conditional replace itself lost a
+        race with a revocation — the refresh writes against the etag
+        of the version it read, so a beat can never resurrect a lease
+        the coordinator deleted.
         """
-        fence = read_json_doc(self.fence_path(record.shard_id))
+        fence = self.store.get_json(self.fence_key(record.shard_id))
         if fence is not None and fence.get("token") == record.token:
             raise LeaseLostError(
                 f"lease for shard {record.shard_id} fenced: "
                 f"{fence.get('reason', 'revoked')}"
             )
-        current = self.read(record.shard_id)
+        obj = self.store.get(self.lease_key(record.shard_id))
+        current = LeaseRecord.from_json_dict(obj.json()) if obj else None
         if current is None or current.token != record.token:
             holder = current.worker_id if current else "nobody"
             raise LeaseLostError(
@@ -246,9 +280,18 @@ class LeaseDir:
                 f"{record.worker_id} (now: {holder})"
             )
         updated = replace(record, heartbeat_at=time.time())
-        write_json_atomic(
-            self.lease_path(record.shard_id), updated.to_json_dict()
+        etag = self.store.put_if_match(
+            self.lease_key(record.shard_id),
+            json.dumps(updated.to_json_dict(), sort_keys=True).encode(
+                "utf-8"
+            ),
+            obj.etag,
         )
+        if etag is None:
+            raise LeaseLostError(
+                f"lease for shard {record.shard_id} changed under "
+                f"{record.worker_id} mid-heartbeat (revoked or re-claimed)"
+            )
         return updated
 
     # -- release / revoke ----------------------------------------------
@@ -258,24 +301,20 @@ class LeaseDir:
         current = self.read(record.shard_id)
         if current is None or current.token != record.token:
             return False
-        try:
-            os.unlink(self.lease_path(record.shard_id))
-        except FileNotFoundError:
-            return False
-        return True
+        return self.store.delete(self.lease_key(record.shard_id))
 
     def revoke(self, shard_id: int, reason: str) -> LeaseRecord | None:
         """Coordinator-side forced release (expiry, straggler, chaos).
 
-        Writes a fence naming the revoked token *before* unlinking the
-        lease, so the old owner's next heartbeat fails even if a racing
-        refresh resurrects the file; returns the revoked record (or
-        ``None`` if nothing readable was held).
+        Writes a fence naming the revoked token *before* deleting the
+        lease, so the old owner's next heartbeat fails even if it
+        interleaves with the revocation; returns the revoked record
+        (or ``None`` if nothing readable was held).
         """
         current = self.read(shard_id)
         if current is not None:
-            write_json_atomic(
-                self.fence_path(shard_id),
+            self.store.put_json(
+                self.fence_key(shard_id),
                 {
                     "shard_id": shard_id,
                     "token": current.token,
@@ -285,18 +324,12 @@ class LeaseDir:
                     "fenced_at": time.time(),
                 },
             )
-        try:
-            os.unlink(self.lease_path(shard_id))
-        except FileNotFoundError:
-            pass
+        self.store.delete(self.lease_key(shard_id))
         return current
 
     def clear_fence(self, shard_id: int) -> None:
         """Drop a stale fence (after the shard completed or re-claimed)."""
-        try:
-            os.unlink(self.fence_path(shard_id))
-        except FileNotFoundError:
-            pass
+        self.store.delete(self.fence_key(shard_id))
 
 
 class LeaseHeartbeat:
@@ -306,7 +339,7 @@ class LeaseHeartbeat:
     :class:`LeaseLostError` it sets :attr:`lost` and stops beating —
     the worker polls :attr:`lost` to learn it should stop treating the
     shard as exclusively its own (it may still finish speculatively;
-    the manifest ``O_EXCL`` race decides who counts).
+    the manifest create-exclusive race decides who counts).
     """
 
     def __init__(
@@ -355,7 +388,7 @@ class LeaseHeartbeat:
 class WorkerRegistry:
     """Heartbeated per-worker status documents under ``workers/``.
 
-    One JSON file per worker: identity, liveness heartbeat, current
+    One JSON document per worker: identity, liveness heartbeat, current
     state (``idle`` / ``running`` / ``exited``), the shard in hand and
     completion counters.  The coordinator uses it to revoke a dead
     worker's lease *before* TTL expiry and to observe idle capacity
@@ -363,7 +396,21 @@ class WorkerRegistry:
     worker); the service renders it at ``/v1/campaigns/{id}/workers``.
     """
 
-    def __init__(self, directory: str, worker_id: str, ttl_s: float):
+    def __init__(
+        self,
+        directory: str | None,
+        worker_id: str,
+        ttl_s: float,
+        *,
+        store: CoordinationStore | None = None,
+        prefix: str = "",
+    ):
+        if store is None:
+            if directory is None:
+                raise ValueError("WorkerRegistry needs a directory or a store")
+            store = FsStore(directory)
+        self.store = store
+        self.prefix = prefix
         self.directory = directory
         self.worker_id = worker_id
         self.ttl_s = float(ttl_s)
@@ -371,17 +418,21 @@ class WorkerRegistry:
         self._shard_id: int | None = None
         self._completed = 0
         self._discarded = 0
-        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def key(self) -> str:
+        return f"{self.prefix}{self.worker_id}.json"
 
     @property
     def path(self) -> str:
-        return os.path.join(self.directory, f"{self.worker_id}.json")
+        """Filesystem path of this worker's document (FS stores only)."""
+        return self.store.path_for(self.key)
 
     def write(self, state: str | None = None) -> None:
         if state is not None:
             self._state = state
-        write_json_atomic(
-            self.path,
+        self.store.put_json(
+            self.key,
             {
                 "worker_id": self.worker_id,
                 "pid": os.getpid(),
@@ -411,17 +462,23 @@ class WorkerRegistry:
         self.write("exited")
 
     @staticmethod
-    def read_all(directory: str) -> list[dict]:
-        """Every readable worker document, ordered by worker id."""
+    def read_all(
+        directory: str | CoordinationStore, prefix: str = ""
+    ) -> list[dict]:
+        """Every readable worker document, ordered by worker id.
+
+        Accepts a directory path (read as an :class:`FsStore`, the
+        historical calling convention) or any coordination store plus
+        a key prefix.
+        """
+        store = (
+            FsStore(directory) if isinstance(directory, str) else directory
+        )
         docs = []
-        try:
-            names = sorted(os.listdir(directory))
-        except OSError:
-            return []
-        for name in names:
-            if not name.endswith(".json"):
+        for key in sorted(store.list_prefix(prefix)):
+            if not key.endswith(".json"):
                 continue
-            doc = read_json_doc(os.path.join(directory, name))
+            doc = store.get_json(key)
             if doc is not None:
                 docs.append(doc)
         return docs

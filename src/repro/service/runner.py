@@ -47,6 +47,7 @@ from repro.errors import CampaignCancelledError, ConfigurationError
 from repro.extension.campaign import CampaignConfig, ExtensionCampaign
 from repro.runtime.checkpoint import campaign_fingerprint
 from repro.runtime.faults import Fault, FaultKind, FaultPlan
+from repro.runtime.store import STORE_KINDS
 from repro.service.aggregates import (
     aggregate_payload,
     fold_record_result,
@@ -96,6 +97,9 @@ class Campaign:
     n_shards: int = 0
     #: The fabric coordination directory (fabric mode only).
     fabric_dir: str | None = None
+    #: The coordination store kind (fabric mode only; ``None`` = the
+    #: environment default, resolved by the fabric itself).
+    fabric_store: str | None = None
 
     def status(self) -> dict:
         """The JSON status document of this campaign."""
@@ -123,6 +127,7 @@ class Campaign:
             "error": self.error,
             "result": result,
             "fabric_dir": self.fabric_dir,
+            "fabric_store": self.fabric_store,
         }
 
 
@@ -209,8 +214,9 @@ class CampaignService:
     def submit(self, body) -> Campaign:
         """Validate one submission document and launch its runner.
 
-        The body is ``{"config": {...}, "mode": "records"|"sketch",
-        "resume_from": "<campaign id>", "faults": [...]}`` — all keys
+        The body is ``{"config": {...}, "mode":
+        "records"|"sketch"|"fabric", "resume_from": "<campaign id>",
+        "faults": [...], "fabric_store": "fs"|"object"}`` — all keys
         optional except that ``resume_from`` requires records mode and
         a fingerprint-identical config.
         """
@@ -219,17 +225,31 @@ class CampaignService:
                 f"the submission body must be a JSON object, "
                 f"got {type(body).__name__}"
             )
-        unknown = sorted(set(body) - {"config", "mode", "resume_from", "faults"})
+        unknown = sorted(
+            set(body)
+            - {"config", "mode", "resume_from", "faults", "fabric_store"}
+        )
         if unknown:
             raise invalid_request(
-                f"unknown submission key(s) {unknown}; "
-                "known keys: ['config', 'faults', 'mode', 'resume_from']"
+                f"unknown submission key(s) {unknown}; known keys: "
+                "['config', 'fabric_store', 'faults', 'mode', 'resume_from']"
             )
         mode = body.get("mode", "records")
         if mode not in VALID_MODES:
             raise invalid_request(
                 f"mode must be one of {VALID_MODES}, got {mode!r}"
             )
+        fabric_store = body.get("fabric_store")
+        if fabric_store is not None:
+            if mode != "fabric":
+                raise invalid_request(
+                    "'fabric_store' applies to fabric mode only"
+                )
+            if fabric_store not in STORE_KINDS:
+                raise invalid_request(
+                    f"fabric_store must be one of {STORE_KINDS}, "
+                    f"got {fabric_store!r}"
+                )
         try:
             config = CampaignConfig.from_json_dict(body.get("config", {}))
         except ConfigurationError as exc:
@@ -258,6 +278,7 @@ class CampaignService:
             campaign.fabric_dir = os.path.join(
                 self.service_dir, "campaigns", campaign_id, "fabric"
             )
+            campaign.fabric_store = fabric_store
         with self._lock:
             self._campaigns[campaign_id] = campaign
         campaign.events.append(
@@ -487,6 +508,7 @@ class CampaignService:
             config,
             n_workers=config.n_workers,
             fabric_dir=campaign.fabric_dir,
+            fabric_store=campaign.fabric_store,
             fault_plan=campaign.fault_plan,
             on_event=self._on_event(campaign),
             on_result=on_result,

@@ -18,11 +18,13 @@ from repro.runtime import host_chaos_plan, run_fabric_campaign
 from repro.runtime.fabric import (
     FabricCoordinator,
     FabricPaths,
+    _fabric_worker_entry,
     fabric_status,
     load_plan,
     run_fabric_worker,
     write_or_adopt_plan,
 )
+from repro.runtime.store import make_store, read_store_sentinel
 
 SMALL = dict(
     seed=11,
@@ -229,6 +231,102 @@ def test_redispatch_cap_gives_up(tmp_path):
         coordinator._schedule_redispatch(
             0, reason="test again", next_attempt=2, worker_id="w"
         )
+
+
+# -- the object-store substrate ------------------------------------------
+
+
+def test_fabric_object_store_chaos_identity(
+    serial_dataset, tmp_path, monkeypatch
+):
+    """The PR's acceptance criterion: a 4-worker campaign over the
+    object-store substrate — one worker killed mid-shard (churning the
+    fleet down), one straggling — with list-after-write lag simulated,
+    merges bit-identical to serial.  Correctness provably never rests
+    on the store's listings."""
+    monkeypatch.setenv("REPRO_OBJECT_LIST_LAG_S", "0.25")
+    fault_plan = host_chaos_plan(
+        dead_shards=(0,), straggler_shards=(1,), straggle_s=8.0
+    )
+    fabric_dir = str(tmp_path / "fabric")
+    dataset, stats = run_fabric_campaign(
+        CampaignConfig(**SMALL),
+        n_workers=4,
+        fabric_dir=fabric_dir,
+        n_shards=6,
+        fault_plan=fault_plan,
+        fabric_store="object",
+        **FAST,
+    )
+    _assert_identical(dataset, serial_dataset)
+    assert stats.store_kind == "object"
+    # Both recovery paths ran, same as on the POSIX substrate.
+    assert any(
+        e["shard_id"] == 0 for e in stats.transitions("lease_expired")
+    )
+    assert any(
+        e["shard_id"] == 1 for e in stats.transitions("lease_straggler")
+    )
+    assert stats.redispatched_shards >= 2
+    completed = stats.transitions("shard_completed")
+    assert sorted(e["shard_id"] for e in completed) == list(range(6))
+    # The directory is durably bound to the object store...
+    assert read_store_sentinel(fabric_dir) == "object"
+    # ...and the structured log lives in it as sequence-numbered
+    # objects, replayable in order.
+    store = make_store(fabric_dir)
+    store.settle()
+    on_store = [json.loads(line) for line in store.read_lines("log.jsonl")]
+    assert [e["type"] for e in on_store] == [
+        e["type"] for e in stats.lease_log
+    ]
+
+
+def test_fabric_object_store_worker_joins_before_plan(
+    serial_dataset, tmp_path
+):
+    """Workers started before the coordinator — with no store flag at
+    all — adopt the coordinator's store choice through the ``STORE``
+    sentinel once it appears, then run the campaign normally."""
+    import multiprocessing
+
+    from repro.runtime.pool import resolve_start_method
+
+    config = CampaignConfig(**SMALL)
+    fabric_dir = str(tmp_path / "fabric")
+    context = multiprocessing.get_context(resolve_start_method(config))
+    workers = [
+        context.Process(
+            target=_fabric_worker_entry,
+            args=(fabric_dir, f"early-w{rank}", 0.1, None, None),
+            daemon=True,
+        )
+        for rank in range(2)
+    ]
+    for process in workers:
+        process.start()
+    try:
+        dataset, stats = run_fabric_campaign(
+            config,
+            n_workers=0,
+            fabric_dir=fabric_dir,
+            n_shards=4,
+            fabric_store="object",
+            **FAST,
+        )
+    finally:
+        for process in workers:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+    _assert_identical(dataset, serial_dataset)
+    assert stats.store_kind == "object"
+    assert len(stats.transitions("shard_completed")) == 4
+    claimed_by = {
+        e["worker_id"] for e in stats.transitions("lease_claimed")
+    }
+    assert claimed_by <= {"early-w0", "early-w1"}
+    assert claimed_by  # the early joiners did the work
 
 
 def test_fabric_status_view(tmp_path):
